@@ -1,0 +1,98 @@
+"""Ablation: the inter-block MWS activation limit (Section 6.3).
+
+The paper caps simultaneous block activation at 4 (power, Fig. 14) and
+argues that OR over many operands should therefore use inverse storage
+(one intra-block sense) rather than chained inter-block senses -- "48
+pages would require 12 inter-block MWS operations ... or a single
+intra-block MWS using inverse data".  This bench sweeps the limit and
+reproduces that arithmetic with the real planner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.api import FlashCosmos
+from repro.core.expressions import Operand, or_all
+from repro.flash.chip import NandFlashChip
+from repro.flash.geometry import ChipGeometry
+from repro.flash.power import PowerModel
+
+N_OPERANDS = 48
+PAGE_BITS = 256
+
+
+def plan_or(block_limit: int, inverse: bool) -> int:
+    """Senses needed for a 48-operand OR under a given layout."""
+    geometry = ChipGeometry(
+        planes_per_die=1,
+        blocks_per_plane=64,
+        subblocks_per_block=1,
+        wordlines_per_string=48,
+        page_size_bits=PAGE_BITS,
+    )
+    chip = NandFlashChip(geometry, inject_errors=False, seed=1)
+    fc = FlashCosmos(chip, block_limit=block_limit)
+    rng = np.random.default_rng(2)
+    for i in range(N_OPERANDS):
+        bits = rng.integers(0, 2, PAGE_BITS, dtype=np.uint8)
+        if inverse:
+            fc.fc_write(f"v{i}", bits, group="inv", inverse=True)
+        else:
+            fc.fc_write(f"v{i}", bits)  # dedicated block each
+    plan = fc.plan(or_all([Operand(f"v{i}") for i in range(N_OPERANDS)]))
+    return plan.n_senses
+
+
+def run_ablation():
+    power = PowerModel()
+    rows = []
+    for limit in (1, 2, 4, 8, 16, 32):
+        senses = plan_or(limit, inverse=False)
+        rows.append(
+            (
+                limit,
+                senses,
+                power.inter_block_mws_power_factor(limit),
+            )
+        )
+    inverse_senses = plan_or(4, inverse=True)
+    return rows, inverse_senses
+
+
+def test_ablation_block_limit(benchmark):
+    rows, inverse_senses = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    power = PowerModel()
+
+    table = [
+        [limit, senses, f"{factor:.2f}",
+         "yes" if factor < power.erase_power_factor() else "NO"]
+        for limit, senses, factor in table_rows(rows)
+    ]
+    print()
+    print(format_table(
+        ["block limit", "senses for 48-op OR", "power (x read)",
+         "within erase budget"],
+        table,
+        title="Inter-block activation limit ablation",
+    ))
+    print(f"inverse-stored layout: {inverse_senses} sense "
+          f"(Section 6.1's answer)")
+
+    by_limit = dict((limit, senses) for limit, senses, _ in rows)
+    # The paper's arithmetic: 48 operands / 4 blocks = 12 senses.
+    assert by_limit[4] == 12
+    assert by_limit[1] == 48
+    # Raising the limit cuts senses but burns past the erase budget.
+    assert by_limit[32] == 2
+    assert power.inter_block_mws_power_factor(32) > (
+        power.erase_power_factor()
+    )
+    # Inverse storage wins outright: one sense, intra-block power.
+    assert inverse_senses == 1
+
+
+def table_rows(rows):
+    return rows

@@ -1,0 +1,94 @@
+"""Ablation: the ESP effort knob (design choice behind Fig. 11 +
+Section 8.3).
+
+Sweeps tESP and reports, side by side, the three quantities the paper
+trades off: worst-case RBER (reliability), program latency (write
+cost) and sequential write bandwidth.  The paper picks the zero-error
+knee (tESP ~ 1.9 x tPROG, rounded to 400 us in Table 1); this bench
+shows both that the knee is minimal-latency for zero errors and what
+backing off would buy/cost.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.esp import EspPolicy
+from repro.flash.errors import WORST_CASE_CONDITION
+from repro.ssd.config import table1_config
+from repro.ssd.writes import sequential_write_bandwidth
+
+EXTRAS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0)
+
+
+def run_ablation():
+    policy = EspPolicy()
+    config = table1_config()
+    worst = WORST_CASE_CONDITION.with_quality(
+        policy.calibration.quality.sigma_multiplier_worst
+    )
+    rows = []
+    for extra in EXTRAS:
+        rows.append(
+            (
+                extra,
+                policy.rber_at(extra, worst),
+                policy.program_latency_us(extra),
+                sequential_write_bandwidth(config, "esp", extra) / 1e9,
+            )
+        )
+    return policy, rows
+
+
+def test_ablation_esp_effort(benchmark):
+    policy, rows = benchmark(run_ablation)
+
+    table = [
+        [f"{1 + extra:.1f}x", f"{rber:.2e}", f"{latency:.0f}",
+         f"{bw:.2f}"]
+        for extra, rber, latency, bw in rows
+    ]
+    print()
+    print(format_table(
+        ["tESP/tPROG", "worst RBER", "tPROG [us]", "write BW [GB/s]"],
+        table,
+        title="ESP effort ablation (worst block, 10K PEC, 1-year)",
+    ))
+
+    # Reliability is monotone in effort; bandwidth anti-monotone
+    # until the host ceiling stops mattering.
+    rbers = [r for _, r, _, _ in rows]
+    assert rbers == sorted(rbers, reverse=True)
+    # The zero-error knee found by the policy matches the sweep.
+    knee = policy.paper_default_extra()
+    assert 0.8 <= knee <= 1.0
+    below_knee = [r for e, r, _, _ in rows if e < knee - 0.05]
+    assert all(r > policy.calibration.zero_error_rber for r in below_knee)
+    at_knee = policy.rber_at(knee, WORST_CASE_CONDITION.with_quality(
+        policy.calibration.quality.sigma_multiplier_worst))
+    assert at_knee < policy.calibration.zero_error_rber
+    # Even full-effort ESP writes faster than TLC (Section 8.3).
+    config = table1_config()
+    assert rows[-1][3] * 1e9 > sequential_write_bandwidth(config, "tlc")
+
+
+def test_ablation_esp_capacity_overhead(benchmark):
+    """Section 8.3's other overhead: SLC-family storage halves (vs
+    MLC) or thirds (vs TLC) the capacity of blocks used for IFP data.
+    The bench quantifies the per-byte overhead so the 'selective ESP'
+    argument is concrete."""
+
+    def capacity_ratio():
+        config = table1_config()
+        slc_bits = 1
+        return {
+            "vs_mlc": slc_bits / 2,
+            "vs_tlc": slc_bits / 3,
+            "full_drive_tb": config.capacity_bytes / 1e12,
+        }
+
+    ratios = benchmark(capacity_ratio)
+    print(f"\nESP capacity factor vs MLC: {ratios['vs_mlc']:.2f}, "
+          f"vs TLC: {ratios['vs_tlc']:.2f} "
+          f"(drive: {ratios['full_drive_tb']:.1f} TB in TLC mode)")
+    assert ratios["vs_mlc"] == pytest.approx(0.5)
+    assert ratios["vs_tlc"] == pytest.approx(1 / 3)

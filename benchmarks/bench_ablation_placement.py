@@ -1,0 +1,125 @@
+"""Ablation: operand placement strategies (Section 6.3's requirements).
+
+The same 24-operand AND evaluated under three layouts on the
+functional chip -- (a) Flash-Cosmos with co-located operands (one
+sense), (b) Flash-Cosmos with operands scattered across blocks
+(AND-accumulation across senses), (c) ParaBit serial sensing -- and
+the same 8-operand OR under direct vs inverse storage.  Demonstrates
+that Flash-Cosmos's gains depend on the data layout the fc_write
+placement hints control.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.api import FlashCosmos
+from repro.core.expressions import Operand, and_all, or_all
+from repro.core.parabit import ParaBit
+from repro.flash.chip import NandFlashChip
+from repro.flash.geometry import ChipGeometry
+
+PAGE_BITS = 512
+N_AND = 24
+N_OR = 8
+
+GEOMETRY = ChipGeometry(
+    planes_per_die=1,
+    blocks_per_plane=64,
+    subblocks_per_block=1,
+    wordlines_per_string=48,
+    page_size_bits=PAGE_BITS,
+)
+
+
+def run_and_layouts():
+    rng = np.random.default_rng(3)
+    pages = [rng.integers(0, 2, PAGE_BITS, dtype=np.uint8)
+             for _ in range(N_AND)]
+    expected = np.bitwise_and.reduce(np.stack(pages), axis=0)
+    results = {}
+
+    # (a) co-located: one string group.
+    chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=4)
+    fc = FlashCosmos(chip)
+    for i, page in enumerate(pages):
+        fc.fc_write(f"v{i}", page, group="g")
+    r = fc.fc_read(and_all([Operand(f"v{i}") for i in range(N_AND)]))
+    assert (r.bits == expected).all()
+    results["FC co-located"] = (r.n_senses, r.latency_us)
+
+    # (b) scattered: every operand in its own block.
+    chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=5)
+    fc = FlashCosmos(chip)
+    for i, page in enumerate(pages):
+        fc.fc_write(f"v{i}", page)
+    r = fc.fc_read(and_all([Operand(f"v{i}") for i in range(N_AND)]))
+    assert (r.bits == expected).all()
+    results["FC scattered"] = (r.n_senses, r.latency_us)
+
+    # (c) ParaBit: serial reads regardless of placement.
+    chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=6)
+    fc = FlashCosmos(chip)
+    addresses = [fc.fc_write(f"v{i}", p, group="g").address
+                 for i, p in enumerate(pages)]
+    r = ParaBit(chip).bitwise_and(addresses)
+    assert (r.bits == expected).all()
+    results["ParaBit"] = (r.n_senses, r.latency_us)
+    return results
+
+
+def run_or_layouts():
+    rng = np.random.default_rng(7)
+    pages = [rng.integers(0, 2, PAGE_BITS, dtype=np.uint8)
+             for _ in range(N_OR)]
+    expected = np.bitwise_or.reduce(np.stack(pages), axis=0)
+    results = {}
+
+    # Direct storage, dedicated blocks: chained inter-block senses.
+    chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=8)
+    fc = FlashCosmos(chip, block_limit=4)
+    for i, page in enumerate(pages):
+        fc.fc_write(f"v{i}", page)
+    r = fc.fc_read(or_all([Operand(f"v{i}") for i in range(N_OR)]))
+    assert (r.bits == expected).all()
+    results["OR direct (limit 4)"] = (r.n_senses, r.latency_us)
+
+    # Inverse storage, one string group: a single inverse sense.
+    chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=9)
+    fc = FlashCosmos(chip, block_limit=4)
+    for i, page in enumerate(pages):
+        fc.fc_write(f"v{i}", page, group="inv", inverse=True)
+    r = fc.fc_read(or_all([Operand(f"v{i}") for i in range(N_OR)]))
+    assert (r.bits == expected).all()
+    results["OR inverse-stored"] = (r.n_senses, r.latency_us)
+    return results
+
+
+def test_ablation_placement(benchmark):
+    def run_all():
+        return run_and_layouts(), run_or_layouts()
+
+    and_results, or_results = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    rows = [
+        [name, senses, f"{latency:.1f}"]
+        for name, (senses, latency) in {**and_results, **or_results}.items()
+    ]
+    print()
+    print(format_table(
+        ["layout", "senses", "latency [us]"],
+        rows,
+        title=f"Placement ablation ({N_AND}-op AND, {N_OR}-op OR)",
+    ))
+
+    assert and_results["FC co-located"][0] == 1
+    assert and_results["FC scattered"][0] == N_AND
+    assert and_results["ParaBit"][0] == N_AND
+    # Co-location is the entire advantage for AND.
+    assert and_results["FC co-located"][1] < (
+        and_results["FC scattered"][1] / 10
+    )
+    assert or_results["OR direct (limit 4)"][0] == 2  # ceil(8 / 4)
+    assert or_results["OR inverse-stored"][0] == 1

@@ -1,0 +1,75 @@
+"""Extension: bit-serial arithmetic on the Flash-Cosmos substrate.
+
+The paper's Section 10 points at SIMDRAM/DualityCache-style frameworks
+as future work; ``repro.core.arith`` prototypes one.  This bench
+measures the in-flash cost of vector addition -- O(bit-width) senses
+and programs, independent of the SIMD lane count -- and verifies the
+arithmetic against numpy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.api import FlashCosmos
+from repro.core.arith import ArithmeticUnit
+from repro.flash.chip import NandFlashChip
+from repro.flash.geometry import ChipGeometry
+
+PAGE_BITS = 256
+N_BITS = 8
+
+GEOMETRY = ChipGeometry(
+    planes_per_die=1,
+    blocks_per_plane=512,
+    subblocks_per_block=1,
+    wordlines_per_string=8,
+    page_size_bits=PAGE_BITS,
+)
+
+
+def run_addition():
+    chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=3)
+    unit = ArithmeticUnit(FlashCosmos(chip))
+    rng = np.random.default_rng(4)
+    a_vals = rng.integers(0, 1 << N_BITS, PAGE_BITS, dtype=np.uint64)
+    b_vals = rng.integers(0, 1 << N_BITS, PAGE_BITS, dtype=np.uint64)
+    a = unit.store_unsigned("a", a_vals, N_BITS)
+    b = unit.store_unsigned("b", b_vals, N_BITS)
+    senses0, programs0 = unit.senses, unit.programs
+    total = unit.add(a, b, "sum")
+    result = unit.read_unsigned(total)
+    return (
+        result,
+        a_vals + b_vals,
+        unit.senses - senses0,
+        unit.programs - programs0,
+        chip.counters.busy_us,
+    )
+
+
+def test_extension_bit_serial_add(benchmark):
+    result, expected, senses, programs, busy_us = benchmark.pedantic(
+        run_addition, rounds=1, iterations=1
+    )
+    np.testing.assert_array_equal(result, expected)
+
+    per_lane_senses = senses / PAGE_BITS
+    rows = [
+        ["SIMD lanes", PAGE_BITS],
+        ["element width", f"{N_BITS} bits"],
+        ["in-flash senses", senses],
+        ["ESP write-backs", programs],
+        ["senses per lane", f"{per_lane_senses:.2f}"],
+    ]
+    print()
+    print(format_table(
+        ["metric", "value"], rows,
+        title="Bit-serial vector add on Flash-Cosmos (Section 10 "
+              "future work)",
+    ))
+
+    # O(W) cost, not O(lanes): well under one sense per lane here.
+    assert senses <= N_BITS * 10
+    assert per_lane_senses < 1.0
+    assert programs <= N_BITS * 6 + 2

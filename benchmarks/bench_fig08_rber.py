@@ -1,0 +1,72 @@
+"""Figure 8: RBER of SLC/MLC programming with/without randomization.
+
+Paper anchors (Section 3.2): MLC+randomization best case 8.6e-4; MLC
+without randomization worst case 1.6e-2; disabling randomization costs
+1.91x (SLC) / 4.92x (MLC) on average; MLC reaches up to 4x SLC.
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_series, format_table
+from repro.characterization.rber import (
+    RETENTION_GRID_MONTHS,
+    measure_rber_grid,
+)
+
+
+def run_campaign(population):
+    return {
+        (mode, randomized): measure_rber_grid(
+            mode, randomized, population=population, n_blocks=16
+        )
+        for mode in ("slc", "mlc")
+        for randomized in (True, False)
+    }
+
+
+def test_fig8_rber_grid(benchmark, population):
+    grids = benchmark(run_campaign, population)
+    ref = PAPER["fig8"]
+
+    print()
+    for (mode, randomized), grid in grids.items():
+        label = f"{mode.upper()} {'with' if randomized else 'w/o'} rand"
+        for pec, series in sorted(grid.series_by_pec().items()):
+            print(format_series(
+                f"{label} PEC={pec // 1000}K RBER vs months",
+                RETENTION_GRID_MONTHS,
+                series,
+            ))
+
+    slc_rand = grids[("slc", True)]
+    slc_norand = grids[("slc", False)]
+    mlc_rand = grids[("mlc", True)]
+    mlc_norand = grids[("mlc", False)]
+    rows = [
+        ["MLC+rand min RBER", f"{ref['mlc_rand_min']:.2e}",
+         f"{mlc_rand.min():.2e}"],
+        ["MLC-rand max RBER", f"{ref['mlc_norand_max']:.2e}",
+         f"{mlc_norand.max():.2e}"],
+        ["SLC rand penalty", f"{ref['slc_randomization_penalty']:.2f}x",
+         f"{slc_norand.mean() / slc_rand.mean():.2f}x"],
+        ["MLC rand penalty", f"{ref['mlc_randomization_penalty']:.2f}x",
+         f"{mlc_norand.mean() / mlc_rand.mean():.2f}x"],
+    ]
+    print()
+    print(format_table(["anchor", "paper", "measured"], rows,
+                       title="Figure 8 anchors"))
+
+    assert mlc_rand.min() == pytest.approx(ref["mlc_rand_min"], rel=0.5)
+    assert mlc_norand.max() == pytest.approx(ref["mlc_norand_max"], rel=0.5)
+    slc_penalty = slc_norand.mean() / slc_rand.mean()
+    mlc_penalty = mlc_norand.mean() / mlc_rand.mean()
+    assert 1.3 < slc_penalty < 2.5
+    assert 3.0 < mlc_penalty < 7.0
+    # MLC is consistently worse than SLC; the worst ratio nears 4x.
+    ratios = [
+        mlc_rand.at(pec, m) / slc_rand.at(pec, m)
+        for pec in slc_rand.pec_grid
+        for m in slc_rand.retention_grid
+    ]
+    assert max(ratios) == pytest.approx(ref["mlc_vs_slc_max_ratio"], rel=0.5)

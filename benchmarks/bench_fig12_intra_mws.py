@@ -1,0 +1,30 @@
+"""Figure 12: intra-block MWS latency vs number of read wordlines.
+
+Paper anchors (Section 5.2): tMWS = 1.033 x tR when sensing all 48
+wordlines of a block; below 1% extra for 8 or fewer wordlines; a
+single-wordline read (even of unrandomized data) needs no extra
+latency.
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_series
+from repro.characterization.mws_latency import intra_block_latency_series
+
+
+def test_fig12_intra_block_latency(benchmark):
+    series = benchmark(intra_block_latency_series)
+    ref = PAPER["fig12"]
+    xs = [n for n, _ in series]
+    ys = [r for _, r in series]
+    print()
+    print(format_series("tMWS/tR vs wordlines", xs, ys))
+    print(f"paper: 1.000 at 1 WL, <{ref['ratio_at_8_wordlines_max']} at "
+          f"8 WLs, {ref['ratio_at_48_wordlines']} at 48 WLs")
+
+    by_n = dict(series)
+    assert by_n[1] == pytest.approx(1.0)
+    assert by_n[8] < ref["ratio_at_8_wordlines_max"]
+    assert by_n[48] == pytest.approx(ref["ratio_at_48_wordlines"], abs=0.003)
+    assert ys == sorted(ys)

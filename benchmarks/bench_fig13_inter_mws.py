@@ -1,0 +1,34 @@
+"""Figure 13: inter-block MWS latency vs number of activated blocks.
+
+Paper anchors (Section 5.2): the wordline-precharge cost is hidden by
+the bitline precharge until ~8 activated blocks; at 32 blocks tMWS =
+1.363 x tR -- still far cheaper than 32 serial reads (32 x tR).
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_series
+from repro.characterization.mws_latency import inter_block_latency_series
+from repro.flash.timing import TimingModel
+
+
+def test_fig13_inter_block_latency(benchmark):
+    series = benchmark(inter_block_latency_series)
+    ref = PAPER["fig13"]
+    xs = [n for n, _ in series]
+    ys = [r for _, r in series]
+    print()
+    print(format_series("tMWS/tR vs activated blocks", xs, ys))
+    print(f"paper: hidden until {ref['hidden_until_blocks']} blocks, "
+          f"{ref['ratio_at_32_blocks']} at 32 blocks")
+
+    by_n = dict(series)
+    for n in (1, 2, 4, 8):
+        assert by_n[n] == pytest.approx(1.0, abs=0.01)
+    assert by_n[32] == pytest.approx(ref["ratio_at_32_blocks"], abs=0.01)
+
+    # MWS on 32 blocks vs 32 serial reads (the paper's comparison).
+    timing = TimingModel()
+    serial = 32 * timing.t_read_us
+    assert timing.t_mws_us(32, n_blocks=32) < serial / 20

@@ -1,0 +1,44 @@
+"""Figure 14: inter-block MWS power vs number of activated blocks.
+
+Paper anchors (Section 5.2): +34% power at 2 blocks; ~+80% at 4;
+below erase power until 4 blocks (the basis of Table 1's 4-block
+limit); ~53% energy saving vs serial reads at 4 blocks.
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_table
+from repro.characterization.power_sweep import mws_power_series
+
+
+def test_fig14_mws_power(benchmark):
+    series, erase, prog = benchmark(mws_power_series)
+    ref = PAPER["fig14"]
+
+    rows = [
+        [p.n_blocks, f"{p.power_factor:.2f}",
+         f"{1 - p.energy_vs_serial_reads:.0%}"]
+        for p in series
+    ]
+    print()
+    print(format_table(
+        ["blocks", "power (x read)", "energy saving vs serial"],
+        rows,
+        title=(f"Figure 14 (erase = {erase:.2f}x, "
+               f"program = {prog:.2f}x read power)"),
+    ))
+
+    by_n = {p.n_blocks: p for p in series}
+    assert by_n[2].power_factor == pytest.approx(
+        ref["factor_at_2_blocks"], abs=0.02
+    )
+    assert by_n[4].power_factor == pytest.approx(
+        ref["factor_at_4_blocks"], abs=0.05
+    )
+    limit = ref["max_blocks_below_erase"]
+    assert by_n[limit].power_factor < erase
+    assert by_n[limit + 1].power_factor > erase
+    assert 1 - by_n[4].energy_vs_serial_reads == pytest.approx(
+        ref["energy_saving_at_4_blocks"], abs=0.07
+    )

@@ -1,0 +1,85 @@
+"""Figure 17: speedup of ISP / ParaBit / Flash-Cosmos over OSP on the
+three real-world workloads.
+
+Paper anchors (Section 8.1): FC outperforms OSP/ISP/PB by 32x / 25x /
+3.5x on average; PB beats OSP by 9.4x; ISP by 1.28x.  FC's advantage
+grows with operand count (BMI), vanishes on transfer-bound IMS
+(FC ~ PB), and tracks k on KCS.  Known deviation (EXPERIMENTS.md):
+our pure pipeline model overshoots the largest BMI point (no per-
+command firmware overheads), preserving ordering and trend.
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_table
+from repro.host.system import geometric_mean
+from repro.ssd.pipeline import Platform
+from repro.workloads import bmi_sweep, ims_sweep, kcs_sweep
+
+
+def run_sweeps(evaluator):
+    results = []
+    for sweep in (bmi_sweep(), ims_sweep(), kcs_sweep()):
+        for point in sweep:
+            results.append((point, evaluator.speedups_over_osp(point)))
+    return results
+
+
+def test_fig17_speedups(benchmark, evaluator):
+    results = benchmark.pedantic(
+        run_sweeps, args=(evaluator,), rounds=1, iterations=1
+    )
+    ref = PAPER["fig17"]
+
+    rows = [
+        [p.workload, p.label, f"{s[Platform.ISP]:.2f}",
+         f"{s[Platform.PB]:.1f}", f"{s[Platform.FC]:.1f}"]
+        for p, s in results
+    ]
+    print()
+    print(format_table(
+        ["workload", "point", "ISP", "PB", "FC"],
+        rows,
+        title="Figure 17: speedup over OSP",
+    ))
+
+    fc = [s[Platform.FC] for _, s in results]
+    pb = [s[Platform.PB] for _, s in results]
+    isp = [s[Platform.ISP] for _, s in results]
+    fc_avg = geometric_mean(fc)
+    fc_vs_pb = geometric_mean([f / p for f, p in zip(fc, pb)])
+    fc_vs_isp = geometric_mean([f / i for f, i in zip(fc, isp)])
+    summary = [
+        ["FC vs OSP", f"{ref['fc_vs_osp_avg']}x", f"{fc_avg:.1f}x"],
+        ["FC vs ISP", f"{ref['fc_vs_isp_avg']}x", f"{fc_vs_isp:.1f}x"],
+        ["FC vs PB", f"{ref['fc_vs_pb_avg']}x", f"{fc_vs_pb:.1f}x"],
+        ["PB vs OSP", f"{ref['pb_vs_osp_avg']}x",
+         f"{geometric_mean(pb):.1f}x"],
+        ["ISP vs OSP", f"{ref['isp_vs_osp_avg']}x",
+         f"{geometric_mean(isp):.2f}x"],
+    ]
+    print()
+    print(format_table(["average", "paper", "measured"], summary,
+                       title="Figure 17 headline averages"))
+
+    # Averages within 35% of the paper.
+    assert fc_avg == pytest.approx(ref["fc_vs_osp_avg"], rel=0.35)
+    assert fc_vs_isp == pytest.approx(ref["fc_vs_isp_avg"], rel=0.35)
+    assert fc_vs_pb == pytest.approx(ref["fc_vs_pb_avg"], rel=0.35)
+    assert geometric_mean(pb) == pytest.approx(ref["pb_vs_osp_avg"], rel=0.35)
+
+    # Orderings hold at every sweep point.
+    for point, s in results:
+        assert s[Platform.FC] >= s[Platform.PB] * 0.95
+        assert s[Platform.PB] > s[Platform.ISP]
+        assert s[Platform.ISP] >= 1.0
+
+    # Crossover: FC ~ PB on IMS (transfer-bound).
+    ims = [(p, s) for p, s in results if p.workload == "IMS"]
+    for _, s in ims:
+        assert s[Platform.FC] == pytest.approx(s[Platform.PB], rel=0.05)
+
+    # FC's benefit grows with operand count on BMI.
+    bmi_fc = [s[Platform.FC] for p, s in results if p.workload == "BMI"]
+    assert bmi_fc == sorted(bmi_fc)

@@ -1,0 +1,115 @@
+"""Figure 18: energy efficiency (bits per joule, normalized to OSP).
+
+Paper anchors (Section 8.2): FC improves energy efficiency over
+OSP/ISP/PB by 95x / 13.4x / 3.3x on average, peaking at 1,839x over
+OSP for BMI m=36; FC saves energy over PB even where performance ties
+(IMS).
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_table
+from repro.host.system import geometric_mean
+from repro.ssd.pipeline import Platform
+from repro.workloads import bmi_sweep, ims_sweep, kcs_sweep
+from repro.workloads.bitmap_index import bmi_point
+
+
+def run_sweeps(evaluator):
+    results = []
+    for sweep in (bmi_sweep(), ims_sweep(), kcs_sweep()):
+        for point in sweep:
+            results.append(
+                (point, evaluator.energy_efficiency_over_osp(point))
+            )
+    return results
+
+
+def test_fig18_energy_efficiency(benchmark, evaluator):
+    results = benchmark.pedantic(
+        run_sweeps, args=(evaluator,), rounds=1, iterations=1
+    )
+    ref = PAPER["fig18"]
+
+    rows = [
+        [p.workload, p.label, f"{e[Platform.ISP]:.1f}",
+         f"{e[Platform.PB]:.1f}", f"{e[Platform.FC]:.1f}"]
+        for p, e in results
+    ]
+    print()
+    print(format_table(
+        ["workload", "point", "ISP", "PB", "FC"],
+        rows,
+        title="Figure 18: energy efficiency over OSP",
+    ))
+
+    fc = [e[Platform.FC] for _, e in results]
+    pb = [e[Platform.PB] for _, e in results]
+    isp = [e[Platform.ISP] for _, e in results]
+    fc_avg = geometric_mean(fc)
+    fc_vs_pb = geometric_mean([f / p for f, p in zip(fc, pb)])
+    fc_vs_isp = geometric_mean([f / i for f, i in zip(fc, isp)])
+    summary = [
+        ["FC vs OSP", f"{ref['fc_vs_osp_avg']}x", f"{fc_avg:.1f}x"],
+        ["FC vs ISP", f"{ref['fc_vs_isp_avg']}x", f"{fc_vs_isp:.1f}x"],
+        ["FC vs PB", f"{ref['fc_vs_pb_avg']}x", f"{fc_vs_pb:.1f}x"],
+        ["max FC vs OSP (BMI m=36)", f"{ref['bmi_m36_fc_vs_osp']}x",
+         f"{max(fc):.0f}x"],
+    ]
+    print()
+    print(format_table(["average", "paper", "measured"], summary,
+                       title="Figure 18 headline averages"))
+
+    assert fc_avg == pytest.approx(ref["fc_vs_osp_avg"], rel=0.35)
+    assert fc_vs_isp == pytest.approx(ref["fc_vs_isp_avg"], rel=0.35)
+    assert fc_vs_pb == pytest.approx(ref["fc_vs_pb_avg"], rel=0.35)
+    assert max(fc) == pytest.approx(ref["bmi_m36_fc_vs_osp"], rel=0.35)
+
+    # The maximum is the BMI m=36 point, as in the paper.
+    best_point = max(results, key=lambda r: r[1][Platform.FC])[0]
+    assert best_point.workload == "BMI"
+    assert best_point.parameter == 36
+
+    # FC saves energy over PB even on transfer-bound IMS.
+    for p, e in results:
+        if p.workload == "IMS":
+            assert e[Platform.FC] > e[Platform.PB]
+
+
+def test_fig18_bmi_m36_breakdown(benchmark, evaluator):
+    """The paper's deepest energy point: BMI m=36, FC vs all."""
+    point = bmi_point(36)
+
+    def breakdown():
+        return {
+            platform: evaluator.evaluate(point, platform)
+            for platform in Platform
+        }
+
+    reports = benchmark.pedantic(breakdown, rounds=1, iterations=1)
+    ref = PAPER["fig18"]
+    fc = reports[Platform.FC].energy_j
+    ratios = {
+        "vs OSP": reports[Platform.OSP].energy_j / fc,
+        "vs ISP": reports[Platform.ISP].energy_j / fc,
+        "vs PB": reports[Platform.PB].energy_j / fc,
+    }
+    print()
+    print(format_table(
+        ["ratio", "paper", "measured"],
+        [
+            ["FC vs OSP", f"{ref['bmi_m36_fc_vs_osp']}x",
+             f"{ratios['vs OSP']:.0f}x"],
+            ["FC vs ISP", f"{ref['bmi_m36_fc_vs_isp']}x",
+             f"{ratios['vs ISP']:.0f}x"],
+            ["FC vs PB", f"{ref['bmi_m36_fc_vs_pb']}x",
+             f"{ratios['vs PB']:.0f}x"],
+        ],
+        title="BMI m=36 energy ratios",
+    ))
+    assert ratios["vs OSP"] == pytest.approx(ref["bmi_m36_fc_vs_osp"],
+                                             rel=0.35)
+    assert ratios["vs ISP"] == pytest.approx(ref["bmi_m36_fc_vs_isp"],
+                                             rel=0.6)
+    assert ratios["vs PB"] == pytest.approx(ref["bmi_m36_fc_vs_pb"], rel=0.6)

@@ -1,0 +1,63 @@
+"""Section 7's reliability argument: error propagation in BMI.
+
+Paper: "Assuming a best-case RBER of 8.6e-4 and m = 36, the
+probability of a correct output is 0.42" -- the per-bit survival
+probability under ~1,000 operand senses.  Across 800M users the whole
+query is essentially never exact, which is why ParaBit-era IFP is
+limited to error-tolerant applications and why ESP matters.
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.reliability import (
+    correct_bit_probability,
+    correct_query_probability,
+    expected_miscounted_users,
+)
+from repro.analysis.report import format_table
+from repro.workloads.bitmap_index import days_for_months
+
+
+def run_analysis():
+    rber = PAPER["sec7_reliability"]["rber"]
+    rows = []
+    for months in (1, 3, 6, 12, 24, 36):
+        d = days_for_months(months)
+        rows.append(
+            (
+                months,
+                d,
+                correct_bit_probability(rber, d),
+                expected_miscounted_users(rber, d, 800_000_000),
+            )
+        )
+    return rber, rows
+
+
+def test_sec7_error_propagation(benchmark):
+    rber, rows = benchmark(run_analysis)
+    ref = PAPER["sec7_reliability"]
+
+    table = [
+        [f"m={m}", d, f"{p:.3f}", f"{miscounts:,.0f}"]
+        for m, d, p, miscounts in rows
+    ]
+    print()
+    print(format_table(
+        ["query", "operands", "P(bit correct)", "E[miscounted users]"],
+        table,
+        title=f"Section 7: error propagation at RBER = {rber:g}",
+    ))
+
+    # The paper's 0.42 figure (~1,000 operand reads per result bit).
+    p_paper = correct_bit_probability(rber, 1000)
+    assert p_paper == pytest.approx(ref["p_correct"], abs=0.05)
+
+    # The m=36 query is essentially never exact across the vector.
+    d36 = days_for_months(36)
+    assert correct_query_probability(rber, d36, 800_000_000) < 1e-100
+
+    # Survival decays monotonically with operand count.
+    probabilities = [p for _, _, p, _ in rows]
+    assert probabilities == sorted(probabilities, reverse=True)

@@ -1,0 +1,47 @@
+"""Section 8.3: sequential write bandwidth of ESP vs SLC/MLC/TLC.
+
+Paper anchors: ESP writes at 4.7 GB/s = 73.4% / 121.4% / 166.7% of
+regular SLC (6.4) / MLC (3.87) / TLC (2.82) mode programming -- i.e.
+ESP's doubled tPROG does not degrade write bandwidth below the MLC/TLC
+modes an SSD would otherwise use.
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_table
+from repro.ssd.config import table1_config
+from repro.ssd.writes import sequential_write_bandwidth
+
+
+def run_model():
+    config = table1_config()
+    return {
+        mode: sequential_write_bandwidth(config, mode)
+        for mode in ("slc", "esp", "mlc", "tlc")
+    }
+
+
+def test_sec83_write_bandwidth(benchmark):
+    bw = benchmark(run_model)
+    ref = PAPER["sec8_3"]
+
+    rows = [
+        [mode.upper(), f"{ref[f'{mode}_write_bw_gbps']:.2f}",
+         f"{bw[mode] / 1e9:.2f}"]
+        for mode in ("slc", "esp", "mlc", "tlc")
+    ]
+    print()
+    print(format_table(
+        ["mode", "paper [GB/s]", "measured [GB/s]"],
+        rows,
+        title="Section 8.3: sequential write bandwidth",
+    ))
+
+    for mode in ("slc", "esp", "mlc", "tlc"):
+        assert bw[mode] == pytest.approx(
+            ref[f"{mode}_write_bw_gbps"] * 1e9, rel=0.05
+        )
+    assert bw["esp"] / bw["slc"] == pytest.approx(ref["vs_slc"], rel=0.05)
+    assert bw["esp"] / bw["mlc"] == pytest.approx(ref["vs_mlc"], rel=0.08)
+    assert bw["esp"] / bw["tlc"] == pytest.approx(ref["vs_tlc"], rel=0.08)

@@ -1,0 +1,89 @@
+"""Throughput of the reproduction's own kernels.
+
+Unlike the figure benches (which regenerate the paper's numbers),
+these measure the *library's* hot paths with pytest-benchmark proper
+(many rounds): functional MWS sensing, ParaBit serial sensing, BCH
+decoding, randomization, and the SSD timeline simulator.  Useful for
+tracking performance regressions of the simulator itself.
+"""
+
+import numpy as np
+
+from repro.core.api import FlashCosmos
+from repro.core.expressions import Operand, and_all
+from repro.core.parabit import ParaBit
+from repro.ecc.bch import BchCode
+from repro.flash.chip import NandFlashChip
+from repro.flash.geometry import ChipGeometry
+from repro.flash.randomizer import LfsrRandomizer
+from repro.ssd.config import fig7_config
+from repro.ssd.pipeline import DataflowSpec, PipelineModel, Platform
+
+GEOMETRY = ChipGeometry(
+    planes_per_die=1,
+    blocks_per_plane=16,
+    subblocks_per_block=1,
+    wordlines_per_string=48,
+    page_size_bits=4096,
+)
+
+
+def _loaded_chip(seed=1):
+    chip = NandFlashChip(GEOMETRY, inject_errors=True, seed=seed)
+    fc = FlashCosmos(chip)
+    rng = np.random.default_rng(seed)
+    addresses = []
+    for i in range(32):
+        page = rng.integers(0, 2, GEOMETRY.page_size_bits, dtype=np.uint8)
+        addresses.append(fc.fc_write(f"v{i}", page, group="g").address)
+    return chip, fc, addresses
+
+
+def test_kernel_mws_sense(benchmark):
+    """One 32-operand intra-block MWS on 4-Kib pages."""
+    _, fc, _ = _loaded_chip()
+    expr = and_all([Operand(f"v{i}") for i in range(32)])
+    plan = fc.plan(expr)
+    result = benchmark(fc.executor.execute, plan)
+    assert result.n_senses == 1
+
+
+def test_kernel_parabit_and(benchmark):
+    """The same AND via ParaBit's 32 serial senses."""
+    chip, _, addresses = _loaded_chip(seed=2)
+    pb = ParaBit(chip)
+    result = benchmark(pb.bitwise_and, addresses)
+    assert result.n_senses == 32
+
+
+def test_kernel_bch_decode(benchmark):
+    """BCH(63,45,3) decode with two injected errors."""
+    code = BchCode(m=6, t=3)
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 2, code.k, dtype=np.uint8)
+    word = code.encode(data)
+    word[[5, 40]] ^= 1
+    decoded, n = benchmark(code.decode, word)
+    assert n == 2
+    assert (decoded == data).all()
+
+def test_kernel_randomizer(benchmark):
+    """16-KiB page randomization (keystream cached)."""
+    r = LfsrRandomizer()
+    page = np.zeros(16 * 1024 * 8, dtype=np.uint8)
+    r.randomize(page, 7)  # warm the keystream cache
+    out = benchmark(r.randomize, page, 7)
+    assert out.size == page.size
+
+
+def test_kernel_timeline_simulator(benchmark):
+    """The Figure 7 OSP timeline (168 pipelined jobs)."""
+    model = PipelineModel(fig7_config())
+    spec = DataflowSpec(
+        n_operands=3,
+        result_bytes=1024 * 1024,
+        fc_senses_per_chunk=1,
+        pb_senses_per_chunk=3,
+    )
+    timing = benchmark(model.evaluate, Platform.OSP, spec)
+    assert timing.makespan_us > 400

@@ -1,0 +1,54 @@
+"""Table 1: the evaluated system configuration, validated end to end.
+
+Not an experiment per se, but the contract every other bench builds
+on: the default SSD/chip configurations must reproduce Table 1's
+organization, bandwidths and latencies exactly.
+"""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_table
+from repro.flash.timing import TimingModel
+from repro.ssd.config import table1_config
+
+
+def build_config():
+    return table1_config(), TimingModel()
+
+
+def test_table1_configuration(benchmark):
+    config, timing = benchmark(build_config)
+    ref = PAPER["table1"]
+
+    rows = [
+        ["channels x dies x planes", "8 x 8 x 2",
+         f"{config.n_channels} x {config.dies_per_channel} x "
+         f"{config.planes_per_die}"],
+        ["page size", "16 KiB", f"{config.page_bytes // 1024} KiB"],
+        ["external bandwidth", "8 GB/s",
+         f"{config.external_bw_bytes_per_s / 1e9:.0f} GB/s"],
+        ["channel rate", "1.2 GB/s",
+         f"{config.channel_bw_bytes_per_s / 1e9:.1f} GB/s"],
+        ["tR (SLC)", f"{ref['tr_us']} us", f"{config.t_read_us} us"],
+        ["tMWS (<= 4 blocks)", f"{ref['tmws_us']} us",
+         f"{config.t_mws_us} us"],
+        ["tPROG SLC/MLC/TLC", "200/500/700 us",
+         f"{config.t_prog_slc_us:.0f}/{config.t_prog_mlc_us:.0f}/"
+         f"{config.t_prog_tlc_us:.0f} us"],
+        ["tESP", f"{ref['tesp_us']} us", f"{config.t_esp_us} us"],
+        ["capacity", "2 TB", f"{config.capacity_bytes / 1e12:.1f} TB"],
+    ]
+    print()
+    print(format_table(["parameter", "Table 1", "model"], rows,
+                       title="Table 1 configuration"))
+
+    assert config.t_read_us == ref["tr_us"]
+    assert config.t_mws_us == ref["tmws_us"]
+    assert config.t_esp_us == ref["tesp_us"]
+    assert config.n_dies == 64
+    assert 1.8e12 < config.capacity_bytes < 2.8e12
+    # The physically derived MWS latency stays under the fixed 25-us
+    # command budget for any intra-block MWS and up to 4 blocks.
+    assert timing.t_mws_us(48, 1) < config.t_mws_us
+    assert timing.t_mws_us(4, 4) < config.t_mws_us

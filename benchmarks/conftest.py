@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, prints
+the measured series next to the paper's reported values, and asserts
+the reproduction tolerances EXPERIMENTS.md documents.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization.testbed import ChipPopulation
+from repro.host.system import SystemEvaluator
+
+
+@pytest.fixture(scope="session")
+def evaluator() -> SystemEvaluator:
+    """One evaluator shared by the Fig. 17/18 benches (its cache keeps
+    each workload point evaluated once)."""
+    return SystemEvaluator()
+
+
+@pytest.fixture(scope="session")
+def population() -> ChipPopulation:
+    """A reduced chip population for the characterization benches."""
+    return ChipPopulation(n_chips=40, blocks_per_chip=24)

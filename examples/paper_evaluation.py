@@ -1,0 +1,66 @@
+"""Reproduce the paper's system evaluation (Figures 17 and 18).
+
+Runs the three workload sweeps (bitmap index, image segmentation,
+k-clique star listing) through the Table 1 SSD model for the four
+platforms -- outside-storage processing (OSP), in-storage processing
+(ISP), ParaBit (PB) and Flash-Cosmos (FC) -- and prints the speedup
+and energy-efficiency series next to the paper's headline averages.
+
+Run:  python examples/paper_evaluation.py        (~10 s)
+"""
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import format_table
+from repro.host.system import SystemEvaluator, geometric_mean
+from repro.ssd.pipeline import Platform
+from repro.workloads import bmi_sweep, ims_sweep, kcs_sweep
+
+
+def main() -> None:
+    evaluator = SystemEvaluator()
+    rows = []
+    speed = {p: [] for p in Platform}
+    energy = {p: [] for p in Platform}
+    for sweep in (bmi_sweep(), ims_sweep(), kcs_sweep()):
+        for point in sweep:
+            s = evaluator.speedups_over_osp(point)
+            e = evaluator.energy_efficiency_over_osp(point)
+            for p in Platform:
+                speed[p].append(s[p])
+                energy[p].append(e[p])
+            rows.append([
+                point.workload, point.label,
+                round(s[Platform.ISP], 2), round(s[Platform.PB], 1),
+                round(s[Platform.FC], 1), round(e[Platform.FC], 1),
+            ])
+
+    print(format_table(
+        ["workload", "point", "ISP speedup", "PB speedup", "FC speedup",
+         "FC energy eff."],
+        rows,
+        title="Fig. 17/18: speedup and energy efficiency over OSP",
+    ))
+
+    print("\nheadline averages (geometric mean) vs paper:")
+    fc_speed = geometric_mean(speed[Platform.FC])
+    fc_pb = geometric_mean(
+        [f / p for f, p in zip(speed[Platform.FC], speed[Platform.PB])]
+    )
+    fc_isp = geometric_mean(
+        [f / p for f, p in zip(speed[Platform.FC], speed[Platform.ISP])]
+    )
+    fc_energy = geometric_mean(energy[Platform.FC])
+    print(f"  FC vs OSP speedup: {fc_speed:6.1f}x   "
+          f"(paper: {PAPER['fig17']['fc_vs_osp_avg']}x)")
+    print(f"  FC vs ISP speedup: {fc_isp:6.1f}x   "
+          f"(paper: {PAPER['fig17']['fc_vs_isp_avg']}x)")
+    print(f"  FC vs PB  speedup: {fc_pb:6.1f}x   "
+          f"(paper: {PAPER['fig17']['fc_vs_pb_avg']}x)")
+    print(f"  FC vs OSP energy:  {fc_energy:6.1f}x   "
+          f"(paper: {PAPER['fig18']['fc_vs_osp_avg']}x)")
+    print(f"  FC max energy eff: {max(energy[Platform.FC]):6.1f}x   "
+          f"(paper: {PAPER['fig18']['bmi_m36_fc_vs_osp']}x, BMI m=36)")
+
+
+if __name__ == "__main__":
+    main()

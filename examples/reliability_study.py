@@ -1,0 +1,105 @@
+"""Reliability study: why in-flash processing needs ESP.
+
+Reproduces the paper's reliability narrative end to end on the
+simulated chips:
+
+1. regular SLC storage at 10K P/E cycles + 1-year retention corrupts
+   in-flash AND results (ParaBit's problem, Section 3.2);
+2. ECC cannot repair them -- AND of codewords is not a codeword;
+3. ESP programming at the Figure 11 knee (tESP = 1.9 x tPROG) makes
+   the same computation bit-exact;
+4. the ESP effort/reliability trade-off, solved from the error model.
+
+Run:  python examples/reliability_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.reliability import (
+    correct_bit_probability,
+    expected_miscounted_users,
+)
+from repro.core.api import FlashCosmos
+from repro.core.esp import EspPolicy
+from repro.core.expressions import Operand, and_all
+from repro.flash.chip import NandFlashChip
+from repro.flash.errors import OperatingCondition
+from repro.flash.geometry import ChipGeometry
+
+PAGE_BITS = 16384
+N_OPERANDS = 24
+WORST_CASE = OperatingCondition(
+    pe_cycles=10_000, retention_months=12.0, randomized=False
+)
+
+
+def run_and_query(esp_extra: float, seed: int = 0) -> int:
+    """AND N_OPERANDS pages under worst-case stress; return bit errors."""
+    geometry = ChipGeometry(
+        planes_per_die=1,
+        blocks_per_plane=4,
+        subblocks_per_block=1,
+        wordlines_per_string=48,
+        page_size_bits=PAGE_BITS,
+    )
+    chip = NandFlashChip(geometry, inject_errors=True, seed=seed)
+    chip.set_condition(WORST_CASE)
+    fc = FlashCosmos(chip, esp_extra=esp_extra)
+    rng = np.random.default_rng(seed + 1)
+    pages = []
+    for i in range(N_OPERANDS):
+        # Dense pages keep many result bits at 1; erased (1) cells are
+        # the error-vulnerable side under read disturb/interference.
+        page = (rng.random(PAGE_BITS) < 0.995).astype(np.uint8)
+        fc.fc_write(f"p{i}", page, group="g")
+        pages.append(page)
+    result = fc.fc_read(and_all([Operand(f"p{i}") for i in range(N_OPERANDS)]))
+    expected = np.bitwise_and.reduce(np.stack(pages), axis=0)
+    return int((result.bits != expected).sum())
+
+
+def main() -> None:
+    print(f"{N_OPERANDS}-operand AND, {PAGE_BITS} bits/page, "
+          "10K P/E cycles, 1-year retention, no randomization\n")
+
+    print("1) storage mode vs result integrity:")
+    for extra, label in [(0.0, "regular SLC  (tESP=1.0x tPROG)"),
+                         (0.4, "partial ESP  (tESP=1.4x tPROG)"),
+                         (0.9, "paper's ESP  (tESP=1.9x tPROG)")]:
+        errors = run_and_query(extra)
+        print(f"   {label}: {errors} bit errors")
+
+    print("\n2) why ECC cannot help (Section 3.2):")
+    from repro.ecc.bch import BchCode
+
+    code = BchCode(m=6, t=3)
+    rng = np.random.default_rng(9)
+    a = rng.integers(0, 2, code.k, dtype=np.uint8)
+    b = rng.integers(0, 2, code.k, dtype=np.uint8)
+    in_flash = code.encode(a) & code.encode(b)
+    expected_cw = code.encode(a & b)
+    print(f"   AND of two BCH({code.n},{code.k}) codewords differs from "
+          f"the codeword of the AND in "
+          f"{int((in_flash != expected_cw).sum())} of {code.n} bits")
+
+    print("\n3) error propagation at scale (Section 7):")
+    rber = 8.6e-4  # the paper's best-case ParaBit RBER
+    for months, operands in [(1, 30), (12, 365), (36, 1095)]:
+        p = correct_bit_probability(rber, operands)
+        miscounts = expected_miscounted_users(rber, operands, 800_000_000)
+        print(f"   m={months:>2} ({operands:>4} operands): "
+              f"P(bit correct)={p:.3f}, "
+              f"expected miscounted users={miscounts:,.0f}")
+
+    print("\n4) ESP effort solved from the error model:")
+    policy = EspPolicy()
+    for target in (1e-6, 1e-9, None):
+        extra = policy.minimal_extra(target_rber=target)
+        label = f"{target:g}" if target else "zero-error (2.07e-12)"
+        print(f"   target RBER {label}: tESP = "
+              f"{1 + extra:.2f} x tPROG "
+              f"({policy.program_latency_us(extra):.0f} us)")
+
+
+if __name__ == "__main__":
+    main()

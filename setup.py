@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no `wheel`
+package, so PEP 660 editable installs (`pip install -e .`) cannot
+build the editable wheel.  This shim lets pip fall back to the legacy
+`setup.py develop` editable path (`pip install -e . --no-use-pep517`)
+and keeps plain `python setup.py develop` working.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

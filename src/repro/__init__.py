@@ -1,0 +1,60 @@
+"""Flash-Cosmos reproduction.
+
+A production-quality reimplementation of *Flash-Cosmos: In-Flash Bulk
+Bitwise Operations Using Inherent Computation Capability of NAND Flash
+Memory* (Park et al., MICRO 2022): a behavioural/statistical NAND
+flash substrate, the Flash-Cosmos mechanisms (multi-wordline sensing
+and enhanced SLC-mode programming), the ParaBit baseline, an SSD/host
+performance and energy model, the paper's three workloads, and the
+characterization campaigns behind every figure.
+
+Quick start::
+
+    import numpy as np
+    from repro import FlashCosmos, NandFlashChip, ChipGeometry
+    from repro.core.expressions import And, Operand
+
+    chip = NandFlashChip(ChipGeometry(blocks_per_plane=8,
+                                      page_size_bits=1024),
+                         inject_errors=False)
+    fc = FlashCosmos(chip)
+    a = np.random.randint(0, 2, 1024, dtype=np.uint8)
+    b = np.random.randint(0, 2, 1024, dtype=np.uint8)
+    fc.fc_write("a", a, group="g")
+    fc.fc_write("b", b, group="g")
+    result = fc.fc_read(And(Operand("a"), Operand("b")))
+    assert (result.bits == (a & b)).all()
+"""
+
+from repro.core.api import FlashCosmos
+from repro.core.expressions import And, Not, Operand, Or, Xnor, Xor
+from repro.core.parabit import ParaBit
+from repro.flash.chip import NandFlashChip
+from repro.flash.errors import OperatingCondition
+from repro.flash.geometry import ChipGeometry
+from repro.host.system import SystemEvaluator
+from repro.ssd.config import SsdConfig, fig7_config, table1_config
+from repro.ssd.controller import SmallSsd
+from repro.ssd.pipeline import Platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "And",
+    "ChipGeometry",
+    "FlashCosmos",
+    "NandFlashChip",
+    "Not",
+    "Operand",
+    "OperatingCondition",
+    "Or",
+    "ParaBit",
+    "Platform",
+    "SmallSsd",
+    "SsdConfig",
+    "SystemEvaluator",
+    "Xnor",
+    "Xor",
+    "fig7_config",
+    "table1_config",
+]

@@ -1,0 +1,19 @@
+"""Analysis utilities: paper reference values, report formatting, and
+the Section 7 reliability (error-propagation) analysis."""
+
+from repro.analysis.paper import PAPER
+from repro.analysis.reliability import (
+    correct_bit_probability,
+    correct_query_probability,
+    expected_miscounted_users,
+)
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "PAPER",
+    "correct_bit_probability",
+    "correct_query_probability",
+    "expected_miscounted_users",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,90 @@
+"""Reference values reported by the paper, by figure/section.
+
+Used by the benchmark harness to print paper-vs-measured rows and by
+the integration tests to assert reproduction tolerances.  Every entry
+cites where in the paper the number appears.
+"""
+
+from __future__ import annotations
+
+PAPER: dict[str, dict] = {
+    "fig7": {
+        # Motivating timelines for 3 x 1 MiB OR (Section 3.1).
+        "osp_us": 471.0,
+        "isp_us": 431.0,
+        "ifp_us": 335.0,
+        "bottlenecks": {"osp": "external", "isp": "internal", "ifp": "sensing"},
+    },
+    "fig8": {
+        # Section 3.2 RBER anchors.
+        "mlc_rand_min": 8.6e-4,
+        "mlc_norand_max": 1.6e-2,
+        "slc_randomization_penalty": 1.91,
+        "mlc_randomization_penalty": 4.92,
+        "mlc_vs_slc_max_ratio": 4.0,
+    },
+    "fig11": {
+        # Section 5.2 ESP results.
+        "zero_error_knee_tesp": 1.9,
+        "zero_error_rber": 2.07e-12,
+        "median_reduction_at_1p6": 10.0,
+        "validated_bits": 4.83e11,
+    },
+    "fig12": {
+        # Intra-block MWS latency (Section 5.2).
+        "ratio_at_48_wordlines": 1.033,
+        "ratio_at_8_wordlines_max": 1.01,
+    },
+    "fig13": {
+        # Inter-block MWS latency (Section 5.2).
+        "ratio_at_32_blocks": 1.363,
+        "hidden_until_blocks": 8,
+    },
+    "fig14": {
+        # Inter-block MWS power (Section 5.2).
+        "factor_at_2_blocks": 1.34,
+        "factor_at_4_blocks": 1.80,
+        "energy_saving_at_4_blocks": 0.53,
+        "max_blocks_below_erase": 4,
+    },
+    "fig17": {
+        # Performance (Section 8.1), averages across workloads.
+        "fc_vs_osp_avg": 32.0,
+        "fc_vs_isp_avg": 25.0,
+        "fc_vs_pb_avg": 3.5,
+        "pb_vs_osp_avg": 9.4,
+        "isp_vs_osp_avg": 1.28,
+        "bmi_fc_vs_osp_max": 198.4,
+        "bmi_pb_vs_osp": 14.0,
+    },
+    "fig18": {
+        # Energy efficiency (Section 8.2), averages across workloads.
+        "fc_vs_osp_avg": 95.0,
+        "fc_vs_isp_avg": 13.4,
+        "fc_vs_pb_avg": 3.3,
+        "bmi_m36_fc_vs_osp": 1839.0,
+        "bmi_m36_fc_vs_isp": 222.0,
+        "bmi_m36_fc_vs_pb": 35.5,
+        "ims_fc_vs_pb_saving": 0.023,
+    },
+    "sec7_reliability": {
+        # P(correct BMI output) at RBER 8.6e-4, m = 36 (Section 7).
+        "rber": 8.6e-4,
+        "p_correct": 0.42,
+    },
+    "sec8_3": {
+        # ESP overheads (Section 8.3).
+        "esp_write_bw_gbps": 4.7,
+        "vs_slc": 0.734,
+        "vs_mlc": 1.214,
+        "vs_tlc": 1.667,
+        "slc_write_bw_gbps": 6.4,
+        "mlc_write_bw_gbps": 3.87,
+        "tlc_write_bw_gbps": 2.82,
+    },
+    "table1": {
+        "tr_us": 22.5,
+        "tmws_us": 25.0,
+        "tesp_us": 400.0,
+    },
+}

@@ -1,0 +1,48 @@
+"""Section 7 reliability analysis: why IFP needs zero bit errors.
+
+The paper argues that applications with many operands are acutely
+sensitive to RBER: "Assuming a best-case RBER of 8.6e-4 and m = 36,
+the probability of a correct output is 0.42."  That is the per-bit
+survival probability (1 - RBER)^d for d ~ 1,000 operand reads feeding
+each result bit; across an 800-M-user vector the expected number of
+miscounted users is then catastrophic.  These functions reproduce the
+analysis exactly and generalize it.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def correct_bit_probability(rber: float, n_operands: int) -> float:
+    """Probability that one result bit is computed from error-free
+    operand bits: (1 - RBER)^n."""
+    if not 0.0 <= rber < 1.0:
+        raise ValueError("rber must be in [0, 1)")
+    if n_operands < 1:
+        raise ValueError("n_operands must be >= 1")
+    return (1.0 - rber) ** n_operands
+
+
+def correct_query_probability(
+    rber: float, n_operands: int, n_result_bits: int
+) -> float:
+    """Probability that an entire result vector is exact.
+
+    Computed in log space; effectively zero for any realistic vector
+    at ParaBit-era RBERs -- the quantitative case for ESP."""
+    if n_result_bits < 1:
+        raise ValueError("n_result_bits must be >= 1")
+    per_bit = correct_bit_probability(rber, n_operands)
+    if per_bit == 0.0:
+        return 0.0
+    return math.exp(n_result_bits * math.log(per_bit))
+
+
+def expected_miscounted_users(
+    rber: float, n_operands: int, n_users: int
+) -> float:
+    """Expected number of users whose BMI result bit is corrupted."""
+    if n_users < 1:
+        raise ValueError("n_users must be >= 1")
+    return n_users * (1.0 - correct_bit_probability(rber, n_operands))

@@ -1,0 +1,59 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The benches print the same rows/series the paper's figures plot, next
+to the paper's reported values; these helpers keep the output uniform
+and diff-friendly (EXPERIMENTS.md embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    if not headers:
+        raise ValueError("table needs headers")
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], *, unit: str = ""
+) -> str:
+    """Render one figure series as 'name: x=y' pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    pairs = ", ".join(f"{x}={_cell(y)}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,43 @@
+"""Real-device characterization, in simulation (paper Section 5).
+
+The paper characterizes 160 48-layer 3D TLC chips on an FPGA testbed
+with temperature-accelerated retention.  This package reproduces the
+same campaigns against the simulated chip population: RBER grids
+(Fig. 8), the ESP latency/reliability trade-off (Fig. 11), MWS latency
+(Figs. 12-13), MWS power (Fig. 14), and the functional zero-error
+validation.
+"""
+
+from repro.characterization.testbed import BlockSample, ChipPopulation
+from repro.characterization.rber import (
+    RberGrid,
+    measure_rber_grid,
+    randomization_penalty,
+)
+from repro.characterization.esp_sweep import EspSweepResult, esp_latency_sweep
+from repro.characterization.functional_rber import (
+    FunctionalRber,
+    measure_functional_rber,
+)
+from repro.characterization.mws_latency import (
+    inter_block_latency_series,
+    intra_block_latency_series,
+    validate_mws_zero_errors,
+)
+from repro.characterization.power_sweep import mws_power_series
+
+__all__ = [
+    "BlockSample",
+    "ChipPopulation",
+    "EspSweepResult",
+    "FunctionalRber",
+    "RberGrid",
+    "esp_latency_sweep",
+    "measure_functional_rber",
+    "inter_block_latency_series",
+    "intra_block_latency_series",
+    "measure_rber_grid",
+    "mws_power_series",
+    "randomization_penalty",
+    "validate_mws_zero_errors",
+]

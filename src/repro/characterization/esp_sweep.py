@@ -1,0 +1,69 @@
+"""Figure 11 campaign: RBER vs ESP programming latency.
+
+Sweeps tESP from 1.0x to 2.0x tPROG at the worst-case condition
+(10K P/E cycles, 1-year retention, no randomization) and reports the
+worst / median / best block of the population -- the three series of
+Figure 11 -- plus the zero-error knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.characterization.testbed import ChipPopulation
+from repro.flash.errors import ErrorModel, OperatingCondition
+
+TESP_GRID = (1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0)
+
+
+@dataclass
+class EspSweepResult:
+    tesp_grid: tuple[float, ...]
+    worst: list[float] = field(default_factory=list)
+    median: list[float] = field(default_factory=list)
+    best: list[float] = field(default_factory=list)
+    zero_error_threshold: float = 2.07e-12
+
+    def zero_error_knee(self) -> float:
+        """Smallest tESP multiple with worst-block RBER below the
+        zero-observed-errors threshold (paper: 1.9x)."""
+        for tesp, rber in zip(self.tesp_grid, self.worst):
+            if rber < self.zero_error_threshold:
+                return tesp
+        raise ValueError("no zero-error point in the sweep")
+
+    def median_reduction_at(self, tesp: float) -> float:
+        """Median-block RBER improvement factor at a given tESP
+        (paper: ~10x at 1.6x)."""
+        base = self.median[0]
+        index = self.tesp_grid.index(tesp)
+        return base / self.median[index]
+
+
+def esp_latency_sweep(
+    *,
+    population: ChipPopulation | None = None,
+    pe_cycles: int = 10_000,
+    retention_months: float = 12.0,
+) -> EspSweepResult:
+    """Run the Figure 11 sweep."""
+    population = population or ChipPopulation()
+    model = ErrorModel(population.calibration)
+    result = EspSweepResult(tesp_grid=TESP_GRID)
+    quantiles = {
+        "worst": population.worst_block().sigma_multiplier,
+        "median": population.median_block().sigma_multiplier,
+        "best": population.best_block().sigma_multiplier,
+    }
+    for tesp in TESP_GRID:
+        extra = tesp - 1.0
+        for name, multiplier in quantiles.items():
+            condition = OperatingCondition(
+                pe_cycles=pe_cycles,
+                retention_months=retention_months,
+                randomized=False,
+                esp_extra=extra,
+                sigma_multiplier=multiplier,
+            )
+            getattr(result, name).append(model.slc_rber(condition))
+    return result

@@ -1,0 +1,95 @@
+"""Monte-Carlo RBER measurement on the functional chip model.
+
+The closed-form RBER curves (Figures 8 and 11) come from Gaussian
+tail mass; this module measures RBER the way the paper's testbed does
+-- program real (simulated) cells, stress them, read them back, count
+mismatches -- and the cross-validation test pins the two paths to
+each other.  This is the link that lets the functional layer's bit
+errors be trusted as samples of the calibrated statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.chip import NandFlashChip
+from repro.flash.errors import ErrorModel, OperatingCondition
+from repro.flash.geometry import ChipGeometry, WordlineAddress
+from repro.flash.ispp import ProgramMode
+
+
+@dataclass(frozen=True)
+class FunctionalRber:
+    """Outcome of one Monte-Carlo RBER measurement."""
+
+    bits_measured: int
+    bit_errors: int
+    measured_rber: float
+    analytic_rber: float
+
+    @property
+    def ratio(self) -> float:
+        if self.analytic_rber == 0:
+            raise ZeroDivisionError("analytic RBER is zero")
+        return self.measured_rber / self.analytic_rber
+
+
+def measure_functional_rber(
+    condition: OperatingCondition,
+    *,
+    mode: ProgramMode = ProgramMode.SLC,
+    esp_extra: float = 0.0,
+    page_bits: int = 65536,
+    n_wordlines: int = 8,
+    seed: int = 0,
+) -> FunctionalRber:
+    """Program, stress and read ``n_wordlines`` pages; count errors.
+
+    Pages hold balanced random data without randomization (the
+    characterization regime); the analytic reference is the closed-
+    form RBER at the same condition.
+    """
+    geometry = ChipGeometry(
+        planes_per_die=1,
+        blocks_per_plane=max(2, n_wordlines // 8 + 1),
+        subblocks_per_block=1,
+        wordlines_per_string=max(8, n_wordlines),
+        page_size_bits=page_bits,
+    )
+    chip = NandFlashChip(geometry, inject_errors=True, seed=seed)
+    chip.set_condition(condition)
+    rng = np.random.default_rng(seed + 1)
+
+    errors = 0
+    total = 0
+    for wl in range(n_wordlines):
+        address = WordlineAddress(0, 0, 0, wl)
+        data = rng.integers(0, 2, page_bits, dtype=np.uint8)
+        chip.program_page(
+            address,
+            data,
+            mode=mode,
+            esp_extra=esp_extra,
+            randomize=False,
+        )
+        sensed = chip.read_page(address)
+        errors += int((sensed != data).sum())
+        total += page_bits
+
+    model = ErrorModel(chip.calibration)
+    analytic_condition = condition
+    if mode is ProgramMode.ESP:
+        from dataclasses import replace
+
+        analytic_condition = replace(condition, esp_extra=esp_extra)
+    analytic = model.rber(
+        "esp" if mode is ProgramMode.ESP else "slc", analytic_condition
+    )
+    return FunctionalRber(
+        bits_measured=total,
+        bit_errors=errors,
+        measured_rber=errors / total,
+        analytic_rber=analytic,
+    )

@@ -1,0 +1,137 @@
+"""Figures 12-13 campaigns: MWS latency, plus functional validation.
+
+``intra_block_latency_series`` and ``inter_block_latency_series``
+report tMWS as a multiple of tR from the physically derived timing
+model -- the curves of Figures 12 and 13.
+
+``validate_mws_zero_errors`` reproduces the paper's validation
+protocol functionally: program ESP pages under the worst-case stress,
+run intra- and inter-block MWS on real simulated cells, and compare
+against the boolean oracle across every sensed bit (the paper checks
+>1e11 cells on hardware; we check a scaled population).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.chip import IscmFlags, NandFlashChip
+from repro.flash.errors import OperatingCondition
+from repro.flash.geometry import BlockAddress, ChipGeometry, WordlineAddress
+from repro.flash.ispp import ProgramMode
+from repro.flash.timing import TimingModel
+
+INTRA_WL_GRID = (1, 4, 8, 16, 24, 32, 40, 48)
+INTER_BLOCK_GRID = (1, 2, 4, 8, 16, 32)
+
+
+def intra_block_latency_series(
+    grid: tuple[int, ...] = INTRA_WL_GRID,
+) -> list[tuple[int, float]]:
+    """(n_wordlines, tMWS/tR) pairs -- Figure 12."""
+    timing = TimingModel()
+    t_read = timing.t_read_us
+    return [(n, timing.t_mws_us(n) / t_read) for n in grid]
+
+
+def inter_block_latency_series(
+    grid: tuple[int, ...] = INTER_BLOCK_GRID,
+) -> list[tuple[int, float]]:
+    """(n_blocks, tMWS/tR) pairs (one wordline per block) -- Figure 13."""
+    timing = TimingModel()
+    t_read = timing.t_read_us
+    return [(n, timing.t_mws_us(n, n_blocks=n) / t_read) for n in grid]
+
+
+@dataclass(frozen=True)
+class MwsValidation:
+    """Outcome of the functional zero-error validation."""
+
+    cells_checked: int
+    bit_errors: int
+    senses: int
+
+    @property
+    def error_free(self) -> bool:
+        return self.bit_errors == 0
+
+
+def validate_mws_zero_errors(
+    *,
+    page_bits: int = 2048,
+    n_intra_wordlines: int = 48,
+    n_inter_blocks: int = 4,
+    esp_extra: float = 0.9,
+    seed: int = 7,
+) -> MwsValidation:
+    """Program ESP data at the worst-case condition and verify MWS
+    results bit-for-bit against the host oracle."""
+    geometry = ChipGeometry(
+        planes_per_die=1,
+        blocks_per_plane=max(8, n_inter_blocks),
+        subblocks_per_block=1,
+        wordlines_per_string=48,
+        page_size_bits=page_bits,
+    )
+    chip = NandFlashChip(geometry, inject_errors=True, seed=seed)
+    chip.set_condition(
+        OperatingCondition(
+            pe_cycles=10_000, retention_months=12.0, randomized=False
+        )
+    )
+    rng = np.random.default_rng(seed + 1)
+    errors = 0
+    cells = 0
+
+    # Intra-block MWS: AND of n wordlines in block 0.
+    intra_pages = []
+    for wl in range(n_intra_wordlines):
+        page = rng.integers(0, 2, page_bits, dtype=np.uint8)
+        chip.program_page(
+            WordlineAddress(0, 0, 0, wl),
+            page,
+            mode=ProgramMode.ESP,
+            esp_extra=esp_extra,
+            randomize=False,
+        )
+        intra_pages.append(page)
+    chip.execute_sense(
+        [(BlockAddress(0, 0, 0), tuple(range(n_intra_wordlines)))],
+        IscmFlags(),
+    )
+    sensed = chip.output_cache(0)
+    expected = np.bitwise_and.reduce(np.stack(intra_pages), axis=0)
+    errors += int((sensed != expected).sum())
+    cells += page_bits * n_intra_wordlines
+
+    # Inter-block MWS: OR of one wordline from each of n blocks.
+    inter_pages = []
+    for block in range(1, 1 + n_inter_blocks):
+        page = rng.integers(0, 2, page_bits, dtype=np.uint8)
+        chip.program_page(
+            WordlineAddress(0, block, 0, 0),
+            page,
+            mode=ProgramMode.ESP,
+            esp_extra=esp_extra,
+            randomize=False,
+        )
+        inter_pages.append(page)
+    chip.execute_sense(
+        [
+            (BlockAddress(0, block, 0), (0,))
+            for block in range(1, 1 + n_inter_blocks)
+        ],
+        IscmFlags(),
+    )
+    sensed = chip.output_cache(0)
+    expected = np.bitwise_or.reduce(np.stack(inter_pages), axis=0)
+    errors += int((sensed != expected).sum())
+    cells += page_bits * n_inter_blocks
+
+    return MwsValidation(
+        cells_checked=cells,
+        bit_errors=errors,
+        senses=chip.counters.senses,
+    )

@@ -1,0 +1,50 @@
+"""Figure 14 campaign: inter-block MWS power vs activated blocks.
+
+Reports power normalized to a regular page read, alongside the erase
+and program reference levels the figure draws, and the energy
+comparison against serial reads (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.power import PowerModel
+from repro.flash.timing import TimingModel
+
+BLOCK_GRID = (1, 2, 3, 4, 5)
+
+
+@dataclass(frozen=True)
+class MwsPowerPoint:
+    n_blocks: int
+    power_factor: float
+    energy_vs_serial_reads: float
+
+
+def mws_power_series(
+    grid: tuple[int, ...] = BLOCK_GRID,
+) -> tuple[list[MwsPowerPoint], float, float]:
+    """(series, erase_factor, program_factor).
+
+    Each point gives the normalized power of an inter-block MWS on
+    ``n_blocks`` (one wordline per block, the worst case the paper
+    measures) and the energy of that MWS relative to reading the same
+    wordlines serially."""
+    power = PowerModel()
+    timing = TimingModel()
+    t_read = timing.t_read_us
+    series = []
+    for n in grid:
+        factor = power.inter_block_mws_power_factor(n)
+        t_mws = timing.t_mws_us(n, n_blocks=n)
+        mws_energy = power.energy_nj(factor, t_mws)
+        serial_energy = n * power.read_energy_nj(t_read)
+        series.append(
+            MwsPowerPoint(
+                n_blocks=n,
+                power_factor=factor,
+                energy_vs_serial_reads=mws_energy / serial_energy,
+            )
+        )
+    return series, power.erase_power_factor(), power.program_power_factor()

@@ -1,0 +1,116 @@
+"""Simulated chip population and testing infrastructure.
+
+The paper tests 160 chips from five wafers, 120 randomly chosen blocks
+per chip, every page of every chosen block (Section 5.1, following
+JEDEC JESD47/JESD22-A117 sampling guidance).  We reproduce the
+population structure: per-chip and per-block process variation as
+multiplicative factors on the V_TH sigma, seeded deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.calibration import DEFAULT_CALIBRATION, FlashCalibration
+
+
+@dataclass(frozen=True)
+class BlockSample:
+    """One sampled block's identity and process quality."""
+
+    chip: int
+    wafer: int
+    block: int
+    sigma_multiplier: float
+
+
+class ChipPopulation:
+    """A population of simulated chips with process variation.
+
+    ``sigma_multiplier`` per block combines wafer-level, chip-level and
+    block-level lognormal variation; the calibration pins the
+    best/median/worst quantiles that Figure 11 plots.
+    """
+
+    def __init__(
+        self,
+        n_chips: int = 160,
+        n_wafers: int = 5,
+        blocks_per_chip: int = 120,
+        *,
+        calibration: FlashCalibration | None = None,
+        seed: int = 2022,
+    ) -> None:
+        if n_chips < 1 or n_wafers < 1 or blocks_per_chip < 1:
+            raise ValueError("population dimensions must be >= 1")
+        self.calibration = calibration or DEFAULT_CALIBRATION
+        self.n_chips = n_chips
+        self.n_wafers = n_wafers
+        self.blocks_per_chip = blocks_per_chip
+        rng = np.random.default_rng(seed)
+        q = self.calibration.quality
+        # Split the lognormal budget across wafer/chip/block levels so
+        # the population extremes land on the calibrated worst/best
+        # block quantiles (the +-3.5 sigma tail of the combined
+        # lognormal reaches ~ q.sigma_multiplier_worst).
+        wafer_sigma = q.lognormal_sigma * 0.25
+        chip_sigma = q.lognormal_sigma * 0.30
+        block_sigma = q.lognormal_sigma * 0.30
+        wafer_factor = np.exp(rng.normal(0.0, wafer_sigma, n_wafers))
+        self._samples: list[BlockSample] = []
+        for chip in range(n_chips):
+            wafer = chip % n_wafers
+            chip_factor = float(np.exp(rng.normal(0.0, chip_sigma)))
+            block_factors = np.exp(
+                rng.normal(0.0, block_sigma, blocks_per_chip)
+            )
+            for block in range(blocks_per_chip):
+                multiplier = (
+                    wafer_factor[wafer] * chip_factor * block_factors[block]
+                )
+                self._samples.append(
+                    BlockSample(
+                        chip=chip,
+                        wafer=wafer,
+                        block=block,
+                        sigma_multiplier=float(multiplier),
+                    )
+                )
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[BlockSample]:
+        return list(self._samples)
+
+    def sigma_multipliers(self) -> np.ndarray:
+        return np.array([s.sigma_multiplier for s in self._samples])
+
+    def quantile_block(self, q: float) -> BlockSample:
+        """The block at population quantile ``q`` of process quality
+        (0 = best sigma, 1 = worst)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        ordered = sorted(self._samples, key=lambda s: s.sigma_multiplier)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def best_block(self) -> BlockSample:
+        return self.quantile_block(0.0)
+
+    def median_block(self) -> BlockSample:
+        return self.quantile_block(0.5)
+
+    def worst_block(self) -> BlockSample:
+        return self.quantile_block(1.0)
+
+    def subsample(self, n: int, *, seed: int = 0) -> list[BlockSample]:
+        """A random subsample of blocks (for faster campaigns)."""
+        if n > len(self._samples):
+            raise ValueError("subsample larger than population")
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(len(self._samples), size=n, replace=False)
+        return [self._samples[i] for i in sorted(indices)]

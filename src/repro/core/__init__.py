@@ -1,0 +1,68 @@
+"""Flash-Cosmos core: the paper's primary contribution.
+
+Multi-wordline sensing (MWS) turns the NAND cell array into a
+single-sense bulk AND/OR engine; enhanced SLC-mode programming (ESP)
+makes the results error-free.  This package maps boolean expressions
+over stored operands onto MWS command sequences (Section 6), executes
+them on the functional chip model, and provides the host-visible
+``fc_write`` / ``fc_read`` library (Section 6.3) plus the ParaBit
+baseline (Gao et al., MICRO 2021) for comparison.
+"""
+
+from repro.core.api import FlashCosmos, OperandHandle
+from repro.core.arith import ArithmeticUnit, BitSlicedVector
+from repro.core.commands import (
+    CommandEncoder,
+    EspCommand,
+    MwsCommand,
+    XorCommand,
+)
+from repro.core.expressions import (
+    And,
+    Expression,
+    Not,
+    Operand,
+    Or,
+    Xor,
+    Xnor,
+    evaluate,
+    operand_names,
+    to_nnf,
+)
+from repro.core.parabit import ParaBit
+from repro.core.planner import (
+    OperandDirectory,
+    Plan,
+    Planner,
+    PlanningError,
+    SenseStep,
+    StoredOperand,
+)
+
+__all__ = [
+    "And",
+    "ArithmeticUnit",
+    "BitSlicedVector",
+    "CommandEncoder",
+    "EspCommand",
+    "Expression",
+    "FlashCosmos",
+    "MwsCommand",
+    "Not",
+    "Operand",
+    "OperandDirectory",
+    "OperandHandle",
+    "Or",
+    "ParaBit",
+    "Plan",
+    "Planner",
+    "PlanningError",
+    "SenseStep",
+    "StoredOperand",
+    "Xnor",
+    "Xor",
+    "XorCommand",
+    "evaluate",
+    "operand_names",
+    "to_nnf",
+]

@@ -1,0 +1,166 @@
+"""Host-visible Flash-Cosmos library: ``fc_write`` and ``fc_read``.
+
+Section 6.3 sketches the system support: the application tells the
+SSD which data participates in bulk bitwise operations (so it is
+ESP-programmed, optionally inverted, and placed to minimize senses),
+then issues reads that name operands and an operation.  This module
+provides that library for one chip:
+
+* :meth:`FlashCosmos.fc_write` stores an operand with placement
+  control -- a *group* co-locates operands in one string group (for
+  intra-block AND, or inverse-stored OR), no group allocates a fresh
+  block (for inter-block OR);
+* :meth:`FlashCosmos.fc_read` plans and executes a boolean expression
+  over stored operands and returns the result bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.expressions import Expression
+from repro.core.mws import ExecutionResult, MwsExecutor
+from repro.core.planner import (
+    OperandDirectory,
+    Plan,
+    Planner,
+    StoredOperand,
+)
+from repro.flash.chip import NandFlashChip
+from repro.flash.geometry import BlockAddress, WordlineAddress
+from repro.flash.ispp import ProgramMode
+
+
+@dataclass(frozen=True)
+class OperandHandle:
+    """What ``fc_write`` returns to the application."""
+
+    name: str
+    address: WordlineAddress
+    inverted: bool
+
+
+class AllocationError(Exception):
+    """The requested placement cannot be satisfied."""
+
+
+class FlashCosmos:
+    """Flash-Cosmos controller for a single chip."""
+
+    def __init__(
+        self,
+        chip: NandFlashChip,
+        *,
+        block_limit: int = 4,
+        esp_extra: float = 0.9,
+    ) -> None:
+        self.chip = chip
+        self.esp_extra = esp_extra
+        self.directory = OperandDirectory()
+        self.planner = Planner(self.directory, block_limit=block_limit)
+        self.executor = MwsExecutor(chip)
+        # Allocation cursors: per plane, the next unused sub-block
+        # index; per (plane, group), the open sub-block and next WL.
+        self._next_subblock: dict[int, int] = {}
+        self._group_cursor: dict[tuple[int, str], tuple[BlockAddress, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def _allocate_subblock(self, plane: int) -> BlockAddress:
+        g = self.chip.geometry
+        index = self._next_subblock.get(plane, 0)
+        total = g.blocks_per_plane * g.subblocks_per_block
+        if index >= total:
+            raise AllocationError(f"plane {plane} has no free sub-blocks")
+        self._next_subblock[plane] = index + 1
+        return BlockAddress(
+            plane=plane,
+            block=index // g.subblocks_per_block,
+            subblock=index % g.subblocks_per_block,
+        )
+
+    def _allocate_wordline(
+        self, plane: int, group: str | None
+    ) -> WordlineAddress:
+        g = self.chip.geometry
+        if group is None:
+            block = self._allocate_subblock(plane)
+            return WordlineAddress(
+                block.plane, block.block, block.subblock, 0
+            )
+        key = (plane, group)
+        if key not in self._group_cursor:
+            self._group_cursor[key] = (self._allocate_subblock(plane), 0)
+        block, next_wl = self._group_cursor[key]
+        if next_wl >= g.wordlines_per_string:
+            raise AllocationError(
+                f"group {group!r} exhausted its string group "
+                f"({g.wordlines_per_string} wordlines); start a new group "
+                "and AND-accumulate across them"
+            )
+        self._group_cursor[key] = (block, next_wl + 1)
+        return WordlineAddress(
+            block.plane, block.block, block.subblock, next_wl
+        )
+
+    # ------------------------------------------------------------------
+    # Library calls (Section 6.3)
+    # ------------------------------------------------------------------
+
+    def fc_write(
+        self,
+        name: str,
+        data_bits: np.ndarray,
+        *,
+        group: str | None = None,
+        inverse: bool = False,
+        plane: int = 0,
+    ) -> OperandHandle:
+        """Store an operand for in-flash computation.
+
+        The page is ESP-programmed without randomization (the
+        Flash-Cosmos storage regime).  With ``inverse`` the complement
+        is stored, enabling same-block OR via De Morgan (Section 6.1).
+        """
+        if name in self.directory:
+            raise ValueError(f"operand {name!r} already written")
+        address = self._allocate_wordline(plane, group)
+        data = np.asarray(data_bits, dtype=np.uint8)
+        stored = (1 - data).astype(np.uint8) if inverse else data
+        self.chip.program_page(
+            address,
+            stored,
+            mode=ProgramMode.ESP,
+            esp_extra=self.esp_extra,
+            randomize=False,
+        )
+        self.directory.register(
+            StoredOperand(
+                name=name,
+                address=address,
+                inverted=inverse,
+                esp_extra=self.esp_extra,
+            )
+        )
+        return OperandHandle(name=name, address=address, inverted=inverse)
+
+    def fc_read(self, expr: Expression) -> ExecutionResult:
+        """Plan and execute a bulk bitwise expression in the flash
+        array; returns the result bits plus cost accounting."""
+        plan = self.planner.plan(expr)
+        return self.executor.execute(plan)
+
+    def plan(self, expr: Expression) -> Plan:
+        """Expose the command plan without executing (inspection,
+        performance modeling)."""
+        return self.planner.plan(expr)
+
+    def stored(self, name: str) -> StoredOperand:
+        return self.directory.lookup(name)
+
+    def operand_address(self, name: str) -> WordlineAddress:
+        return self.directory.lookup(name).address

@@ -1,0 +1,221 @@
+"""Bit-serial arithmetic on the Flash-Cosmos substrate.
+
+Section 10: Flash-Cosmos's bitwise operations are logically complete,
+and the paper points to frameworks like DualityCache and SIMDRAM that
+build arithmetic from exactly such substrates as future work.  This
+module is that framework in prototype form: unsigned integers are
+stored *bit-sliced* (slice i holds bit i of every element, one page
+per slice), and arithmetic proceeds bit-serially with in-flash
+AND/OR/XOR senses plus ESP write-backs of intermediate slices --
+the same read-modify-write loop a processing-using-memory framework
+schedules.
+
+Cost model: a ripple-carry add of two W-bit sliced vectors costs
+O(W) sensing operations and O(W) ESP programs, independent of the
+element count (the pages' width is the SIMD dimension) -- the
+bit-serial trade every PuM substrate makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import FlashCosmos
+from repro.core.expressions import And, Expression, Not, Operand, Or, Xor
+
+
+@dataclass(frozen=True)
+class BitSlicedVector:
+    """Handle to a stored bit-sliced unsigned integer vector.
+
+    ``slices[i]`` names the operand page holding bit i (LSB first) of
+    every element.
+    """
+
+    name: str
+    n_bits: int
+    length: int
+    slices: tuple[str, ...]
+
+    def slice_operand(self, bit: int) -> Operand:
+        return Operand(self.slices[bit])
+
+
+class ArithmeticUnit:
+    """Bit-serial arithmetic engine over one Flash-Cosmos chip."""
+
+    def __init__(self, fc: FlashCosmos) -> None:
+        self.fc = fc
+        self._temp_counter = 0
+        self.senses = 0
+        self.programs = 0
+
+    @property
+    def _page_bits(self) -> int:
+        return self.fc.chip.geometry.page_size_bits
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+
+    def store_unsigned(
+        self, name: str, values: np.ndarray, n_bits: int
+    ) -> BitSlicedVector:
+        """Store a vector of unsigned integers bit-sliced.
+
+        Each element becomes one bit lane; the vector length must
+        equal the page width.  Values must fit in ``n_bits``.
+        """
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        data = np.asarray(values, dtype=np.uint64)
+        if data.shape != (self._page_bits,):
+            raise ValueError(
+                f"vector length must equal the page width "
+                f"({self._page_bits}); got {data.shape}"
+            )
+        if int(data.max(initial=0)) >= (1 << n_bits):
+            raise ValueError(f"values exceed {n_bits} bits")
+        slices = []
+        for bit in range(n_bits):
+            slice_name = f"{name}.b{bit}"
+            bits = ((data >> bit) & 1).astype(np.uint8)
+            self.fc.fc_write(slice_name, bits)
+            self.programs += 1
+            slices.append(slice_name)
+        return BitSlicedVector(
+            name=name,
+            n_bits=n_bits,
+            length=self._page_bits,
+            slices=tuple(slices),
+        )
+
+    def read_unsigned(self, vector: BitSlicedVector) -> np.ndarray:
+        """Read a bit-sliced vector back as integers (regular reads)."""
+        out = np.zeros(vector.length, dtype=np.uint64)
+        for bit, slice_name in enumerate(vector.slices):
+            stored = self.fc.stored(slice_name)
+            bits = self.fc.chip.read_page(
+                stored.address, inverse=stored.inverted
+            )
+            out |= bits.astype(np.uint64) << bit
+        return out
+
+    # ------------------------------------------------------------------
+    # In-flash evaluation with write-back
+    # ------------------------------------------------------------------
+
+    def _evaluate_to_slice(self, expr: Expression, label: str) -> str:
+        """Compute ``expr`` in-flash and ESP-program the result as a
+        fresh operand page (the PuM read-modify-write step)."""
+        result = self.fc.fc_read(expr)
+        self.senses += result.n_senses
+        self._temp_counter += 1
+        name = f"__t{self._temp_counter}.{label}"
+        self.fc.fc_write(name, result.bits)
+        self.programs += 1
+        return name
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def add(
+        self, a: BitSlicedVector, b: BitSlicedVector, out_name: str
+    ) -> BitSlicedVector:
+        """Element-wise unsigned addition via a ripple-carry chain.
+
+        Per bit: propagate p = a^b and generate g = a&b in-flash, then
+        sum = p^c and carry' = g | (p&c).  The result has one extra
+        bit (the final carry)."""
+        self._check_compatible(a, b)
+        sum_slices: list[str] = []
+        carry: str | None = None
+        for i in range(a.n_bits):
+            a_i = a.slice_operand(i)
+            b_i = b.slice_operand(i)
+            p = self._evaluate_to_slice(Xor(a_i, b_i), f"p{i}")
+            g = self._evaluate_to_slice(And(a_i, b_i), f"g{i}")
+            if carry is None:
+                sum_slices.append(p)
+                carry = g
+            else:
+                c_i = Operand(carry)
+                sum_slices.append(
+                    self._evaluate_to_slice(Xor(Operand(p), c_i), f"s{i}")
+                )
+                pc = self._evaluate_to_slice(
+                    And(Operand(p), c_i), f"pc{i}"
+                )
+                carry = self._evaluate_to_slice(
+                    Or(Operand(g), Operand(pc)), f"c{i + 1}"
+                )
+        assert carry is not None
+        sum_slices.append(carry)  # the final carry-out bit
+        return BitSlicedVector(
+            name=out_name,
+            n_bits=a.n_bits + 1,
+            length=a.length,
+            slices=tuple(sum_slices),
+        )
+
+    def subtract(
+        self, a: BitSlicedVector, b: BitSlicedVector, out_name: str
+    ) -> BitSlicedVector:
+        """Element-wise a - b (mod 2^W) via two's complement:
+        a + NOT(b) + 1, with the +1 injected as the initial carry."""
+        self._check_compatible(a, b)
+        sum_slices: list[str] = []
+        # Initial carry = 1: materialize an all-ones page once.
+        carry = self._evaluate_to_slice(
+            Or(a.slice_operand(0), Not(a.slice_operand(0))), "one"
+        )
+        for i in range(a.n_bits):
+            a_i = a.slice_operand(i)
+            nb_i = Not(b.slice_operand(i))
+            p = self._evaluate_to_slice(Xor(a_i, nb_i), f"p{i}")
+            g = self._evaluate_to_slice(And(a_i, nb_i), f"g{i}")
+            c_i = Operand(carry)
+            sum_slices.append(
+                self._evaluate_to_slice(Xor(Operand(p), c_i), f"s{i}")
+            )
+            pc = self._evaluate_to_slice(And(Operand(p), c_i), f"pc{i}")
+            carry = self._evaluate_to_slice(
+                Or(Operand(g), Operand(pc)), f"c{i + 1}"
+            )
+        # Modular result: drop the final carry (borrow complement).
+        return BitSlicedVector(
+            name=out_name,
+            n_bits=a.n_bits,
+            length=a.length,
+            slices=tuple(sum_slices),
+        )
+
+    def equals(self, a: BitSlicedVector, b: BitSlicedVector) -> np.ndarray:
+        """Element-wise equality mask computed in-flash: AND over the
+        per-bit XNORs, accumulated in the flash latches."""
+        self._check_compatible(a, b)
+        xnor_slices = [
+            self._evaluate_to_slice(
+                Not(Xor(a.slice_operand(i), b.slice_operand(i))), f"eq{i}"
+            )
+            for i in range(a.n_bits)
+        ]
+        if len(xnor_slices) == 1:
+            expr: Expression = Operand(xnor_slices[0])
+        else:
+            expr = And(*(Operand(s) for s in xnor_slices))
+        result = self.fc.fc_read(expr)
+        self.senses += result.n_senses
+        return result.bits
+
+    @staticmethod
+    def _check_compatible(a: BitSlicedVector, b: BitSlicedVector) -> None:
+        if a.n_bits != b.n_bits:
+            raise ValueError(
+                f"bit widths differ: {a.n_bits} vs {b.n_bits}"
+            )
+        if a.length != b.length:
+            raise ValueError("vector lengths differ")

@@ -1,0 +1,76 @@
+"""ESP policy: choosing the programming effort for target reliability.
+
+The ESP knob (``extra`` = tESP/tPROG - 1) trades program latency for
+margin (Figure 11).  The paper adopts extra = 0.9 (tESP = 1.9 x tPROG,
+rounded to 400 us in Table 1) because it is the smallest effort with
+zero observed errors at the worst-case condition.  This module solves
+that choice from the error model instead of hard-coding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.flash.calibration import DEFAULT_CALIBRATION, FlashCalibration
+from repro.flash.errors import (
+    ErrorModel,
+    OperatingCondition,
+    WORST_CASE_CONDITION,
+)
+
+
+class EspPolicy:
+    """Solves the minimal ESP effort meeting a reliability target."""
+
+    def __init__(self, calibration: FlashCalibration | None = None) -> None:
+        self.calibration = calibration or DEFAULT_CALIBRATION
+        self.error_model = ErrorModel(self.calibration)
+
+    def rber_at(self, extra: float, condition: OperatingCondition) -> float:
+        return self.error_model.slc_rber(replace(condition, esp_extra=extra))
+
+    def minimal_extra(
+        self,
+        *,
+        target_rber: float | None = None,
+        condition: OperatingCondition | None = None,
+        tolerance: float = 1e-3,
+    ) -> float:
+        """Smallest ``extra`` with RBER below ``target_rber`` under
+        ``condition`` (defaults: the paper's zero-error threshold at
+        the worst-case condition, worst block).
+
+        Raises ValueError when even full effort cannot meet the target.
+        """
+        if target_rber is None:
+            target_rber = self.calibration.zero_error_rber
+        if condition is None:
+            condition = WORST_CASE_CONDITION.with_quality(
+                self.calibration.quality.sigma_multiplier_worst
+            )
+        if self.rber_at(1.0, condition) >= target_rber:
+            raise ValueError(
+                f"target RBER {target_rber:g} unreachable even at "
+                "tESP = 2 x tPROG under the given condition"
+            )
+        if self.rber_at(0.0, condition) < target_rber:
+            return 0.0
+        lo, hi = 0.0, 1.0
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if self.rber_at(mid, condition) < target_rber:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def paper_default_extra(self) -> float:
+        """The effort the paper adopts: zero observed errors at the
+        worst case, i.e. the 1.9 x tPROG knee of Figure 11."""
+        return self.minimal_extra()
+
+    def program_latency_us(self, extra: float, t_prog_slc_us: float = 200.0
+                           ) -> float:
+        if not 0.0 <= extra <= 1.0:
+            raise ValueError("extra must be in [0, 1]")
+        return t_prog_slc_us * (1.0 + extra)

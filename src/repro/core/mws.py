@@ -1,0 +1,58 @@
+"""Plan executor: runs MWS command plans on the functional chip."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.planner import Plan, SenseStep, XorStep
+from repro.flash.chip import NandFlashChip
+from repro.flash.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Result of one in-flash computation."""
+
+    bits: np.ndarray
+    n_senses: int
+    latency_us: float
+    energy_nj: float
+
+
+class MwsExecutor:
+    """Drives a :class:`NandFlashChip` through a command plan."""
+
+    def __init__(self, chip: NandFlashChip) -> None:
+        self.chip = chip
+        self.timing = TimingModel()
+
+    def execute(self, plan: Plan) -> ExecutionResult:
+        busy_before = self.chip.counters.busy_us
+        energy_before = self.chip.counters.energy_nj
+        senses_before = self.chip.counters.senses
+        for step in plan.steps:
+            if isinstance(step, SenseStep):
+                self.chip.execute_sense(
+                    list(step.command.targets), step.command.iscm
+                )
+            elif isinstance(step, XorStep):
+                self.chip.xor_command(step.plane)
+            else:  # pragma: no cover - plans only hold the two kinds
+                raise TypeError(f"unknown plan step {step!r}")
+        bits = self.chip.output_cache(plan.plane)
+        return ExecutionResult(
+            bits=bits,
+            n_senses=self.chip.counters.senses - senses_before,
+            latency_us=self.chip.counters.busy_us - busy_before,
+            energy_nj=self.chip.counters.energy_nj - energy_before,
+        )
+
+    def estimate_latency_us(self, plan: Plan) -> float:
+        """Latency of a plan from the physically derived tMWS model,
+        without executing it."""
+        total = 0.0
+        for wordlines, blocks in plan.sense_profile():
+            total += self.timing.t_mws_us(wordlines, blocks)
+        return total

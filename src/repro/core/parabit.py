@@ -1,0 +1,108 @@
+"""ParaBit baseline (Gao et al., MICRO 2021).
+
+The state-of-the-art IFP technique before Flash-Cosmos: it reads every
+operand with a *regular* sense and accumulates in the latches
+(Figure 6): AND by skipping S-latch re-initialization, OR by
+re-initializing and merging into the C-latch.  Cost: one full sensing
+operation per operand -- the serial-sensing bottleneck Flash-Cosmos
+removes (Section 3.2).
+
+ParaBit computes on whatever the cells hold, so running it over
+randomized or ECC-encoded pages silently produces garbage; the
+integration tests demonstrate this (the paper's reliability argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.chip import IscmFlags, NandFlashChip
+from repro.flash.geometry import WordlineAddress
+
+
+@dataclass(frozen=True)
+class ParaBitResult:
+    bits: np.ndarray
+    n_senses: int
+    latency_us: float
+    energy_nj: float
+
+
+class ParaBit:
+    """Serial-sensing bulk bitwise executor."""
+
+    def __init__(self, chip: NandFlashChip) -> None:
+        self.chip = chip
+
+    def _run(
+        self,
+        addresses: list[WordlineAddress],
+        flags_for_step,
+    ) -> ParaBitResult:
+        if not addresses:
+            raise ValueError("ParaBit needs at least one operand")
+        planes = {a.plane for a in addresses}
+        if len(planes) != 1:
+            raise ValueError("ParaBit operands must share a plane")
+        plane = planes.pop()
+        busy0 = self.chip.counters.busy_us
+        energy0 = self.chip.counters.energy_nj
+        senses0 = self.chip.counters.senses
+        for i, addr in enumerate(addresses):
+            self.chip.execute_sense(
+                [(addr.block_address, (addr.wordline,))], flags_for_step(i)
+            )
+        bits = self.chip.output_cache(plane)
+        return ParaBitResult(
+            bits=bits,
+            n_senses=self.chip.counters.senses - senses0,
+            latency_us=self.chip.counters.busy_us - busy0,
+            energy_nj=self.chip.counters.energy_nj - energy0,
+        )
+
+    def bitwise_and(self, addresses: list[WordlineAddress]) -> ParaBitResult:
+        """Figure 6(b): serial reads, no S-latch re-init."""
+
+        def flags(i: int) -> IscmFlags:
+            return IscmFlags(init_sense=(i == 0), init_cache=True,
+                             transfer=True)
+
+        return self._run(addresses, flags)
+
+    def bitwise_or(self, addresses: list[WordlineAddress]) -> ParaBitResult:
+        """Figure 6(c): re-init the S-latch per read, merge into the
+        C-latch."""
+
+        def flags(i: int) -> IscmFlags:
+            return IscmFlags(init_sense=True, init_cache=(i == 0),
+                             transfer=True)
+
+        return self._run(addresses, flags)
+
+    def bitwise_xor(
+        self, a: WordlineAddress, b: WordlineAddress
+    ) -> ParaBitResult:
+        """Two-operand XOR using the on-chip latch XOR."""
+        if a.plane != b.plane:
+            raise ValueError("ParaBit operands must share a plane")
+        busy0 = self.chip.counters.busy_us
+        energy0 = self.chip.counters.energy_nj
+        senses0 = self.chip.counters.senses
+        self.chip.execute_sense(
+            [(a.block_address, (a.wordline,))],
+            IscmFlags(init_sense=True, init_cache=True, transfer=True),
+        )
+        self.chip.execute_sense(
+            [(b.block_address, (b.wordline,))],
+            IscmFlags(init_sense=True, init_cache=False, transfer=False),
+        )
+        self.chip.xor_command(a.plane)
+        bits = self.chip.output_cache(a.plane)
+        return ParaBitResult(
+            bits=bits,
+            n_senses=self.chip.counters.senses - senses0,
+            latency_us=self.chip.counters.busy_us - busy0,
+            energy_nj=self.chip.counters.energy_nj - energy0,
+        )

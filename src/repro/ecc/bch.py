@@ -1,0 +1,202 @@
+"""Binary BCH encoder/decoder.
+
+A binary BCH(n, k, t) code over GF(2^m) with n = 2^m - 1 corrects up
+to t bit errors per codeword.  SSD controllers protect each page with
+many interleaved BCH codewords (LDPC in newer drives; Section 2.2).
+
+Encoding is systematic polynomial division by the generator; decoding
+is the classic pipeline: syndromes -> Berlekamp-Massey -> Chien
+search.  ``tests/ecc`` exercises roundtrips, correction up to t,
+detection beyond t, and the paper's non-commutativity claim (AND/OR of
+codewords is not the codeword of AND/OR of data).
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+
+from repro.ecc.gf import GaloisField
+
+
+class BchDecodeFailure(Exception):
+    """Raised when a received word has more errors than the code can
+    correct (detected, uncorrectable)."""
+
+
+class BchCode:
+    """Systematic binary BCH code.
+
+    Parameters
+    ----------
+    m:
+        Field degree; the codeword length is n = 2^m - 1.
+    t:
+        Correction capability in bits per codeword.
+    """
+
+    def __init__(self, m: int, t: int) -> None:
+        if t < 1:
+            raise ValueError("t must be >= 1")
+        self.field = GaloisField(m)
+        self.n = self.field.order
+        self.t = t
+        self.generator = self._build_generator()
+        self.n_parity = len(self.generator) - 1
+        self.k = self.n - self.n_parity
+        if self.k <= 0:
+            raise ValueError(
+                f"BCH(m={m}, t={t}) leaves no data bits (parity={self.n_parity})"
+            )
+
+    def _build_generator(self) -> list[int]:
+        """g(x) = lcm of minimal polynomials of alpha^1..alpha^2t."""
+        field = self.field
+        seen_polys: list[tuple[int, ...]] = []
+        for i in range(1, 2 * self.t + 1):
+            poly = tuple(field.minimal_polynomial(field.exp(i)))
+            if poly not in seen_polys:
+                seen_polys.append(poly)
+        product = reduce(
+            lambda acc, p: field.poly_mul(acc, list(p)), seen_polys, [1]
+        )
+        if any(c not in (0, 1) for c in product):
+            raise AssertionError("generator polynomial is not binary")
+        return product
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, data_bits: np.ndarray) -> np.ndarray:
+        """Encode k data bits into an n-bit systematic codeword
+        (data first, then parity)."""
+        data = self._check_bits(data_bits, self.k, "data")
+        # Polynomial division of data(x) * x^parity by g(x) over GF(2).
+        # Convention: array index j holds the coefficient of x^(n-1-j),
+        # so data[0] is the highest-degree coefficient and is fed into
+        # the division register first.
+        remainder = np.zeros(self.n_parity, dtype=np.uint8)
+        gen = np.array(self.generator[:-1], dtype=np.uint8)  # monic: drop top
+        for bit in data:
+            feedback = bit ^ remainder[-1]
+            remainder[1:] = remainder[:-1]
+            remainder[0] = 0
+            if feedback:
+                remainder ^= gen * feedback
+        # remainder[i] holds the x^i parity coefficient; reverse it so
+        # the codeword keeps the index -> x^(n-1-index) convention.
+        return np.concatenate([data, remainder[::-1]]).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def syndromes(self, codeword: np.ndarray) -> list[int]:
+        """S_i = r(alpha^i) for i = 1..2t; all zero iff r is a
+        codeword (up to undetectable error patterns)."""
+        word = self._check_bits(codeword, self.n, "codeword")
+        field = self.field
+        out = []
+        positions = np.nonzero(word)[0]
+        for i in range(1, 2 * self.t + 1):
+            s = 0
+            for pos in positions:
+                # Bit layout: index 0 is the x^(n-1) coefficient of the
+                # systematic polynomial? We store data||parity with
+                # index j representing coefficient x^(n-1-j) after the
+                # encode convention below; using exponent (n-1-j).
+                s ^= field.exp(i * (self.n - 1 - int(pos)))
+            out.append(s)
+        return out
+
+    def decode(self, received: np.ndarray) -> tuple[np.ndarray, int]:
+        """Decode an n-bit received word.
+
+        Returns (data_bits, n_corrected).  Raises
+        :class:`BchDecodeFailure` when more than t errors are detected.
+        """
+        word = self._check_bits(received, self.n, "received").copy()
+        synd = self.syndromes(word)
+        if not any(synd):
+            return word[: self.k].copy(), 0
+        locator = self._berlekamp_massey(synd)
+        n_errors = len(locator) - 1
+        if n_errors > self.t:
+            raise BchDecodeFailure(
+                f"error locator degree {n_errors} exceeds t={self.t}"
+            )
+        positions = self._chien_search(locator)
+        if len(positions) != n_errors:
+            raise BchDecodeFailure(
+                "error locator does not split over the field "
+                f"(found {len(positions)} of {n_errors} roots)"
+            )
+        for pos in positions:
+            word[pos] ^= 1
+        if any(self.syndromes(word)):
+            raise BchDecodeFailure("residual syndrome after correction")
+        return word[: self.k].copy(), n_errors
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        """Error-locator polynomial sigma(x) from the syndromes."""
+        field = self.field
+        sigma = [1]
+        prev_sigma = [1]
+        prev_discrepancy = 1
+        shift = 1
+        for step, s in enumerate(syndromes):
+            discrepancy = s
+            for j in range(1, len(sigma)):
+                if j <= step:
+                    discrepancy ^= field.mul(sigma[j], syndromes[step - j])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = field.div(discrepancy, prev_discrepancy)
+            candidate = sigma.copy()
+            shifted = [0] * shift + [field.mul(scale, c) for c in prev_sigma]
+            if len(shifted) > len(candidate):
+                candidate += [0] * (len(shifted) - len(candidate))
+            for j, c in enumerate(shifted):
+                candidate[j] ^= c
+            if 2 * (len(sigma) - 1) <= step:
+                prev_sigma = sigma
+                prev_discrepancy = discrepancy
+                sigma = candidate
+                shift = 1
+            else:
+                sigma = candidate
+                shift += 1
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma
+
+    def _chien_search(self, locator: list[int]) -> list[int]:
+        """Find error bit positions from the locator polynomial."""
+        field = self.field
+        positions = []
+        for j in range(self.n):
+            # Candidate error at bit index j corresponds to the
+            # coefficient x^(n-1-j); its locator root is alpha^-(n-1-j).
+            x = field.exp(-(self.n - 1 - j))
+            if field.poly_eval(locator, x) == 0:
+                positions.append(j)
+        return positions
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_bits(bits: np.ndarray, expected: int, label: str) -> np.ndarray:
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.shape != (expected,):
+            raise ValueError(f"{label} must have {expected} bits, got {arr.shape}")
+        if not np.isin(arr, (0, 1)).all():
+            raise ValueError(f"{label} must be 0/1 bits")
+        return arr
+
+    def __repr__(self) -> str:
+        return f"BchCode(n={self.n}, k={self.k}, t={self.t})"

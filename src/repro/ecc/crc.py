@@ -1,0 +1,18 @@
+"""CRC32 over bit arrays (end-to-end integrity checks in tests)."""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def crc32_bits(bits: np.ndarray) -> int:
+    """CRC32 of a 0/1 bit array (packed MSB-first)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError("bits must be one-dimensional")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("bits must be 0/1")
+    packed = np.packbits(arr)
+    return zlib.crc32(packed.tobytes()) & 0xFFFFFFFF

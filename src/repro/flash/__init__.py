@@ -1,0 +1,48 @@
+"""NAND flash memory substrate.
+
+Behavioural and statistical model of a 3D NAND flash chip: cell-array
+geometry, threshold-voltage (V_TH) physics, ISPP programming, error
+mechanisms, sensing (including multi-wordline sensing), latch circuits,
+data randomization, and timing/power models.
+
+The model follows the organization described in Section 2 of the
+Flash-Cosmos paper (MICRO 2022): vertically stacked cells form NAND
+strings, strings at different bitlines form sub-blocks, sub-blocks form
+blocks, blocks form planes, and planes form dies/chips.
+"""
+
+from repro.flash.array import BlockArray, PlaneArray
+from repro.flash.calibration import FlashCalibration
+from repro.flash.chip import NandFlashChip
+from repro.flash.errors import ErrorModel, OperatingCondition
+from repro.flash.geometry import ChipGeometry, PageAddress, WordlineAddress
+from repro.flash.ispp import IsppEngine, IsppParameters, ProgramMode
+from repro.flash.latches import LatchBank
+from repro.flash.randomizer import LfsrRandomizer
+from repro.flash.sensing import SenseMode, SensingEngine
+from repro.flash.timing import TimingModel
+from repro.flash.power import PowerModel
+from repro.flash.vth import VthState, VthWindow
+
+__all__ = [
+    "BlockArray",
+    "ChipGeometry",
+    "ErrorModel",
+    "FlashCalibration",
+    "IsppEngine",
+    "IsppParameters",
+    "LatchBank",
+    "LfsrRandomizer",
+    "NandFlashChip",
+    "OperatingCondition",
+    "PageAddress",
+    "PlaneArray",
+    "PowerModel",
+    "ProgramMode",
+    "SenseMode",
+    "SensingEngine",
+    "TimingModel",
+    "VthState",
+    "VthWindow",
+    "WordlineAddress",
+]

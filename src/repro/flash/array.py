@@ -1,0 +1,274 @@
+"""Cell-array storage: V_TH state of blocks and planes.
+
+``BlockArray`` models one sub-block (the paper's "block"): a 2-D array
+of threshold voltages, one row per wordline, one column per bitline.
+``PlaneArray`` lazily materializes blocks so a realistically sized
+plane (2,048 blocks) costs memory only for the blocks a test touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.calibration import DEFAULT_CALIBRATION, FlashCalibration
+from repro.flash.geometry import BlockAddress, ChipGeometry
+from repro.flash.ispp import IsppEngine, ProgramMode, ProgramResult
+
+
+@dataclass
+class WordlineMetadata:
+    """Firmware-visible metadata for one programmed wordline.
+
+    ``randomizer_page_index`` records which page's keystream encoded
+    the stored data; copyback moves raw cells without re-randomizing,
+    so the destination keeps the source's keystream index.
+    """
+
+    mode: ProgramMode = ProgramMode.SLC
+    esp_extra: float = 0.0
+    randomized: bool = True
+    programmed: bool = False
+    randomizer_page_index: int | None = None
+
+
+class BlockArray:
+    """V_TH state of one sub-block.
+
+    Attributes
+    ----------
+    vth:
+        float32 array of shape (wordlines, bitlines): the pristine
+        as-programmed threshold voltages.  Stress-induced drift is
+        applied at *sense* time by the error model so that conditions
+        compose without mutating stored state.
+    written:
+        uint8 array of the same shape: the ground-truth bits handed to
+        ``program`` (after randomization, i.e. what the cells encode).
+    """
+
+    def __init__(
+        self,
+        geometry: ChipGeometry,
+        address: BlockAddress,
+        *,
+        calibration: FlashCalibration | None = None,
+        rng: np.random.Generator | None = None,
+        noise_enabled: bool = True,
+    ) -> None:
+        address.validate(geometry)
+        self.geometry = geometry
+        self.address = address
+        self.calibration = calibration or DEFAULT_CALIBRATION
+        self.rng = rng or np.random.default_rng(0)
+        #: When False the block is an idealized, noise-free array:
+        #: post-program relaxation is skipped (paired with disabling
+        #: sense-time error injection).
+        self.noise_enabled = noise_enabled
+        self.pe_cycles = 0
+        self.reads_since_erase = 0
+        self.sigma_multiplier = 1.0
+        n_wl = geometry.wordlines_per_string
+        n_bl = geometry.page_size_bits
+        self.vth = np.empty((n_wl, n_bl), dtype=np.float32)
+        self.written = np.ones((n_wl, n_bl), dtype=np.uint8)
+        #: MLC state indices per cell (0..3); row used only when the
+        #: wordline's mode is MLC.
+        self._mlc_states = np.zeros((n_wl, n_bl), dtype=np.uint8)
+        #: MSB bits of MLC wordlines (LSB bits live in ``written``).
+        self._mlc_msb = np.ones((n_wl, n_bl), dtype=np.uint8)
+        self.metadata = [WordlineMetadata() for _ in range(n_wl)]
+        self._ispp = IsppEngine(self.calibration)
+        self._fill_erased()
+
+    # ------------------------------------------------------------------
+    # Erase / program
+    # ------------------------------------------------------------------
+
+    def _fill_erased(self) -> None:
+        c = self.calibration.slc
+        shape = self.vth.shape
+        self.vth[:] = c.erased_mean + c.erased_sigma * self.rng.standard_normal(
+            shape
+        ).astype(np.float32)
+        self.written[:] = 1
+        self._mlc_states[:] = 0
+        self._mlc_msb[:] = 1
+        for meta in self.metadata:
+            meta.programmed = False
+            meta.mode = ProgramMode.SLC
+            meta.esp_extra = 0.0
+            meta.randomized = True
+            meta.randomizer_page_index = None
+
+    def erase(self) -> None:
+        """Erase the whole sub-block, incrementing its P/E count."""
+        self.pe_cycles += 1
+        self.reads_since_erase = 0
+        self._fill_erased()
+
+    def program(
+        self,
+        wordline: int,
+        data_bits: np.ndarray,
+        *,
+        mode: ProgramMode = ProgramMode.SLC,
+        esp_extra: float = 0.0,
+        randomized: bool = True,
+    ) -> ProgramResult:
+        """Program one wordline with ``data_bits`` (1 = erased, 0 =
+        programmed).  Only SLC-family modes are functionally simulated;
+        MLC/TLC pages exist for capacity/latency accounting and raise
+        here to catch accidental functional use."""
+        if mode in (ProgramMode.MLC, ProgramMode.TLC):
+            raise NotImplementedError(
+                "functional programming is modeled for SLC/ESP only; "
+                "MLC/TLC are used for latency/capacity accounting"
+            )
+        meta = self.metadata[wordline]
+        if meta.programmed:
+            raise ValueError(
+                f"wordline {wordline} already programmed; erase the block first"
+            )
+        data = np.asarray(data_bits, dtype=np.uint8)
+        if data.shape != (self.geometry.page_size_bits,):
+            raise ValueError(
+                f"page must have {self.geometry.page_size_bits} bits, "
+                f"got shape {data.shape}"
+            )
+        extra = esp_extra if mode is ProgramMode.ESP else 0.0
+        result = self._ispp.program_slc(
+            self.vth[wordline],
+            data,
+            self.rng,
+            esp_extra=extra,
+            apply_relaxation=self.noise_enabled,
+        )
+        self.written[wordline] = data
+        meta.programmed = True
+        meta.mode = mode
+        meta.esp_extra = extra
+        meta.randomized = randomized
+        return result
+
+    def program_mlc(
+        self,
+        wordline: int,
+        lsb_bits: np.ndarray,
+        msb_bits: np.ndarray,
+        *,
+        randomized: bool = True,
+    ) -> None:
+        """Program one wordline in MLC mode (two logical pages).
+
+        Gray coding per Figure 5(b): (MSB, LSB) = E:11, P1:01, P2:00,
+        P3:10.  The LSB page alone is recoverable with a single read
+        at VREF2, which is why Flash-Cosmos can operate on MLC LSB
+        pages (Section 9, footnote 15).
+        """
+        meta = self.metadata[wordline]
+        if meta.programmed:
+            raise ValueError(
+                f"wordline {wordline} already programmed; erase the block first"
+            )
+        lsb = np.asarray(lsb_bits, dtype=np.uint8)
+        msb = np.asarray(msb_bits, dtype=np.uint8)
+        expected = (self.geometry.page_size_bits,)
+        if lsb.shape != expected or msb.shape != expected:
+            raise ValueError(
+                f"MLC pages must have {self.geometry.page_size_bits} bits"
+            )
+        # (msb, lsb) -> state: 11->E(0), 01->P1(1), 00->P2(2), 10->P3(3).
+        states = np.select(
+            [
+                (msb == 1) & (lsb == 1),
+                (msb == 0) & (lsb == 1),
+                (msb == 0) & (lsb == 0),
+            ],
+            [0, 1, 2],
+            default=3,
+        ).astype(np.uint8)
+        from repro.flash.errors import ErrorModel
+
+        window = ErrorModel(self.calibration).mlc_window()
+        vth = np.empty(states.shape, dtype=np.float32)
+        for index, level in enumerate(window.levels):
+            mask = states == index
+            vth[mask] = level.mean + level.sigma * self.rng.standard_normal(
+                int(mask.sum())
+            ).astype(np.float32)
+        self.vth[wordline] = vth
+        self.written[wordline] = lsb
+        self._mlc_states[wordline] = states
+        self._mlc_msb[wordline] = msb
+        meta.programmed = True
+        meta.mode = ProgramMode.MLC
+        meta.esp_extra = 0.0
+        meta.randomized = randomized
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stored_bits(self, wordline: int) -> np.ndarray:
+        """Ground-truth bits of a wordline (LSB page for MLC; copy)."""
+        return self.written[wordline].copy()
+
+    def stored_msb_bits(self, wordline: int) -> np.ndarray:
+        """Ground-truth MSB page of an MLC wordline (copy)."""
+        if self.metadata[wordline].mode is not ProgramMode.MLC:
+            raise ValueError("wordline is not MLC-programmed")
+        return self._mlc_msb[wordline].copy()
+
+    def mlc_states(self, rows: np.ndarray) -> np.ndarray:
+        """Per-cell MLC state indices for the given wordline rows."""
+        return self._mlc_states[rows]
+
+    def programmed_mask(self) -> np.ndarray:
+        """Boolean mask of cells in the programmed state."""
+        return self.written == 0
+
+    def wordline_esp_extra(self, wordline: int) -> float:
+        return self.metadata[wordline].esp_extra
+
+    def note_read(self, count: int = 1) -> None:
+        self.reads_since_erase += count
+
+
+@dataclass
+class PlaneArray:
+    """Lazy map from block address to materialized :class:`BlockArray`."""
+
+    geometry: ChipGeometry
+    calibration: FlashCalibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+    seed: int = 0
+    noise_enabled: bool = True
+    _blocks: dict[BlockAddress, BlockArray] = field(default_factory=dict)
+
+    def block(self, address: BlockAddress) -> BlockArray:
+        address.validate(self.geometry)
+        if address not in self._blocks:
+            # Derive a per-block RNG stream so block contents are
+            # reproducible regardless of materialization order.
+            key = (
+                self.seed,
+                address.plane,
+                address.block,
+                address.subblock,
+            )
+            rng = np.random.default_rng(abs(hash(key)) % (2**63))
+            self._blocks[address] = BlockArray(
+                self.geometry,
+                address,
+                calibration=self.calibration,
+                rng=rng,
+                noise_enabled=self.noise_enabled,
+            )
+        return self._blocks[address]
+
+    def materialized(self) -> tuple[BlockAddress, ...]:
+        return tuple(sorted(self._blocks))
+
+    def __contains__(self, address: BlockAddress) -> bool:
+        return address in self._blocks

@@ -1,0 +1,167 @@
+"""Calibration constants for the NAND flash reliability model.
+
+Every constant is annotated with the paper anchor it serves.  The
+anchors (all from the Flash-Cosmos paper, MICRO 2022):
+
+* Fig. 8(a) left  -- SLC + randomization: RBER grows from ~2e-4
+  (fresh) to ~2e-3 (10K P/E cycles, 1-year retention).
+* Fig. 8(a) right -- disabling randomization raises average SLC RBER
+  by 1.91x.
+* Fig. 8(b)       -- MLC + randomization best case 8.6e-4; MLC without
+  randomization worst case 1.6e-2 (the "RBER range across the two
+  plots"); disabling randomization raises average MLC RBER by 4.92x;
+  MLC reaches up to 4x the RBER of SLC.
+* Fig. 11         -- ESP: worst-block RBER ~4.5e-3 at tESP = tPROG
+  (equals regular SLC, no randomization, 10K PEC, 1-year retention);
+  an order-of-magnitude median reduction at tESP = 1.6x tPROG; zero
+  observed errors (statistical RBER < 2.07e-12) at tESP >= 1.9x tPROG.
+
+The model is mechanistic -- retention loss, program interference,
+read disturb and P/E wear shift and widen Gaussian V_TH states, and
+RBER is tail mass across the read reference -- but the constants are
+fitted to the anchors above (``tools/tune_calibration.py`` performs the
+fit and the calibration tests in ``tests/flash/test_calibration.py``
+pin the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SlcErrorConstants:
+    """Constants of the SLC-mode reliability model (volts unless noted).
+
+    Regular SLC-mode programming is fast and coarse, so the programmed
+    state is *wide*; ESP narrows and raises it (paper Section 4.2).
+    """
+
+    # Nominal state layout.  The erased state is deep and fairly tight;
+    # the programmed state is wide because regular SLC programming uses
+    # a large ISPP step for speed.
+    erased_mean: float = -2.8
+    erased_sigma: float = 0.32
+    programmed_mean: float = 2.5
+    programmed_sigma: float = 0.75
+    read_ref: float = 0.0
+
+    # Retention loss: programmed cells drift down by
+    # k_ret * (1 + w_ret * pec) * log1p(months / tau_ret_months).
+    k_ret: float = 0.0223
+    w_ret: float = 2.0e-4
+    tau_ret_months: float = 2.0
+
+    # Program interference + disturbance: erased cells drift up by
+    # d_int0 * (1 + w_int * pec), plus a worst-case-pattern surcharge
+    # k_pat * (1 + w_pat * pec) when data randomization is disabled
+    # (Section 2.2: randomization exists to avoid worst-case patterns).
+    d_int0: float = 0.83
+    w_int: float = 6.0e-5
+    k_pat: float = 0.25
+    w_pat: float = 1.0e-4
+
+    # Read disturb: erased cells drift up by k_rd * log1p(reads).
+    k_rd: float = 0.02
+
+    # P/E wear widens both distributions: sigma *= (1 + w_sig * pec).
+    w_sig: float = 1.5e-5
+
+    # ESP knobs, parameterized by extra = tESP / tPROG - 1 in [0, 1]:
+    #   programmed mean   += esp_target_raise * extra**esp_gamma
+    #   programmed sigma  *= 1 - esp_sigma_shrink * extra  (smaller dV_ISPP)
+    #   read reference    += esp_ref_slope * extra**esp_gamma
+    # The superlinear exponent reflects that the early extra budget
+    # completes the coarse pass; only beyond that do the fine,
+    # raised-V_TGT steps engage.  Solved jointly from Fig. 11's two
+    # anchors: ~10x median reduction at tESP = 1.6x tPROG and
+    # RBER < 2.07e-12 (worst block) at tESP >= 1.9x tPROG.
+    esp_target_raise: float = 2.62
+    esp_sigma_shrink: float = 0.80
+    esp_ref_slope: float = 3.37
+    esp_gamma: float = 5.1
+
+
+@dataclass(frozen=True)
+class MlcErrorConstants:
+    """Constants of the MLC-mode reliability model.
+
+    MLC packs four states into the window, shrinking every margin
+    (Figure 5(b)); programming is finer (two-step) so the per-state
+    sigma is tighter than regular SLC, but the margins shrink faster
+    than the sigmas -- the source of the up-to-4x RBER penalty.
+    """
+
+    erased_mean: float = -2.5
+    top_mean: float = 3.2
+    n_levels: int = 4
+    erased_sigma: float = 0.315
+    programmed_sigma: float = 0.285
+
+    # Retention scales with state height (higher states leak more).
+    k_ret: float = 0.035
+    w_ret: float = 2.0e-4
+    tau_ret_months: float = 2.0
+
+    # Interference scales with (1 - state height): low states are the
+    # most vulnerable to upward drift.
+    d_int0: float = 0.10
+    w_int: float = 6.0e-5
+    k_pat: float = 0.21
+    w_pat: float = 5.0e-5
+
+    k_rd: float = 0.012
+    w_sig: float = 1.5e-5
+
+
+@dataclass(frozen=True)
+class TlcErrorConstants:
+    """TLC layout (8 states).  Used for capacity/latency accounting and
+    wear cycling in the characterization harness; the paper reports no
+    TLC RBER anchors, so these constants are extrapolated from MLC."""
+
+    erased_mean: float = -2.5
+    top_mean: float = 3.6
+    n_levels: int = 8
+    erased_sigma: float = 0.24
+    programmed_sigma: float = 0.17
+
+    k_ret: float = 0.030
+    w_ret: float = 2.0e-4
+    tau_ret_months: float = 2.0
+    d_int0: float = 0.06
+    w_int: float = 1.0e-4
+    k_pat: float = 0.10
+    w_pat: float = 5.0e-5
+    k_rd: float = 0.008
+    w_sig: float = 1.5e-5
+
+
+@dataclass(frozen=True)
+class BlockQualityConstants:
+    """Process variation across blocks (paper Figure 11 plots worst,
+    median, and best block).  Modeled as a sigma multiplier drawn from
+    a clipped lognormal; the named quantiles pin the figure's series."""
+
+    sigma_multiplier_best: float = 0.88
+    sigma_multiplier_median: float = 1.00
+    sigma_multiplier_worst: float = 1.08
+    lognormal_sigma: float = 0.05
+
+
+@dataclass(frozen=True)
+class FlashCalibration:
+    """All reliability-model constants, grouped by programming mode."""
+
+    slc: SlcErrorConstants = field(default_factory=SlcErrorConstants)
+    mlc: MlcErrorConstants = field(default_factory=MlcErrorConstants)
+    tlc: TlcErrorConstants = field(default_factory=TlcErrorConstants)
+    quality: BlockQualityConstants = field(default_factory=BlockQualityConstants)
+
+    #: RBER below which the paper's validation (4.83e11 bits, zero
+    #: observed errors) would statistically expect no errors
+    #: (Section 5.2: "statistical RBER of ESP is lower than 2.07e-12").
+    zero_error_rber: float = 2.07e-12
+
+
+DEFAULT_CALIBRATION = FlashCalibration()

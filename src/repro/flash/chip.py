@@ -1,0 +1,474 @@
+"""NAND flash chip facade.
+
+``NandFlashChip`` ties the substrate together: plane arrays hold V_TH
+state, per-plane latch banks implement the sensing/cache latch
+protocol, the sensing engine evaluates string conductance, and the
+timing/power models account for every operation.
+
+The chip exposes the three command families the paper's Section 6.2
+defines (MWS with ISCM flags, ESP programming, latch XOR) plus the
+regular read/program/erase commands, so the Flash-Cosmos core and the
+ParaBit baseline drive it exactly like firmware drives a real chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.flash.array import PlaneArray
+from repro.flash.calibration import DEFAULT_CALIBRATION, FlashCalibration
+from repro.flash.errors import ErrorModel, OperatingCondition
+from repro.flash.geometry import BlockAddress, ChipGeometry, WordlineAddress
+from repro.flash.ispp import ProgramMode
+from repro.flash.latches import LatchBank
+from repro.flash.power import PowerModel
+from repro.flash.randomizer import LfsrRandomizer
+from repro.flash.sensing import SensingEngine
+from repro.flash.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class IscmFlags:
+    """The ISCM command slot of the MWS command (Figure 15): four
+    independent feature flags a flash controller can toggle."""
+
+    inverse: bool = False
+    init_sense: bool = True
+    init_cache: bool = True
+    transfer: bool = True
+
+
+@dataclass
+class ChipCounters:
+    """Operation and cost accounting for one chip."""
+
+    senses: int = 0
+    wordlines_sensed: int = 0
+    programs: int = 0
+    erases: int = 0
+    transfers_out: int = 0
+    busy_us: float = 0.0
+    energy_nj: float = 0.0
+
+    def charge(self, duration_us: float, energy_nj: float) -> None:
+        self.busy_us += duration_us
+        self.energy_nj += energy_nj
+
+
+class NandFlashChip:
+    """Functional model of one NAND flash die."""
+
+    def __init__(
+        self,
+        geometry: ChipGeometry,
+        *,
+        calibration: FlashCalibration | None = None,
+        condition: OperatingCondition | None = None,
+        seed: int = 0,
+        inject_errors: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self.calibration = calibration or DEFAULT_CALIBRATION
+        self.condition = condition or OperatingCondition()
+        self.error_model = ErrorModel(self.calibration)
+        self.timing = TimingModel()
+        self.power = PowerModel()
+        self.randomizer = LfsrRandomizer()
+        self.counters = ChipCounters()
+        self.plane_array = PlaneArray(
+            geometry,
+            calibration=self.calibration,
+            seed=seed,
+            noise_enabled=inject_errors,
+        )
+        self.sensing = SensingEngine(
+            self.error_model,
+            rng=np.random.default_rng(seed + 0x5EED),
+            inject_errors=inject_errors,
+        )
+        self.latches = {
+            plane: LatchBank(geometry.page_size_bits)
+            for plane in range(geometry.planes_per_die)
+        }
+        #: Runtime-tunable parameters (the SET FEATURE command).
+        self._features: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Environment control (test-mode features)
+    # ------------------------------------------------------------------
+
+    def set_condition(self, condition: OperatingCondition) -> None:
+        """Set the ambient stress condition (retention age, chip-level
+        P/E floor, block quality) applied to subsequent senses."""
+        self.condition = condition
+
+    def cycle_block(self, address: BlockAddress, pe_cycles: int) -> None:
+        """Wear a block to ``pe_cycles`` program/erase cycles (the
+        characterization harness uses this instead of physically
+        cycling, as the testbed does with repeated program/erase)."""
+        block = self.plane_array.block(address)
+        if pe_cycles < block.pe_cycles:
+            raise ValueError("cannot un-wear a block")
+        block.pe_cycles = pe_cycles
+
+    # ------------------------------------------------------------------
+    # Regular commands
+    # ------------------------------------------------------------------
+
+    def erase_block(self, address: BlockAddress) -> float:
+        block = self.plane_array.block(address)
+        block.erase()
+        duration = self.timing.t_erase_us()
+        energy = self.power.energy_nj(
+            self.power.erase_power_factor(), duration
+        )
+        self.counters.erases += 1
+        self.counters.charge(duration, energy)
+        return duration
+
+    def page_index(self, address: WordlineAddress) -> int:
+        g = self.geometry
+        block_linear = (
+            address.plane * g.blocks_per_plane + address.block
+        ) * g.subblocks_per_block + address.subblock
+        return block_linear * g.wordlines_per_string + address.wordline
+
+    def program_page(
+        self,
+        address: WordlineAddress,
+        data_bits: np.ndarray,
+        *,
+        mode: ProgramMode = ProgramMode.SLC,
+        esp_extra: float = 0.0,
+        randomize: bool = True,
+    ) -> float:
+        """Program one page.  With ``randomize`` the stored cells hold
+        the randomized bits (as a real SSD would); Flash-Cosmos data is
+        written with ``randomize=False`` and ``mode=ProgramMode.ESP``."""
+        address.validate(self.geometry)
+        data = np.asarray(data_bits, dtype=np.uint8)
+        if randomize:
+            data = self.randomizer.randomize(data, self.page_index(address))
+        block = self.plane_array.block(address.block_address)
+        block.program(
+            address.wordline,
+            data,
+            mode=mode,
+            esp_extra=esp_extra,
+            randomized=randomize,
+        )
+        meta = block.metadata[address.wordline]
+        meta.randomizer_page_index = (
+            self.page_index(address) if randomize else None
+        )
+        duration = self.timing.t_program_us(mode.value, esp_extra)
+        energy = self.power.energy_nj(
+            self.power.program_power_factor(), duration
+        )
+        self.counters.programs += 1
+        self.counters.charge(duration, energy)
+        return duration
+
+    def read_page(
+        self, address: WordlineAddress, *, inverse: bool = False
+    ) -> np.ndarray:
+        """Regular page read through the latch pipeline, returning the
+        de-randomized data when the page was stored randomized."""
+        self.execute_sense(
+            [(address.block_address, (address.wordline,))],
+            IscmFlags(inverse=inverse),
+        )
+        raw = self.output_cache(address.plane)
+        block = self.plane_array.block(address.block_address)
+        meta = block.metadata[address.wordline]
+        if meta.programmed and meta.randomized:
+            # De-randomization XORs the same keystream; for an inverse
+            # read the complement survives (NOT(a^k) ^ k == NOT a).
+            # Copyback destinations keep the source's keystream index.
+            index = (
+                meta.randomizer_page_index
+                if meta.randomizer_page_index is not None
+                else self.page_index(address)
+            )
+            raw = self.randomizer.derandomize(raw, index)
+        return raw
+
+    def program_page_mlc(
+        self,
+        address: WordlineAddress,
+        lsb_bits: np.ndarray,
+        msb_bits: np.ndarray,
+        *,
+        randomize: bool = True,
+    ) -> float:
+        """Program one wordline in MLC mode (LSB + MSB pages).
+
+        Operands for in-flash computation may live in MLC LSB pages:
+        their read mechanism equals an SLC read apart from the
+        reference voltage (Section 9, footnote 15) -- at ParaBit-level
+        reliability, since MLC cannot reach ESP margins."""
+        address.validate(self.geometry)
+        lsb = np.asarray(lsb_bits, dtype=np.uint8)
+        msb = np.asarray(msb_bits, dtype=np.uint8)
+        if randomize:
+            index = self.page_index(address)
+            lsb = self.randomizer.randomize(lsb, index)
+            msb = self.randomizer.randomize(msb, index ^ 0x5A5A)
+        block = self.plane_array.block(address.block_address)
+        block.program_mlc(address.wordline, lsb, msb, randomized=randomize)
+        meta = block.metadata[address.wordline]
+        meta.randomizer_page_index = (
+            self.page_index(address) if randomize else None
+        )
+        duration = self.timing.t_program_us("mlc")
+        energy = self.power.energy_nj(
+            self.power.program_power_factor(), duration
+        )
+        self.counters.programs += 1
+        self.counters.charge(duration, energy)
+        return duration
+
+    def read_msb_page(self, address: WordlineAddress) -> np.ndarray:
+        """MSB-page read of an MLC wordline (two references)."""
+        address.validate(self.geometry)
+        block = self.plane_array.block(address.block_address)
+        condition = self._effective_condition([(block, (address.wordline,))])
+        outcome = self.sensing.read_msb_wordline(
+            block, address.wordline, condition
+        )
+        duration = 2 * self.timing.t_read_us  # two sensing passes
+        self.counters.senses += 2
+        self.counters.wordlines_sensed += 1
+        self.counters.charge(duration, self.power.energy_nj(1.0, duration))
+        raw = outcome.bits
+        meta = block.metadata[address.wordline]
+        if meta.programmed and meta.randomized:
+            raw = self.randomizer.derandomize(
+                raw, self.page_index(address) ^ 0x5A5A
+            )
+        return raw
+
+    # ------------------------------------------------------------------
+    # Firmware/test-mode features the paper builds on
+    # ------------------------------------------------------------------
+
+    def set_feature(self, feature: str, value: float) -> None:
+        """SET FEATURE command (Section 4.2): tune operating
+        parameters at runtime, as real chips allow for post-fabrication
+        optimization.  Supported features: 'esp_extra_default' and
+        'vref_offset'."""
+        if feature == "esp_extra_default":
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("esp_extra_default must be in [0, 1]")
+            self._features[feature] = value
+        elif feature == "vref_offset":
+            if not -1.0 <= value <= 1.0:
+                raise ValueError("vref_offset must be in [-1, 1] V")
+            self._features[feature] = value
+        else:
+            raise ValueError(f"unknown feature {feature!r}")
+
+    def get_feature(self, feature: str) -> float:
+        try:
+            return self._features[feature]
+        except KeyError:
+            raise ValueError(f"unknown feature {feature!r}") from None
+
+    def erase_verify(self, address: BlockAddress) -> bool:
+        """Erase verify (Section 4.1): simultaneously apply VREF to
+        every wordline of the block -- an intra-block MWS over all
+        wordlines -- and check that every bitline conducts.  This is
+        the pre-existing chip capability MWS builds on."""
+        address.validate(self.geometry)
+        all_wordlines = tuple(range(self.geometry.wordlines_per_string))
+        self.execute_sense([(address, all_wordlines)], IscmFlags())
+        return bool(self.output_cache(address.plane).all())
+
+    def copyback(
+        self, source: WordlineAddress, destination: WordlineAddress
+    ) -> None:
+        """Copyback (Section 2.1, footnote 3): move a page to another
+        page of the same plane without off-chip transfer, via an
+        inverse read into the latch and a program from it.
+
+        Faithfully models the operation's known hazard: raw cells move
+        verbatim, so (i) any accumulated bit errors propagate (no ECC
+        scrub) and (ii) randomized data keeps the *source* page's
+        keystream, which the firmware must remember."""
+        source.validate(self.geometry)
+        destination.validate(self.geometry)
+        if source.plane != destination.plane:
+            raise ValueError("copyback cannot cross planes")
+        src_block = self.plane_array.block(source.block_address)
+        src_meta = src_block.metadata[source.wordline]
+        if src_meta.mode not in (ProgramMode.SLC, ProgramMode.ESP):
+            raise NotImplementedError("copyback modeled for SLC-family pages")
+        # Inverse read into the latch; the program path re-inverts.
+        self.execute_sense(
+            [(source.block_address, (source.wordline,))],
+            IscmFlags(inverse=True),
+        )
+        raw = 1 - self.output_cache(source.plane)
+        dst_block = self.plane_array.block(destination.block_address)
+        dst_block.program(
+            destination.wordline,
+            raw.astype(np.uint8),
+            mode=src_meta.mode,
+            esp_extra=src_meta.esp_extra,
+            randomized=src_meta.randomized,
+        )
+        dst_meta = dst_block.metadata[destination.wordline]
+        dst_meta.randomizer_page_index = (
+            src_meta.randomizer_page_index
+            if src_meta.randomizer_page_index is not None
+            else (self.page_index(source) if src_meta.randomized else None)
+        )
+        duration = self.timing.t_program_us(
+            src_meta.mode.value, src_meta.esp_extra
+        )
+        self.counters.programs += 1
+        self.counters.charge(
+            duration,
+            self.power.energy_nj(self.power.program_power_factor(), duration),
+        )
+
+    def read_page_with_retry(
+        self,
+        address: WordlineAddress,
+        validate,
+        *,
+        vref_offsets: tuple[float, ...] = (0.0, -0.1, -0.2, -0.3, 0.1),
+    ) -> tuple[np.ndarray, int]:
+        """Read-retry: re-sense with shifted VREF until ``validate``
+        accepts the page.  Retention drift moves programmed cells
+        down, so negative offsets recover retention-degraded data --
+        the standard firmware mitigation the paper cites ([64]).
+
+        Returns (bits, retries).  Raises RuntimeError when no offset
+        validates."""
+        block = self.plane_array.block(address.block_address)
+        meta = block.metadata[address.wordline]
+        for retries, offset in enumerate(vref_offsets):
+            self.execute_sense(
+                [(address.block_address, (address.wordline,))],
+                IscmFlags(),
+                vref_offset=offset + self._features.get("vref_offset", 0.0),
+            )
+            raw = self.output_cache(address.plane)
+            if meta.programmed and meta.randomized:
+                index = (
+                    meta.randomizer_page_index
+                    if meta.randomizer_page_index is not None
+                    else self.page_index(address)
+                )
+                raw = self.randomizer.derandomize(raw, index)
+            if validate(raw):
+                return raw, retries
+        raise RuntimeError(
+            f"read-retry exhausted {len(vref_offsets)} reference offsets"
+        )
+
+    # ------------------------------------------------------------------
+    # Flash-Cosmos command set (Figure 15)
+    # ------------------------------------------------------------------
+
+    def execute_sense(
+        self,
+        targets: list[tuple[BlockAddress, tuple[int, ...]]],
+        iscm: IscmFlags,
+        *,
+        vref_offset: float = 0.0,
+    ) -> None:
+        """Execute one MWS command: sense all targeted wordlines in a
+        single operation and drive the latch protocol per the ISCM
+        flags.  A regular read is the one-block/one-wordline case.
+        ``vref_offset`` shifts VREF (read-retry support)."""
+        if not targets:
+            raise ValueError("sense requires at least one target")
+        planes = {block.plane for block, _ in targets}
+        if len(planes) != 1:
+            raise ValueError("one sense operation targets a single plane")
+        plane = planes.pop()
+        bank = self.latches[plane]
+
+        blocks = []
+        for block_addr, wordlines in targets:
+            block_addr.validate(self.geometry)
+            if not wordlines:
+                raise ValueError("empty wordline set for a target block")
+            block = self.plane_array.block(block_addr)
+            blocks.append((block, tuple(wordlines)))
+
+        condition = self._effective_condition(blocks)
+        outcome = self.sensing.inter_block_mws(
+            blocks, condition, vref_offset=vref_offset
+        )
+
+        if iscm.init_cache:
+            bank.init_cache()
+        if iscm.init_sense:
+            bank.init_sense()
+        bank.capture(outcome.bits, inverse=iscm.inverse)
+        if iscm.transfer:
+            bank.transfer_to_cache()
+
+        n_wordlines = outcome.wordlines_sensed
+        n_blocks = outcome.blocks_sensed
+        duration = self.timing.t_mws_us(n_wordlines, n_blocks)
+        energy = self.power.mws_energy_nj(n_wordlines, n_blocks, duration)
+        self.counters.senses += 1
+        self.counters.wordlines_sensed += n_wordlines
+        self.counters.charge(duration, energy)
+
+    def xor_command(self, plane: int) -> None:
+        """XOR command (Figure 15(c)): C-latch := S-latch XOR C-latch."""
+        bank = self.latches[plane]
+        bank.xor_into_cache()
+        # Latch-to-latch logic is fast relative to sensing; charge a
+        # token 1 us at read power.
+        self.counters.charge(1.0, self.power.read_energy_nj(1.0))
+
+    def load_cache(self, plane: int, data_bits: np.ndarray) -> None:
+        """Load external data into the C-latch (controller-side write
+        used before an XOR against stored data)."""
+        self.latches[plane].load_cache(np.asarray(data_bits, dtype=np.uint8))
+
+    def output_cache(self, plane: int) -> np.ndarray:
+        """Transfer the C-latch contents off-chip."""
+        self.counters.transfers_out += 1
+        return self.latches[plane].cache_data
+
+    def output_sense(self, plane: int) -> np.ndarray:
+        """Transfer the S-latch contents off-chip (diagnostics)."""
+        return self.latches[plane].sense_data
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _effective_condition(self, blocks) -> OperatingCondition:
+        """Ambient condition refined with per-wordline metadata: data
+        stored without randomization suffers the worst-case-pattern
+        interference surcharge (Section 2.2)."""
+        randomized = all(
+            block.metadata[wl].randomized
+            for block, wordlines in blocks
+            for wl in wordlines
+        )
+        return replace(self.condition, randomized=randomized)
+
+    def stored_bits(self, address: WordlineAddress) -> np.ndarray:
+        """Ground truth as stored in the cells (post-randomization)."""
+        block = self.plane_array.block(address.block_address)
+        return block.stored_bits(address.wordline)
+
+    def logical_bits(self, address: WordlineAddress) -> np.ndarray:
+        """Ground truth as the user wrote it (pre-randomization)."""
+        raw = self.stored_bits(address)
+        block = self.plane_array.block(address.block_address)
+        meta = block.metadata[address.wordline]
+        if meta.programmed and meta.randomized:
+            raw = self.randomizer.derandomize(raw, self.page_index(address))
+        return raw

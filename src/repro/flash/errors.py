@@ -1,0 +1,331 @@
+"""Error mechanisms of NAND flash memory.
+
+Implements the four error sources the paper names (Section 2.2):
+program interference, data retention loss, read disturbance, and
+cell-to-cell interference (folded into the interference term), plus
+P/E-cycle wear which amplifies all of them.
+
+Two evaluation paths share one parameterization:
+
+* :meth:`ErrorModel.rber` -- closed-form RBER from Gaussian tail mass.
+  Used for the Fig. 8 / Fig. 11 characterization sweeps where the
+  interesting probabilities reach 1e-12 (unsampleable).
+* :meth:`ErrorModel.perturb` -- Monte-Carlo perturbation of a concrete
+  V_TH array.  Used by the functional chip model so that end-to-end
+  reads/MWS operations experience *actual* bit errors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.flash.calibration import (
+    DEFAULT_CALIBRATION,
+    FlashCalibration,
+    MlcErrorConstants,
+    TlcErrorConstants,
+)
+from repro.flash.vth import (
+    VthWindow,
+    evenly_spaced_window,
+    gaussian_tail,
+    slc_window,
+)
+
+
+@dataclass(frozen=True)
+class OperatingCondition:
+    """Stress condition under which a wordline is evaluated.
+
+    ``randomized`` selects whether the stored data went through the
+    SSD's data randomizer.  ``esp_extra`` is tESP/tPROG - 1 in [0, 1];
+    zero means regular SLC-mode programming.  ``sigma_multiplier``
+    models block-to-block process variation (1.0 = median block).
+    """
+
+    pe_cycles: int = 0
+    retention_months: float = 0.0
+    reads: int = 0
+    randomized: bool = True
+    esp_extra: float = 0.0
+    sigma_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.pe_cycles < 0:
+            raise ValueError("pe_cycles must be >= 0")
+        if self.retention_months < 0:
+            raise ValueError("retention_months must be >= 0")
+        if self.reads < 0:
+            raise ValueError("reads must be >= 0")
+        if not 0.0 <= self.esp_extra <= 1.0:
+            raise ValueError("esp_extra must be in [0, 1]")
+        if self.sigma_multiplier <= 0:
+            raise ValueError("sigma_multiplier must be positive")
+
+    def with_quality(self, sigma_multiplier: float) -> "OperatingCondition":
+        return replace(self, sigma_multiplier=sigma_multiplier)
+
+
+#: Worst-case condition of the paper's characterization (Section 5.1):
+#: 10K P/E cycles, 1-year retention at 30 C, checkered data pattern
+#: (i.e. randomization disabled).
+WORST_CASE_CONDITION = OperatingCondition(
+    pe_cycles=10_000, retention_months=12.0, randomized=False
+)
+
+
+@dataclass(frozen=True)
+class SlcShifts:
+    """Resolved V_TH perturbations for one SLC condition (volts)."""
+
+    retention_down: float
+    erased_up: float
+    sigma_factor: float
+    erased_sigma: float
+    programmed_sigma: float
+    programmed_mean: float
+    read_ref: float
+    erased_mean: float
+
+
+class ErrorModel:
+    """Closed-form and Monte-Carlo NAND error evaluation."""
+
+    def __init__(self, calibration: FlashCalibration | None = None) -> None:
+        self.calibration = calibration or DEFAULT_CALIBRATION
+
+    # ------------------------------------------------------------------
+    # SLC (and ESP, which is SLC with extra ISPP effort)
+    # ------------------------------------------------------------------
+
+    def slc_shifts(self, condition: OperatingCondition) -> SlcShifts:
+        """Resolve all mechanism shifts for an SLC/ESP wordline."""
+        c = self.calibration.slc
+        pec = condition.pe_cycles
+        retention = c.k_ret * (1.0 + c.w_ret * pec) * math.log1p(
+            condition.retention_months / c.tau_ret_months
+        )
+        erased_up = c.d_int0 * (1.0 + c.w_int * pec)
+        if not condition.randomized:
+            erased_up += c.k_pat * (1.0 + c.w_pat * pec)
+        erased_up += c.k_rd * math.log1p(condition.reads)
+        sigma_factor = (1.0 + c.w_sig * pec) * condition.sigma_multiplier
+
+        extra = condition.esp_extra
+        extra_eff = extra**c.esp_gamma
+        programmed_mean = c.programmed_mean + c.esp_target_raise * extra_eff
+        programmed_sigma = (
+            c.programmed_sigma * (1.0 - c.esp_sigma_shrink * extra) * sigma_factor
+        )
+        read_ref = c.read_ref + c.esp_ref_slope * extra_eff
+        erased_sigma = c.erased_sigma * sigma_factor
+        return SlcShifts(
+            retention_down=retention,
+            erased_up=erased_up,
+            sigma_factor=sigma_factor,
+            erased_sigma=erased_sigma,
+            programmed_sigma=programmed_sigma,
+            programmed_mean=programmed_mean,
+            read_ref=read_ref,
+            erased_mean=c.erased_mean,
+        )
+
+    def slc_window(self, condition: OperatingCondition) -> VthWindow:
+        """The *shifted* SLC window under ``condition`` (for sampling)."""
+        s = self.slc_shifts(condition)
+        return slc_window(
+            erased_mean=s.erased_mean + s.erased_up,
+            erased_sigma=s.erased_sigma,
+            programmed_mean=s.programmed_mean - s.retention_down,
+            programmed_sigma=s.programmed_sigma,
+            read_ref=s.read_ref,
+        )
+
+    def slc_error_split(
+        self, condition: OperatingCondition
+    ) -> tuple[float, float]:
+        """(P(erased read as 0), P(programmed read as 1)) per cell."""
+        s = self.slc_shifts(condition)
+        z_erased = (s.read_ref - (s.erased_mean + s.erased_up)) / s.erased_sigma
+        z_programmed = (
+            (s.programmed_mean - s.retention_down) - s.read_ref
+        ) / s.programmed_sigma
+        return gaussian_tail(z_erased), gaussian_tail(z_programmed)
+
+    def slc_rber(self, condition: OperatingCondition) -> float:
+        """Per-bit RBER assuming half the cells hold each value."""
+        p_erased, p_programmed = self.slc_error_split(condition)
+        return 0.5 * (p_erased + p_programmed)
+
+    # ------------------------------------------------------------------
+    # Multi-level modes
+    # ------------------------------------------------------------------
+
+    def _multilevel_rber(
+        self,
+        c: MlcErrorConstants | TlcErrorConstants,
+        condition: OperatingCondition,
+    ) -> float:
+        window = evenly_spaced_window(
+            erased_mean=c.erased_mean,
+            erased_sigma=c.erased_sigma,
+            top_mean=c.top_mean,
+            programmed_sigma=c.programmed_sigma,
+            n_levels=c.n_levels,
+        )
+        pec = condition.pe_cycles
+        sigma_factor = (1.0 + c.w_sig * pec) * condition.sigma_multiplier
+        retention_base = c.k_ret * (1.0 + c.w_ret * pec) * math.log1p(
+            condition.retention_months / c.tau_ret_months
+        )
+        interference_base = c.d_int0 * (1.0 + c.w_int * pec)
+        if not condition.randomized:
+            interference_base += c.k_pat * (1.0 + c.w_pat * pec)
+        interference_base += c.k_rd * math.log1p(condition.reads)
+
+        span = c.top_mean - c.erased_mean
+        n = c.n_levels
+        bits = n.bit_length() - 1
+        total = 0.0
+        for i, ref in enumerate(window.read_refs):
+            lower = window.levels[i]
+            upper = window.levels[i + 1]
+            h_lower = (lower.mean - c.erased_mean) / span
+            h_upper = (upper.mean - c.erased_mean) / span
+            # Lower state drifts up (interference, strongest near erased).
+            lower_mean = lower.mean + interference_base * (1.0 - h_lower)
+            # Upper state drifts down (retention, strongest near the top).
+            upper_mean = upper.mean - retention_base * h_upper
+            z_up = (ref - lower_mean) / (lower.sigma * sigma_factor)
+            z_down = (upper_mean - ref) / (upper.sigma * sigma_factor)
+            # Each state holds 1/n of the cells; one boundary crossing
+            # flips one of `bits` stored bits (Gray coding).
+            total += (gaussian_tail(z_up) + gaussian_tail(z_down)) / (n * bits)
+        return total
+
+    def mlc_rber(self, condition: OperatingCondition) -> float:
+        return self._multilevel_rber(self.calibration.mlc, condition)
+
+    def mlc_window(self) -> VthWindow:
+        """The nominal MLC window (4 Gray-coded states)."""
+        c = self.calibration.mlc
+        return evenly_spaced_window(
+            erased_mean=c.erased_mean,
+            erased_sigma=c.erased_sigma,
+            top_mean=c.top_mean,
+            programmed_sigma=c.programmed_sigma,
+            n_levels=c.n_levels,
+        )
+
+    def mlc_lsb_read_ref(self) -> float:
+        """VREF2 -- the middle reference separating {E, P1} from
+        {P2, P3}; the only reference an LSB-page read needs (Figure
+        5(b), Section 9 footnote 15)."""
+        return self.mlc_window().read_refs[1]
+
+    def perturb_mlc(
+        self,
+        vth: np.ndarray,
+        states: np.ndarray,
+        condition: OperatingCondition,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Condition-dependent drift of MLC cells.
+
+        ``states`` holds each cell's programmed level index (0..3).
+        Retention pulls high states down proportionally to their
+        height; interference pushes low states up proportionally to
+        their depth; wear widens everything.
+        """
+        if vth.shape != states.shape:
+            raise ValueError("vth and states must share a shape")
+        c = self.calibration.mlc
+        pec = condition.pe_cycles
+        retention = c.k_ret * (1.0 + c.w_ret * pec) * math.log1p(
+            condition.retention_months / c.tau_ret_months
+        )
+        interference = c.d_int0 * (1.0 + c.w_int * pec)
+        if not condition.randomized:
+            interference += c.k_pat * (1.0 + c.w_pat * pec)
+        interference += c.k_rd * math.log1p(condition.reads)
+        sigma_factor = (1.0 + c.w_sig * pec) * condition.sigma_multiplier
+
+        height = states.astype(np.float32) / (c.n_levels - 1)
+        out = vth.astype(np.float32, copy=True)
+        out -= retention * height
+        out += interference * (1.0 - height)
+        widen = math.sqrt(max(sigma_factor**2 - 1.0, 0.0))
+        if widen > 0.0:
+            base_sigma = np.where(
+                states == 0, c.erased_sigma, c.programmed_sigma
+            ).astype(np.float32)
+            noise = rng.standard_normal(out.shape).astype(np.float32)
+            out += noise * base_sigma * widen
+        return out
+
+    def tlc_rber(self, condition: OperatingCondition) -> float:
+        return self._multilevel_rber(self.calibration.tlc, condition)
+
+    def rber(self, mode: str, condition: OperatingCondition) -> float:
+        """Dispatch by programming-mode name ('slc', 'esp', 'mlc', 'tlc')."""
+        if mode == "slc":
+            return self.slc_rber(replace(condition, esp_extra=0.0))
+        if mode == "esp":
+            return self.slc_rber(condition)
+        if mode == "mlc":
+            return self.mlc_rber(condition)
+        if mode == "tlc":
+            return self.tlc_rber(condition)
+        raise ValueError(f"unknown programming mode {mode!r}")
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo path (functional chip model)
+    # ------------------------------------------------------------------
+
+    def perturb(
+        self,
+        vth: np.ndarray,
+        programmed: np.ndarray,
+        condition: OperatingCondition,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Apply condition-dependent shifts to a concrete V_TH array.
+
+        ``programmed`` is a boolean mask of cells in the programmed
+        state.  Returns a new array; the stored (pristine) V_TH is left
+        untouched so conditions are not cumulative across calls.
+        """
+        if vth.shape != programmed.shape:
+            raise ValueError("vth and programmed masks must share a shape")
+        s = self.slc_shifts(condition)
+        out = vth.astype(np.float32, copy=True)
+        # Mean drift.
+        out[programmed] -= s.retention_down
+        out[~programmed] += s.erased_up
+        # Wear-induced widening: add noise proportional to the extra
+        # sigma (variance difference between stressed and pristine).
+        widen = math.sqrt(max(s.sigma_factor**2 - 1.0, 0.0))
+        if widen > 0.0:
+            c = self.calibration.slc
+            noise = rng.standard_normal(out.shape).astype(np.float32)
+            base_sigma = np.where(
+                programmed,
+                c.programmed_sigma * (1.0 - c.esp_sigma_shrink * condition.esp_extra),
+                c.erased_sigma,
+            ).astype(np.float32)
+            out += noise * base_sigma * widen
+        return out
+
+    # ------------------------------------------------------------------
+    # Convenience predicates
+    # ------------------------------------------------------------------
+
+    def is_effectively_error_free(
+        self, condition: OperatingCondition
+    ) -> bool:
+        """True when the statistical RBER is below the paper's
+        zero-observed-errors threshold (2.07e-12 over 4.83e11 bits)."""
+        return self.slc_rber(condition) < self.calibration.zero_error_rber

@@ -1,0 +1,225 @@
+"""Incremental Step Pulse Programming (ISPP).
+
+NAND flash programs a wordline by applying a staircase of program
+pulses, verifying each cell against its target voltage V_TGT after
+every pulse and excluding cells that have reached it (paper
+Section 4.2, Figure 10).  The final V_TH distribution width is set by
+the step voltage dV_ISPP (a cell overshoots its target by up to one
+step) plus pulse noise.
+
+Enhanced SLC-mode Programming (ESP) appends extra ISPP steps with a
+*raised* V_TGT and a *reduced* dV_ISPP, which simultaneously moves the
+programmed state up and narrows it -- the mechanism behind the Fig. 11
+reliability curve.  ``extra`` parameterizes ESP effort as
+``tESP / tPROG - 1`` in [0, 1]; 0 is regular SLC-mode programming and
+1 is the paper's full-effort ESP (tESP = 400 us = 2 x tPROG).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.calibration import DEFAULT_CALIBRATION, FlashCalibration
+
+
+class ProgramMode(enum.Enum):
+    """Programming modes supported by the chip (Section 8.3: any block
+    can be programmed in SLC, MLC or TLC mode; ESP is SLC plus extra
+    ISPP effort)."""
+
+    SLC = "slc"
+    ESP = "esp"
+    MLC = "mlc"
+    TLC = "tlc"
+
+    @property
+    def bits_per_cell(self) -> int:
+        return {"slc": 1, "esp": 1, "mlc": 2, "tlc": 3}[self.value]
+
+
+@dataclass(frozen=True)
+class IsppParameters:
+    """Tunable ISPP knobs (exposed by real chips via SET FEATURE).
+
+    ``vpgm_start`` is the first pulse amplitude mapped into the V_TH
+    domain; ``delta_v`` is the per-step V_TH increment; ``vtgt`` is the
+    verify target.  ``pulse_noise_sigma`` models cell-to-cell program
+    variability per pulse.  ``relaxation_sigma`` is post-program charge
+    relaxation (detrapping): two-sided Gaussian drift applied after the
+    final verify, which is why real programmed distributions have a
+    lower tail below the verify floor.
+    """
+
+    vpgm_start: float
+    delta_v: float
+    vtgt: float
+    pulse_noise_sigma: float
+    relaxation_sigma: float = 0.0
+    max_pulses: int = 64
+
+    def __post_init__(self) -> None:
+        if self.delta_v <= 0:
+            raise ValueError("delta_v must be positive")
+        if self.max_pulses < 1:
+            raise ValueError("max_pulses must be >= 1")
+        if self.pulse_noise_sigma < 0:
+            raise ValueError("pulse_noise_sigma must be >= 0")
+        if self.relaxation_sigma < 0:
+            raise ValueError("relaxation_sigma must be >= 0")
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    """Outcome of programming one wordline."""
+
+    pulses: int
+    latency_us: float
+    failed_cells: int
+
+
+class IsppEngine:
+    """Simulates ISPP programming over numpy V_TH rows.
+
+    The engine derives its SLC/ESP parameters from the calibration so
+    the distributions it *produces* match the distributions the error
+    model *assumes* (verified by tests/flash/test_ispp.py).
+    """
+
+    def __init__(
+        self,
+        calibration: FlashCalibration | None = None,
+        *,
+        t_prog_slc_us: float = 200.0,
+    ) -> None:
+        self.calibration = calibration or DEFAULT_CALIBRATION
+        self.t_prog_slc_us = t_prog_slc_us
+
+    # ------------------------------------------------------------------
+    # Parameter derivation
+    # ------------------------------------------------------------------
+
+    def slc_parameters(self, esp_extra: float = 0.0) -> IsppParameters:
+        """ISPP parameters producing the calibrated SLC/ESP state.
+
+        The distribution right after a verify-based ISPP pass is
+        approximately uniform over [vtgt, vtgt + delta_v] convolved
+        with pulse noise, floored at vtgt (verify guarantees a
+        minimum).  Post-program charge relaxation then spreads it
+        two-sidedly -- the dominant share of the final width and the
+        origin of the lower tail the error model's Gaussian assumes.
+        We budget ~15% of the variance to the ISPP core and ~85% to
+        relaxation, and place vtgt so the mean lands on the calibrated
+        programmed mean.
+        """
+        if not 0.0 <= esp_extra <= 1.0:
+            raise ValueError("esp_extra must be in [0, 1]")
+        c = self.calibration.slc
+        target_mean = c.programmed_mean + c.esp_target_raise * esp_extra**c.esp_gamma
+        target_sigma = c.programmed_sigma * (1.0 - c.esp_sigma_shrink * esp_extra)
+        core_sigma = math.sqrt(0.15) * target_sigma
+        relaxation = math.sqrt(0.85) * target_sigma
+        # Core split: ~60% of the core variance from step overshoot.
+        delta_v = math.sqrt(12.0 * 0.6) * core_sigma
+        noise = math.sqrt(0.4) * core_sigma
+        vtgt = target_mean - 0.5 * delta_v
+        return IsppParameters(
+            vpgm_start=c.erased_mean,
+            delta_v=delta_v,
+            vtgt=vtgt,
+            pulse_noise_sigma=noise,
+            relaxation_sigma=relaxation,
+        )
+
+    def program_latency_us(self, mode: ProgramMode, esp_extra: float = 0.0) -> float:
+        """Program latency per Table 1: 200/500/700 us for SLC/MLC/TLC;
+        ESP scales SLC latency by (1 + extra), i.e. 400 us at full
+        effort (Section 8.3)."""
+        base = {
+            ProgramMode.SLC: self.t_prog_slc_us,
+            ProgramMode.ESP: self.t_prog_slc_us * (1.0 + esp_extra),
+            ProgramMode.MLC: self.t_prog_slc_us * 2.5,
+            ProgramMode.TLC: self.t_prog_slc_us * 3.5,
+        }
+        return base[mode]
+
+    # ------------------------------------------------------------------
+    # Pulse-level simulation
+    # ------------------------------------------------------------------
+
+    def program_row(
+        self,
+        vth_row: np.ndarray,
+        target_mask: np.ndarray,
+        params: IsppParameters,
+        rng: np.random.Generator,
+    ) -> ProgramResult:
+        """Program ``target_mask`` cells of ``vth_row`` in place.
+
+        Applies ISPP pulses until every targeted cell verifies at
+        ``params.vtgt`` or ``params.max_pulses`` is exhausted.  Returns
+        pulse count, a latency estimate proportional to pulses, and the
+        number of cells that failed to verify.
+        """
+        if vth_row.shape != target_mask.shape:
+            raise ValueError("vth_row and target_mask must share a shape")
+        pending = target_mask & (vth_row < params.vtgt)
+        pulses = 0
+        while pending.any() and pulses < params.max_pulses:
+            count = int(pending.sum())
+            noise = rng.standard_normal(count).astype(vth_row.dtype)
+            vth_row[pending] += params.delta_v + params.pulse_noise_sigma * noise
+            pulses += 1
+            pending = target_mask & (vth_row < params.vtgt)
+        failed = int(pending.sum())
+        # Scale latency so a typical SLC pass costs t_prog_slc_us.
+        typical_pulses = max(
+            1, math.ceil((params.vtgt - params.vpgm_start) / params.delta_v)
+        )
+        latency = self.t_prog_slc_us * pulses / typical_pulses
+        return ProgramResult(pulses=pulses, latency_us=latency, failed_cells=failed)
+
+    def program_slc(
+        self,
+        vth_row: np.ndarray,
+        data_bits: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        esp_extra: float = 0.0,
+        apply_relaxation: bool = True,
+    ) -> ProgramResult:
+        """Program one SLC/ESP page: bit '0' cells are programmed, bit
+        '1' cells stay erased (erased encodes '1'; Section 2.1).
+        ``apply_relaxation=False`` models an idealized noise-free chip
+        (used when error injection is disabled)."""
+        if data_bits.shape != vth_row.shape:
+            raise ValueError("data and V_TH row must share a shape")
+        target_mask = data_bits == 0
+        base = self.slc_parameters(0.0)
+        result = self.program_row(vth_row, target_mask, base, rng)
+        final_params = base
+        if esp_extra > 0.0:
+            refine = self.slc_parameters(esp_extra)
+            extra_result = self.program_row(vth_row, target_mask, refine, rng)
+            final_params = refine
+            result = ProgramResult(
+                pulses=result.pulses + extra_result.pulses,
+                latency_us=self.program_latency_us(ProgramMode.ESP, esp_extra),
+                failed_cells=extra_result.failed_cells,
+            )
+        else:
+            result = ProgramResult(
+                pulses=result.pulses,
+                latency_us=self.program_latency_us(ProgramMode.SLC),
+                failed_cells=result.failed_cells,
+            )
+        # Post-program charge relaxation: applied once, after the last
+        # verify, so the final distribution gains its two-sided tail.
+        if apply_relaxation and final_params.relaxation_sigma > 0.0:
+            count = int(target_mask.sum())
+            drift = rng.standard_normal(count).astype(vth_row.dtype)
+            vth_row[target_mask] += final_params.relaxation_sigma * drift
+        return result

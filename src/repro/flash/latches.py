@@ -1,0 +1,120 @@
+"""Per-plane latch circuitry: sensing latch, cache latch, XOR logic.
+
+Models the latch behaviour of Figures 3, 4 and 6 at the logical level:
+
+* The *sensing latch* (S-latch) captures the evaluation result.  If it
+  is **not** re-initialized before a sense, newly sensed data N leaves
+  ``OUTS = N AND OUTS`` -- ParaBit's AND accumulation (Figure 6(b)).
+* The *cache latch* (C-latch) receives S-latch data when M3 is
+  enabled; latching N onto existing data leaves ``OUTL = N OR OUTL``
+  -- ParaBit's OR accumulation (Figure 6(c)).
+* An *inverse sense* stores the complement of the evaluation (Figure
+  4).  It requires S-latch initialization first, so inverse sensing
+  cannot AND-accumulate (paper Figure 16 caption).
+* Modern chips provide XOR between latches (Section 6.1), used for
+  on-chip randomization and test, which Flash-Cosmos reuses for
+  bitwise XOR/XNOR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LatchStateError(RuntimeError):
+    """Raised when a latch operation violates the circuit's protocol."""
+
+
+class LatchBank:
+    """Logical state of one plane's latch circuitry."""
+
+    def __init__(self, page_bits: int) -> None:
+        if page_bits < 1:
+            raise ValueError("page_bits must be >= 1")
+        self.page_bits = page_bits
+        self._sense: np.ndarray | None = None
+        self._cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Initialization (ISCM flags)
+    # ------------------------------------------------------------------
+
+    def init_sense(self) -> None:
+        """Initialize the S-latch (activating M1: all ones, so that a
+        subsequent AND-accumulating sense is an identity)."""
+        self._sense = np.ones(self.page_bits, dtype=np.uint8)
+
+    def init_cache(self) -> None:
+        """Initialize the C-latch (activating M4: all zeros, so that a
+        subsequent OR-merge transfer is an identity)."""
+        self._cache = np.zeros(self.page_bits, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Sensing and transfer
+    # ------------------------------------------------------------------
+
+    def capture(self, sensed: np.ndarray, *, inverse: bool = False) -> None:
+        """Latch an evaluation result into the S-latch.
+
+        With the S-latch initialized this stores ``sensed`` (or its
+        complement for an inverse sense).  Without initialization the
+        circuit AND-accumulates; inverse sensing in that state is not
+        electrically meaningful and raises.
+        """
+        data = self._check_page(sensed)
+        if inverse:
+            if self._sense is None or not bool(self._sense.all()):
+                raise LatchStateError(
+                    "inverse sensing requires a freshly initialized S-latch"
+                )
+            self._sense = (1 - data).astype(np.uint8)
+            return
+        if self._sense is None:
+            raise LatchStateError("S-latch used before initialization")
+        self._sense = (self._sense & data).astype(np.uint8)
+
+    def transfer_to_cache(self) -> None:
+        """Move S-latch data to the C-latch (enable M3): OR-merge onto
+        whatever the C-latch holds."""
+        if self._sense is None:
+            raise LatchStateError("transfer with empty S-latch")
+        if self._cache is None:
+            raise LatchStateError("transfer with uninitialized C-latch")
+        self._cache = (self._cache | self._sense).astype(np.uint8)
+
+    def xor_into_cache(self) -> None:
+        """C-latch := S-latch XOR C-latch (the on-chip XOR feature)."""
+        if self._sense is None or self._cache is None:
+            raise LatchStateError("XOR requires both latches to hold data")
+        self._cache = (self._cache ^ self._sense).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Reading out
+    # ------------------------------------------------------------------
+
+    @property
+    def sense_data(self) -> np.ndarray:
+        if self._sense is None:
+            raise LatchStateError("S-latch holds no data")
+        return self._sense.copy()
+
+    @property
+    def cache_data(self) -> np.ndarray:
+        if self._cache is None:
+            raise LatchStateError("C-latch holds no data")
+        return self._cache.copy()
+
+    def load_cache(self, data: np.ndarray) -> None:
+        """Directly load the C-latch (used when the controller writes
+        data into the chip for a subsequent XOR)."""
+        self._cache = self._check_page(data).copy()
+
+    def _check_page(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=np.uint8)
+        if arr.shape != (self.page_bits,):
+            raise ValueError(
+                f"latch page must have {self.page_bits} bits, got {arr.shape}"
+            )
+        if not np.isin(arr, (0, 1)).all():
+            raise ValueError("latch data must be 0/1 bits")
+        return arr

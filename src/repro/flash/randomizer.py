@@ -1,0 +1,79 @@
+"""LFSR-based data randomization.
+
+Modern SSDs XOR stored data with a pseudo-random keystream seeded per
+page to avoid worst-case data patterns (Section 2.2).  Randomization
+is an involution (XOR with the same keystream de-randomizes), but it
+does **not** commute with AND/OR performed on the raw cells -- the
+reason ParaBit cannot be used on randomized data and one of the two
+motivations for ESP.  tests/flash/test_randomizer.py demonstrates the
+non-commutativity explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fibonacci LFSR taps for a 32-bit maximal-length sequence
+#: (polynomial x^32 + x^22 + x^2 + x + 1).
+_TAPS = (31, 21, 1, 0)
+
+
+def _keystream_words(seed: int, n_words: int) -> np.ndarray:
+    """Generate ``n_words`` 32-bit keystream words from ``seed``.
+
+    A pure-Python LFSR is adequate here: functional tests use small
+    pages and the system-level models never materialize keystreams.
+    """
+    state = seed & 0xFFFFFFFF
+    if state == 0:
+        state = 0xDEADBEEF
+    words = np.empty(n_words, dtype=np.uint32)
+    for i in range(n_words):
+        # Advance 32 steps to emit one word.
+        for _ in range(32):
+            bit = 0
+            for tap in _TAPS:
+                bit ^= (state >> tap) & 1
+            state = ((state << 1) | bit) & 0xFFFFFFFF
+        words[i] = state
+    return words
+
+
+def keystream_bits(seed: int, n_bits: int) -> np.ndarray:
+    """Keystream as a uint8 bit array of length ``n_bits``."""
+    n_words = (n_bits + 31) // 32
+    words = _keystream_words(seed, n_words)
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return bits[:n_bits].astype(np.uint8)
+
+
+class LfsrRandomizer:
+    """Page-granularity randomizer with per-page seeds.
+
+    The seed mixes a device seed with the page address so neighbouring
+    pages get uncorrelated keystreams (the property that breaks up
+    worst-case vertical patterns along a NAND string).
+    """
+
+    def __init__(self, device_seed: int = 0x5A5A5A5A) -> None:
+        self.device_seed = device_seed & 0xFFFFFFFF
+        self._cache: dict[tuple[int, int], np.ndarray] = {}
+
+    def page_seed(self, page_index: int) -> int:
+        # Multiplicative hashing (Knuth) keeps seeds well spread.
+        return (self.device_seed ^ (page_index * 2654435761)) & 0xFFFFFFFF
+
+    def _stream(self, page_index: int, n_bits: int) -> np.ndarray:
+        key = (page_index, n_bits)
+        if key not in self._cache:
+            self._cache[key] = keystream_bits(self.page_seed(page_index), n_bits)
+        return self._cache[key]
+
+    def randomize(self, data_bits: np.ndarray, page_index: int) -> np.ndarray:
+        bits = np.asarray(data_bits, dtype=np.uint8)
+        stream = self._stream(page_index, bits.size)
+        return (bits ^ stream).astype(np.uint8)
+
+    def derandomize(self, data_bits: np.ndarray, page_index: int) -> np.ndarray:
+        # XOR is an involution; de-randomizing is the same operation.
+        return self.randomize(data_bits, page_index)

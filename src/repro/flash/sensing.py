@@ -1,0 +1,230 @@
+"""Sensing: regular reads and multi-wordline sensing (MWS).
+
+The read mechanism (Section 2.1, Figure 2) senses the conductance of
+NAND strings.  A cell conducts when VREF exceeds its V_TH; non-target
+cells always conduct because they receive VPASS.  Consequences
+(Section 4.1, Figure 9):
+
+* applying VREF to several wordlines of the *same* string makes the
+  string conduct only if **every** targeted cell conducts ->
+  **bitwise AND** of the targeted wordlines (intra-block MWS);
+* applying VREF to wordlines in *different* blocks (strings sharing
+  bitlines) discharges the bitline if **any** string conducts ->
+  **bitwise OR** across the blocks (inter-block MWS);
+* combining both senses computes OR-of-ANDs in one shot (Equation 1).
+
+Sensing is where bit errors happen: the engine perturbs the stored
+V_TH with the stress condition before comparing against VREF, so MWS
+results carry realistic errors unless the data was ESP-programmed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.flash.array import BlockArray
+from repro.flash.errors import ErrorModel, OperatingCondition
+from repro.flash.geometry import StringGroup
+
+
+class SenseMode(enum.Enum):
+    """Latch initialization behaviour of a sense (Figures 3 and 4)."""
+
+    NORMAL = "normal"
+    INVERSE = "inverse"
+
+
+@dataclass(frozen=True)
+class SenseOutcome:
+    """Raw evaluation result of one sensing operation (pre-latch)."""
+
+    bits: np.ndarray
+    wordlines_sensed: int
+    blocks_sensed: int
+
+
+class SensingEngine:
+    """Evaluates string conductance for reads and MWS operations."""
+
+    def __init__(
+        self,
+        error_model: ErrorModel,
+        *,
+        rng: np.random.Generator | None = None,
+        inject_errors: bool = True,
+    ) -> None:
+        self.error_model = error_model
+        self.rng = rng or np.random.default_rng(0)
+        self.inject_errors = inject_errors
+
+    # ------------------------------------------------------------------
+    # Cell-level conductance
+    # ------------------------------------------------------------------
+
+    def _conduction(
+        self,
+        block: BlockArray,
+        wordlines: tuple[int, ...],
+        condition: OperatingCondition,
+        *,
+        vref_offset: float = 0.0,
+    ) -> np.ndarray:
+        """Per-bitline conduction of one string group: AND over the
+        targeted wordlines' cell conduction.
+
+        ``vref_offset`` shifts the read-reference voltage -- the
+        read-retry mechanism real chips expose to recover data whose
+        V_TH distribution has drifted.
+        """
+        if not wordlines:
+            raise ValueError("MWS requires at least one wordline")
+        modes = {block.metadata[wl].mode for wl in wordlines}
+        from repro.flash.ispp import ProgramMode
+
+        if ProgramMode.MLC in modes and len(modes) > 1:
+            raise ValueError(
+                "MWS cannot mix MLC and SLC-family wordlines in one sense"
+            )
+        extras = {block.wordline_esp_extra(wl) for wl in wordlines}
+        if len(extras) > 1:
+            raise ValueError(
+                "all wordlines of one MWS must share a programming mode "
+                f"(got ESP extras {sorted(extras)})"
+            )
+        esp_extra = extras.pop()
+        cond = replace(
+            condition,
+            esp_extra=esp_extra,
+            pe_cycles=max(condition.pe_cycles, block.pe_cycles),
+            sigma_multiplier=condition.sigma_multiplier * block.sigma_multiplier,
+        )
+        rows = np.array(sorted(wordlines))
+        vth = block.vth[rows]
+        if ProgramMode.MLC in modes:
+            # LSB-page sensing: the read mechanism is identical to an
+            # SLC read except for the reference voltage (VREF2 between
+            # the P1 and P2 states; Section 9, footnote 15).
+            read_ref = self.error_model.mlc_lsb_read_ref()
+            if self.inject_errors:
+                vth = self.error_model.perturb_mlc(
+                    vth, block.mlc_states(rows), cond, self.rng
+                )
+        elif self.inject_errors:
+            programmed = block.programmed_mask()[rows]
+            vth = self.error_model.perturb(vth, programmed, cond, self.rng)
+            read_ref = self.error_model.slc_shifts(cond).read_ref
+        else:
+            pristine = replace(cond, pe_cycles=0, retention_months=0.0, reads=0)
+            read_ref = self.error_model.slc_shifts(pristine).read_ref
+        conducting = vth <= read_ref + vref_offset
+        block.note_read(len(wordlines))
+        return conducting.all(axis=0)
+
+    # ------------------------------------------------------------------
+    # Public sensing operations
+    # ------------------------------------------------------------------
+
+    def read_wordline(
+        self,
+        block: BlockArray,
+        wordline: int,
+        condition: OperatingCondition,
+        *,
+        vref_offset: float = 0.0,
+    ) -> SenseOutcome:
+        """Regular page read: VREF on exactly one wordline.  For MLC
+        wordlines this is the LSB-page read (single reference)."""
+        bits = self._conduction(
+            block, (wordline,), condition, vref_offset=vref_offset
+        )
+        return SenseOutcome(
+            bits=bits.astype(np.uint8), wordlines_sensed=1, blocks_sensed=1
+        )
+
+    def read_msb_wordline(
+        self,
+        block: BlockArray,
+        wordline: int,
+        condition: OperatingCondition,
+    ) -> SenseOutcome:
+        """MSB-page read of an MLC wordline: two references (VREF1 and
+        VREF3); MSB = 1 for cells below VREF1 (E) or above VREF3 (P3)."""
+        from repro.flash.ispp import ProgramMode
+
+        if block.metadata[wordline].mode is not ProgramMode.MLC:
+            raise ValueError("MSB read requires an MLC wordline")
+        window = self.error_model.mlc_window()
+        ref1, _, ref3 = window.read_refs
+        rows = np.array([wordline])
+        vth = block.vth[rows]
+        cond = condition
+        if self.inject_errors:
+            vth = self.error_model.perturb_mlc(
+                vth, block.mlc_states(rows), cond, self.rng
+            )
+        below_ref1 = vth[0] <= ref1
+        above_ref3 = vth[0] > ref3
+        block.note_read(2)
+        return SenseOutcome(
+            bits=(below_ref1 | above_ref3).astype(np.uint8),
+            wordlines_sensed=1,
+            blocks_sensed=1,
+        )
+
+    def intra_block_mws(
+        self,
+        block: BlockArray,
+        wordlines: tuple[int, ...],
+        condition: OperatingCondition,
+        *,
+        vref_offset: float = 0.0,
+    ) -> SenseOutcome:
+        """Intra-block MWS: bitwise AND of the targeted wordlines."""
+        bits = self._conduction(
+            block, tuple(wordlines), condition, vref_offset=vref_offset
+        )
+        return SenseOutcome(
+            bits=bits.astype(np.uint8),
+            wordlines_sensed=len(wordlines),
+            blocks_sensed=1,
+        )
+
+    def inter_block_mws(
+        self,
+        targets: list[tuple[BlockArray, tuple[int, ...]]],
+        condition: OperatingCondition,
+        *,
+        vref_offset: float = 0.0,
+    ) -> SenseOutcome:
+        """Inter-block MWS: OR across blocks of the AND within each
+        block (Equation 1).  With one wordline per block this is plain
+        bitwise OR (Figure 9(b))."""
+        if not targets:
+            raise ValueError("inter-block MWS requires at least one target")
+        acc: np.ndarray | None = None
+        total_wordlines = 0
+        for block, wordlines in targets:
+            conduction = self._conduction(
+                block, tuple(wordlines), condition, vref_offset=vref_offset
+            )
+            total_wordlines += len(wordlines)
+            acc = conduction if acc is None else (acc | conduction)
+        assert acc is not None
+        return SenseOutcome(
+            bits=acc.astype(np.uint8),
+            wordlines_sensed=total_wordlines,
+            blocks_sensed=len(targets),
+        )
+
+    def sense_string_groups(
+        self,
+        groups: list[tuple[BlockArray, StringGroup]],
+        condition: OperatingCondition,
+    ) -> SenseOutcome:
+        """Sense arbitrary string groups in one operation (the general
+        MWS form used by the command executor)."""
+        targets = [(block, group.wordlines) for block, group in groups]
+        return self.inter_block_mws(targets, condition)

@@ -1,0 +1,16 @@
+"""Host-system models: CPU/DRAM throughput and energy, and the
+end-to-end evaluation of the four computing platforms (Section 7)."""
+
+from repro.host.energy import EnergyBreakdown, EnergyModel, EnergyParameters
+from repro.host.system import (
+    ExecutionReport,
+    SystemEvaluator,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParameters",
+    "ExecutionReport",
+    "SystemEvaluator",
+]

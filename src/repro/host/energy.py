@@ -1,0 +1,135 @@
+"""Energy model of the four platforms (Section 7, 'Energy Modeling').
+
+The paper measures host energy with Intel RAPL, DRAM energy from the
+DDR4 power model, SSD energy from Samsung 980 Pro values, and NAND
+energy from its real-device characterization.  We reproduce the same
+accounting with per-byte transfer energies, per-operation sense
+energies (from :mod:`repro.flash.power`), and background power while
+a component is active:
+
+* NAND sensing: 45 mW per die at read, scaled by the MWS power factor
+  (Figure 14) and duration.
+* Channel (ONFI bus) transfers: ~5 pJ/bit.
+* External link (PCIe Gen4): ~7.5 pJ/bit.
+* DRAM traffic: ~19 pJ/bit (DDR4 activate+IO).
+* Host CPU streaming compute: memory-bound AND/OR chews ~5 nJ/B of
+  package energy (RAPL at ~60 W / 12 GB/s); ingesting a result vector
+  (bit-count for BMI, buffering for IMS/KCS) is far cheaper
+  (~1 nJ/B) since it is read-mostly with negligible write-back.
+* SSD background (controller + DRAM): ~4 W while the drive is active.
+* ISP accelerator: 93 pJ per 64-B operation (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flash.power import PowerModel
+from repro.ssd.config import SsdConfig
+from repro.ssd.pipeline import Platform, PlatformTiming
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    nand_read_power_w: float = 0.045
+    e_channel_per_byte: float = 40e-12
+    e_external_per_byte: float = 60e-12
+    e_dram_per_byte: float = 150e-12
+    e_cpu_bitwise_per_byte: float = 5e-9
+    e_cpu_result_per_byte: float = 1e-9
+    ssd_background_power_w: float = 4.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component energy (joules)."""
+
+    sense_j: float
+    channel_j: float
+    external_j: float
+    dram_j: float
+    cpu_j: float
+    accelerator_j: float
+    background_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.sense_j
+            + self.channel_j
+            + self.external_j
+            + self.dram_j
+            + self.cpu_j
+            + self.accelerator_j
+            + self.background_j
+        )
+
+
+@dataclass
+class EnergyModel:
+    config: SsdConfig
+    params: EnergyParameters = field(default_factory=EnergyParameters)
+    power_model: PowerModel = field(default_factory=PowerModel)
+
+    def _sense_energy_j(
+        self,
+        platform: Platform,
+        timing: PlatformTiming,
+        fc_wordlines_per_sense: float,
+        fc_blocks_per_sense: int,
+    ) -> float:
+        p = self.params
+        if platform is Platform.FC:
+            t_sense = self.config.t_mws_us
+            wordlines = max(1, round(fc_wordlines_per_sense))
+            factor = self.power_model.mws_power_factor(
+                max(wordlines, fc_blocks_per_sense), fc_blocks_per_sense
+            )
+        else:
+            t_sense = self.config.t_read_us
+            factor = 1.0
+        per_sense_j = p.nand_read_power_w * factor * t_sense * 1e-6
+        return timing.n_die_senses * per_sense_j
+
+    def evaluate(
+        self,
+        platform: Platform,
+        timing: PlatformTiming,
+        *,
+        bitwise_host_bytes: float,
+        result_host_bytes: float,
+        fc_wordlines_per_sense: float = 1.0,
+        fc_blocks_per_sense: int = 1,
+    ) -> EnergyBreakdown:
+        """Energy of one platform run.
+
+        ``bitwise_host_bytes`` is data the host CPU streams through
+        bitwise ops (OSP only); ``result_host_bytes`` is result data
+        the host ingests (bit-count for BMI, buffering otherwise).
+        """
+        p = self.params
+        sense = self._sense_energy_j(
+            platform, timing, fc_wordlines_per_sense, fc_blocks_per_sense
+        )
+        channel = timing.internal_bytes * p.e_channel_per_byte
+        external = timing.external_bytes * p.e_external_per_byte
+        # Everything arriving at the host crosses DRAM at least once.
+        dram = timing.external_bytes * p.e_dram_per_byte
+        cpu = (
+            bitwise_host_bytes * p.e_cpu_bitwise_per_byte
+            + result_host_bytes * p.e_cpu_result_per_byte
+        )
+        accelerator = 0.0
+        if platform is Platform.ISP:
+            ops = timing.internal_bytes / 64.0
+            accelerator = ops * self.config.isp_accel_pj_per_64b * 1e-12
+        background = timing.makespan_s * p.ssd_background_power_w
+        return EnergyBreakdown(
+            sense_j=sense,
+            channel_j=channel,
+            external_j=external,
+            dram_j=dram,
+            cpu_j=cpu,
+            accelerator_j=accelerator,
+            background_j=background,
+        )

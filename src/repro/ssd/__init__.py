@@ -1,0 +1,27 @@
+"""SSD substrate: configuration, timeline simulation, FTL, controller.
+
+Models the simulated SSD of Table 1 (an MQSim-style performance model
+plus a functional multi-chip controller) and the three data paths the
+paper compares: external I/O (host <-> SSD), internal I/O (controller
+<-> flash dies over shared channels), and in-flash sensing.
+"""
+
+from repro.ssd.config import SsdConfig, fig7_config, table1_config
+from repro.ssd.controller import SmallSsd
+from repro.ssd.events import SerialResource, StageJob, simulate_stages
+from repro.ssd.ftl import FlashTranslationLayer, PagePlacement
+from repro.ssd.pipeline import PipelineModel, PlatformTiming
+
+__all__ = [
+    "FlashTranslationLayer",
+    "PagePlacement",
+    "PipelineModel",
+    "PlatformTiming",
+    "SerialResource",
+    "SmallSsd",
+    "SsdConfig",
+    "StageJob",
+    "fig7_config",
+    "simulate_stages",
+    "table1_config",
+]

@@ -1,0 +1,202 @@
+"""Functional multi-chip SSD: stripes vectors across Flash-Cosmos
+chips and fans expressions out chunk-by-chunk.
+
+``SmallSsd`` is the functional counterpart of the performance model:
+real bits move through real (scaled-down) chips, so examples and
+integration tests can run end-to-end queries -- write day bitmaps,
+issue ``query(expr)``, get the exact result vector back -- while the
+cost counters aggregate the same quantities the performance model
+estimates at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import FlashCosmos
+from repro.core.expressions import Expression, operand_names
+from repro.flash.chip import NandFlashChip
+from repro.flash.errors import OperatingCondition
+from repro.flash.geometry import ChipGeometry
+from repro.ssd.ftl import FlashTranslationLayer
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result of one SSD-level in-flash query."""
+
+    bits: np.ndarray
+    n_senses: int
+    latency_us: float
+    energy_nj: float
+
+
+class SmallSsd:
+    """A small, fully functional Flash-Cosmos SSD."""
+
+    def __init__(
+        self,
+        n_chips: int = 4,
+        geometry: ChipGeometry | None = None,
+        *,
+        condition: OperatingCondition | None = None,
+        inject_errors: bool = False,
+        esp_extra: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        self.geometry = geometry or ChipGeometry(
+            planes_per_die=1,
+            blocks_per_plane=64,
+            subblocks_per_block=2,
+            wordlines_per_string=48,
+            page_size_bits=1024,
+        )
+        self.chips = [
+            NandFlashChip(
+                self.geometry, inject_errors=inject_errors, seed=seed + i
+            )
+            for i in range(n_chips)
+        ]
+        if condition is not None:
+            for chip in self.chips:
+                chip.set_condition(condition)
+        self.controllers = [
+            FlashCosmos(chip, esp_extra=esp_extra) for chip in self.chips
+        ]
+        self.ftl = FlashTranslationLayer(
+            n_chips=n_chips, page_bits=self.geometry.page_size_bits
+        )
+
+    @property
+    def page_bits(self) -> int:
+        return self.geometry.page_size_bits
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def write_vector(
+        self,
+        name: str,
+        bits: np.ndarray,
+        *,
+        group: str | None = None,
+        inverse: bool = False,
+    ) -> None:
+        """Stripe one logical bit vector across the chips.
+
+        Chunks land on chips round-robin; within each chip the operand
+        keeps its group (string-group co-location) and inversion flag.
+        """
+        data = np.asarray(bits, dtype=np.uint8)
+        record = self.ftl.register_vector(
+            name,
+            data.size,
+            group=group,
+            inverted=inverse,
+            esp_extra=0.9,
+        )
+        page = self.page_bits
+        for placement in record.placements:
+            chunk_bits = data[
+                placement.chunk * page : (placement.chunk + 1) * page
+            ]
+            controller = self.controllers[placement.chip]
+            # Only the *same* chunk offset of different vectors must
+            # share a string group (they are combined bit-by-bit);
+            # distinct offsets get distinct groups so a group never
+            # exhausts its 48 wordlines on one vector's own chunks.
+            chunk_group = f"{group}#{placement.chunk}" if group else None
+            controller.fc_write(
+                self._chunk_operand_name(name, placement.chunk),
+                chunk_bits,
+                group=chunk_group,
+                inverse=inverse,
+            )
+
+    def _chunk_operand_name(self, name: str, chunk: int) -> str:
+        # Chunks striped to the same chip get distinct operand names;
+        # equal bit offsets of different vectors share chip + group.
+        return f"{name}@{chunk}"
+
+    def query(self, expr: Expression) -> QueryResult:
+        """Evaluate a bulk bitwise expression over stored vectors.
+
+        The expression is applied chunk-wise: chunk c of every operand
+        lives on the same chip (identical striping), so each chip
+        computes its chunks independently -- chips work in parallel in
+        a real SSD, hence latency aggregates as the per-chip maximum.
+        """
+        names = sorted(operand_names(expr))
+        if not names:
+            raise ValueError("expression references no operands")
+        self.ftl.validate_co_located(names)
+        n_chunks = self.ftl.lookup(names[0]).n_chunks
+
+        busy_before = [c.counters.busy_us for c in self.chips]
+        energy_before = [c.counters.energy_nj for c in self.chips]
+        senses_before = [c.counters.senses for c in self.chips]
+
+        pieces: list[np.ndarray] = []
+        for chunk in range(n_chunks):
+            chip_index = self.ftl.chip_of_chunk(chunk)
+            controller = self.controllers[chip_index]
+            chunk_expr = _rename_operands(
+                expr, {n: self._chunk_operand_name(n, chunk) for n in names}
+            )
+            pieces.append(controller.fc_read(chunk_expr).bits)
+
+        latency = max(
+            c.counters.busy_us - b
+            for c, b in zip(self.chips, busy_before)
+        )
+        energy = sum(
+            c.counters.energy_nj - b
+            for c, b in zip(self.chips, energy_before)
+        )
+        senses = sum(
+            c.counters.senses - b
+            for c, b in zip(self.chips, senses_before)
+        )
+        return QueryResult(
+            bits=np.concatenate(pieces) if pieces else np.empty(0, np.uint8),
+            n_senses=senses,
+            latency_us=latency,
+            energy_nj=energy,
+        )
+
+    def read_vector(self, name: str) -> np.ndarray:
+        """Read a stored vector back through regular page reads."""
+        record = self.ftl.lookup(name)
+        pieces = []
+        for placement in record.placements:
+            controller = self.controllers[placement.chip]
+            stored = controller.stored(
+                self._chunk_operand_name(name, placement.chunk)
+            )
+            bits = controller.chip.read_page(
+                stored.address, inverse=stored.inverted
+            )
+            pieces.append(bits)
+        return np.concatenate(pieces)
+
+
+def _rename_operands(expr: Expression, mapping: dict[str, str]) -> Expression:
+    from repro.core.expressions import And, Not, Operand, Or, Xor
+
+    if isinstance(expr, Operand):
+        return Operand(mapping[expr.name])
+    if isinstance(expr, Not):
+        return Not(_rename_operands(expr.expr, mapping))
+    if isinstance(expr, And):
+        return And(*(_rename_operands(t, mapping) for t in expr.terms))
+    if isinstance(expr, Or):
+        return Or(*(_rename_operands(t, mapping) for t in expr.terms))
+    if isinstance(expr, Xor):
+        return Xor(
+            _rename_operands(expr.left, mapping),
+            _rename_operands(expr.right, mapping),
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")

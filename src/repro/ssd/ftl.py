@@ -1,0 +1,117 @@
+"""Flash translation layer for Flash-Cosmos data placement.
+
+Section 6.3: the SSD firmware must (i) remember each page's
+programming mode (ESP vs regular) and inversion flag, and (ii) place
+operand vectors so bulk bitwise operations touch as few senses as
+possible -- same-group operands into one string group, OR operands
+either inverted in-group or in dedicated blocks.
+
+``FlashTranslationLayer`` tracks vector-level metadata and the
+chunk-to-chip striping used by :class:`repro.ssd.controller.SmallSsd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PagePlacement:
+    """Where one chunk of a logical vector lives."""
+
+    vector: str
+    chunk: int
+    chip: int
+
+
+@dataclass
+class VectorRecord:
+    """FTL metadata for one logical bit vector."""
+
+    name: str
+    n_bits: int
+    n_chunks: int
+    group: str | None
+    inverted: bool
+    esp_extra: float
+    placements: list[PagePlacement] = field(default_factory=list)
+
+
+class FlashTranslationLayer:
+    """Vector-level mapping and placement metadata."""
+
+    def __init__(self, n_chips: int, page_bits: int) -> None:
+        if n_chips < 1:
+            raise ValueError("n_chips must be >= 1")
+        if page_bits < 1:
+            raise ValueError("page_bits must be >= 1")
+        self.n_chips = n_chips
+        self.page_bits = page_bits
+        self._vectors: dict[str, VectorRecord] = {}
+
+    def register_vector(
+        self,
+        name: str,
+        n_bits: int,
+        *,
+        group: str | None,
+        inverted: bool,
+        esp_extra: float,
+    ) -> VectorRecord:
+        if name in self._vectors:
+            raise ValueError(f"vector {name!r} already registered")
+        if n_bits % self.page_bits:
+            raise ValueError(
+                f"vector length {n_bits} is not a multiple of the page "
+                f"size ({self.page_bits} bits)"
+            )
+        n_chunks = n_bits // self.page_bits
+        record = VectorRecord(
+            name=name,
+            n_bits=n_bits,
+            n_chunks=n_chunks,
+            group=group,
+            inverted=inverted,
+            esp_extra=esp_extra,
+        )
+        for chunk in range(n_chunks):
+            record.placements.append(
+                PagePlacement(
+                    vector=name, chunk=chunk, chip=self.chip_of_chunk(chunk)
+                )
+            )
+        self._vectors[name] = record
+        return record
+
+    def chip_of_chunk(self, chunk: int) -> int:
+        """Striping policy: chunk i lives on chip i mod n_chips, so
+        equal-length vectors co-locate their equal bit offsets -- the
+        co-location requirement of MWS (Section 10, Limitations)."""
+        return chunk % self.n_chips
+
+    def lookup(self, name: str) -> VectorRecord:
+        try:
+            return self._vectors[name]
+        except KeyError:
+            raise KeyError(f"vector {name!r} is not stored") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vectors
+
+    def vectors(self) -> tuple[str, ...]:
+        return tuple(self._vectors)
+
+    def chunks_on_chip(self, name: str, chip: int) -> list[int]:
+        record = self.lookup(name)
+        return [p.chunk for p in record.placements if p.chip == chip]
+
+    def validate_co_located(self, names: list[str]) -> None:
+        """All vectors of one expression must have identical length
+        (hence identical striping) to be combined chunk-by-chunk."""
+        lengths = {self.lookup(n).n_bits for n in names}
+        if len(lengths) > 1:
+            raise ValueError(
+                "operand vectors have mismatched lengths "
+                f"{sorted(lengths)}; in-flash combination requires "
+                "equal-length, identically striped vectors"
+            )

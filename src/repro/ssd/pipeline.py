@@ -1,0 +1,285 @@
+"""Platform dataflow models: OSP, ISP, PB (ParaBit), FC (Flash-Cosmos).
+
+Builds pipelined job streams for the timeline simulator
+(:mod:`repro.ssd.events`) at any workload scale:
+
+* **OSP** (outside-storage processing): every operand page is sensed,
+  DMA'd over its channel, shipped over the external link, and combined
+  on the host CPU.
+* **ISP** (in-storage processing): operands stop at the per-channel
+  accelerator in the SSD controller; only results cross the external
+  link.  A result chunk becomes ready when its *last* operand chunk
+  arrives -- the join the paper's Figure 7(c) timeline shows.
+* **PB** (ParaBit): operands are combined in the flash latches during
+  serial senses; only results move.  One full sense per operand.
+* **FC** (Flash-Cosmos): multi-wordline sensing computes each result
+  chunk in a handful of senses; only results move.
+
+Large workloads are batched (operand batches x chunk batches) to keep
+job counts bounded; batching preserves makespans to within one batch
+duration.  With small workloads (Figure 7: 1 chunk, 3 operands) the
+builders degenerate to exact per-operand jobs and reproduce the
+paper's 471/431/335-us timelines bit-for-bit, which tests pin.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.events import StageJob, StageReport, simulate_stages
+
+#: Batching caps: at most this many operand/chunk batches per die.
+#: Larger values tighten pipelining fidelity at the cost of job count;
+#: the makespan error is bounded by one batch duration (~1/cap).
+MAX_OPERAND_BATCHES = 16
+MAX_CHUNK_BATCHES = 32
+
+
+class Platform(enum.Enum):
+    OSP = "osp"
+    ISP = "isp"
+    PB = "pb"
+    FC = "fc"
+
+
+@dataclass(frozen=True)
+class DataflowSpec:
+    """Scale-independent description of one bulk bitwise computation.
+
+    ``n_operands`` operand vectors are combined into one result vector
+    of ``result_bytes`` (per die, the model stripes uniformly).
+    ``fc_senses_per_chunk`` is how many MWS commands Flash-Cosmos
+    needs per result chunk (from the planner / workload layout);
+    ``pb_senses_per_chunk`` is ParaBit's serial sense count (usually
+    ``n_operands``).  ``host_bytes_per_result_byte`` scales the host
+    post-processing stage (1.0 for BMI's bit-count; 0 when the host
+    only receives).
+    """
+
+    n_operands: int
+    result_bytes: float
+    fc_senses_per_chunk: float
+    pb_senses_per_chunk: float
+    fc_blocks_per_sense: int = 1
+    host_bytes_per_result_byte: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_operands < 1:
+            raise ValueError("n_operands must be >= 1")
+        if self.result_bytes <= 0:
+            raise ValueError("result_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class PlatformTiming:
+    """Timing outcome for one platform run."""
+
+    platform: Platform
+    makespan_s: float
+    resource_busy_s: dict[str, float]
+    bottleneck: str
+    n_die_senses: float
+    internal_bytes: float
+    external_bytes: float
+    host_bytes: float
+
+    @property
+    def makespan_us(self) -> float:
+        return self.makespan_s * 1e6
+
+
+class PipelineModel:
+    """Builds and runs platform dataflows on an SSD configuration."""
+
+    def __init__(
+        self,
+        config: SsdConfig,
+        *,
+        host_bw_bytes_per_s: float = 12.0e9,
+    ) -> None:
+        self.config = config
+        self.host_bw = host_bw_bytes_per_s
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _chunks_per_die(self, spec: DataflowSpec) -> float:
+        """Result chunks (multi-plane page units) striped to one die."""
+        c = self.config
+        return spec.result_bytes / (c.n_dies * c.die_read_bytes)
+
+    @staticmethod
+    def _split(total: float, n_batches: int) -> list[float]:
+        """Split a (possibly fractional) work amount into batches."""
+        n = max(1, n_batches)
+        return [total / n] * n
+
+    def _die_resources(self) -> list[tuple[str, str]]:
+        """(die, channel) resource-name pairs for every die."""
+        c = self.config
+        return [
+            (f"die{ch}.{d}", f"chan{ch}")
+            for ch in range(c.n_channels)
+            for d in range(c.dies_per_channel)
+        ]
+
+    # ------------------------------------------------------------------
+    # Per-platform job builders
+    # ------------------------------------------------------------------
+
+    def _jobs_osp(self, spec: DataflowSpec) -> list[StageJob]:
+        """OSP: operand-granular stream sense -> DMA -> ext -> host."""
+        c = self.config
+        chunks = self._chunks_per_die(spec)
+        n_op_b = min(spec.n_operands, MAX_OPERAND_BATCHES)
+        n_ch_b = min(max(1, math.ceil(chunks)), MAX_CHUNK_BATCHES)
+        op_batches = self._split(float(spec.n_operands), n_op_b)
+        ch_batches = self._split(chunks, n_ch_b)
+        jobs = []
+        for die, chan in self._die_resources():
+            for chunk_amount in ch_batches:
+                for op_amount in op_batches:
+                    reads = op_amount * chunk_amount
+                    data = reads * c.die_read_bytes
+                    jobs.append(
+                        StageJob(
+                            ready_at=0.0,
+                            durations=(
+                                reads * c.t_read_us * 1e-6,
+                                data / c.channel_bw_bytes_per_s,
+                                data / c.external_bw_bytes_per_s,
+                                data / self.host_bw,
+                            ),
+                            resources=(die, chan, "ext", "host"),
+                        )
+                    )
+        return jobs
+
+    def _jobs_isp(self, spec: DataflowSpec) -> list[StageJob]:
+        """ISP: operands stop at the controller; the result chunk
+        ships after its last operand arrives (join on the final
+        operand batch)."""
+        c = self.config
+        chunks = self._chunks_per_die(spec)
+        n_op_b = min(spec.n_operands, MAX_OPERAND_BATCHES)
+        n_ch_b = min(max(1, math.ceil(chunks)), MAX_CHUNK_BATCHES)
+        op_batches = self._split(float(spec.n_operands), n_op_b)
+        ch_batches = self._split(chunks, n_ch_b)
+        jobs = []
+        for die, chan in self._die_resources():
+            for chunk_amount in ch_batches:
+                result_bytes = chunk_amount * c.die_read_bytes
+                for i, op_amount in enumerate(op_batches):
+                    reads = op_amount * chunk_amount
+                    data = reads * c.die_read_bytes
+                    durations = [
+                        reads * c.t_read_us * 1e-6,
+                        data / c.channel_bw_bytes_per_s,
+                    ]
+                    resources = [die, chan]
+                    if i == len(op_batches) - 1:
+                        # Result leaves once the last operand lands.
+                        durations.append(
+                            result_bytes / c.external_bw_bytes_per_s
+                        )
+                        resources.append("ext")
+                        host = (
+                            result_bytes * spec.host_bytes_per_result_byte
+                        )
+                        if host > 0:
+                            durations.append(host / self.host_bw)
+                            resources.append("host")
+                    jobs.append(
+                        StageJob(
+                            ready_at=0.0,
+                            durations=tuple(durations),
+                            resources=tuple(resources),
+                        )
+                    )
+        return jobs
+
+    def _jobs_result_only(
+        self, spec: DataflowSpec, senses_per_chunk: float, t_sense_us: float
+    ) -> list[StageJob]:
+        """Shared shape of PB and FC: in-flash computation, then only
+        the result crosses channel/external/host."""
+        c = self.config
+        chunks = self._chunks_per_die(spec)
+        n_ch_b = min(max(1, math.ceil(chunks)), MAX_CHUNK_BATCHES)
+        ch_batches = self._split(chunks, n_ch_b)
+        jobs = []
+        for die, chan in self._die_resources():
+            for chunk_amount in ch_batches:
+                result_bytes = chunk_amount * c.die_read_bytes
+                durations = [
+                    chunk_amount * senses_per_chunk * t_sense_us * 1e-6,
+                    result_bytes / c.channel_bw_bytes_per_s,
+                    result_bytes / c.external_bw_bytes_per_s,
+                ]
+                resources = [die, chan, "ext"]
+                host = result_bytes * spec.host_bytes_per_result_byte
+                if host > 0:
+                    durations.append(host / self.host_bw)
+                    resources.append("host")
+                jobs.append(
+                    StageJob(
+                        ready_at=0.0,
+                        durations=tuple(durations),
+                        resources=tuple(resources),
+                    )
+                )
+        return jobs
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, platform: Platform, spec: DataflowSpec) -> PlatformTiming:
+        c = self.config
+        chunk_units = spec.result_bytes / c.die_read_bytes
+        if platform is Platform.OSP:
+            jobs = self._jobs_osp(spec)
+            n_senses = spec.n_operands * chunk_units
+            internal = spec.n_operands * spec.result_bytes
+            external = spec.n_operands * spec.result_bytes
+            host = spec.n_operands * spec.result_bytes
+        elif platform is Platform.ISP:
+            jobs = self._jobs_isp(spec)
+            n_senses = spec.n_operands * chunk_units
+            internal = spec.n_operands * spec.result_bytes
+            external = spec.result_bytes
+            host = spec.result_bytes * spec.host_bytes_per_result_byte
+        elif platform is Platform.PB:
+            jobs = self._jobs_result_only(
+                spec, spec.pb_senses_per_chunk, c.t_read_us
+            )
+            n_senses = spec.pb_senses_per_chunk * chunk_units
+            internal = spec.result_bytes
+            external = spec.result_bytes
+            host = spec.result_bytes * spec.host_bytes_per_result_byte
+        elif platform is Platform.FC:
+            jobs = self._jobs_result_only(
+                spec, spec.fc_senses_per_chunk, c.t_mws_us
+            )
+            n_senses = spec.fc_senses_per_chunk * chunk_units
+            internal = spec.result_bytes
+            external = spec.result_bytes
+            host = spec.result_bytes * spec.host_bytes_per_result_byte
+        else:  # pragma: no cover
+            raise ValueError(f"unknown platform {platform}")
+
+        report: StageReport = simulate_stages(jobs)
+        return PlatformTiming(
+            platform=platform,
+            makespan_s=report.makespan,
+            resource_busy_s=dict(report.resource_busy),
+            bottleneck=report.bottleneck,
+            n_die_senses=n_senses,
+            internal_bytes=internal,
+            external_bytes=external,
+            host_bytes=host,
+        )

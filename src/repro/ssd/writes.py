@@ -1,0 +1,60 @@
+"""Sequential-write bandwidth model (Section 8.3).
+
+The paper reports sequential write bandwidths of 6.4 / 3.87 / 2.82
+GB/s for SLC/MLC/TLC-mode programming and 4.7 GB/s for ESP (73.4% /
+121.4% / 166.7% of the three).  Two regimes explain all four numbers:
+
+* a host-side ceiling at ~80% of the external PCIe bandwidth (write
+  commands, flow control, and FTL work shave the raw 8 GB/s to
+  ~6.4 GB/s) -- this is what caps SLC;
+* the aggregate program capacity: every *logical page* of a wordline
+  costs a full tPROG pass (real chips program MLC/TLC pages in
+  separate passes), across all dies with multi-plane programming and
+  at ~90% scheduling efficiency -- this is what caps ESP/MLC/TLC.
+
+``sequential_write_bandwidth`` returns min(ceiling, capacity); the
+bench pins it against the paper's four values.
+"""
+
+from __future__ import annotations
+
+from repro.ssd.config import SsdConfig
+
+#: Host/FTL overhead on the external link for writes.
+HOST_WRITE_EFFICIENCY = 0.8
+#: Die-level scheduling efficiency of back-to-back programs.
+PROGRAM_SCHEDULING_EFFICIENCY = 0.9
+
+
+def program_latency_us(config: SsdConfig, mode: str,
+                       esp_extra: float = 1.0) -> float:
+    """Per-logical-page program latency for a mode."""
+    if mode == "slc":
+        return config.t_prog_slc_us
+    if mode == "esp":
+        if not 0.0 <= esp_extra <= 1.0:
+            raise ValueError("esp_extra must be in [0, 1]")
+        return config.t_prog_slc_us * (1.0 + esp_extra)
+    if mode == "mlc":
+        return config.t_prog_mlc_us
+    if mode == "tlc":
+        return config.t_prog_tlc_us
+    raise ValueError(f"unknown programming mode {mode!r}")
+
+
+def program_capacity_bytes_per_s(
+    config: SsdConfig, mode: str, esp_extra: float = 1.0
+) -> float:
+    """Aggregate program throughput: all dies programming multi-plane
+    pages back to back, one tPROG per logical page."""
+    t_prog_s = program_latency_us(config, mode, esp_extra) * 1e-6
+    per_die = config.planes_per_die * config.page_bytes / t_prog_s
+    return PROGRAM_SCHEDULING_EFFICIENCY * config.n_dies * per_die
+
+
+def sequential_write_bandwidth(
+    config: SsdConfig, mode: str, esp_extra: float = 1.0
+) -> float:
+    """Sustained sequential write bandwidth (bytes/s) for a mode."""
+    ceiling = HOST_WRITE_EFFICIENCY * config.external_bw_bytes_per_s
+    return min(ceiling, program_capacity_bytes_per_s(config, mode, esp_extra))

@@ -1,0 +1,35 @@
+"""The paper's three real-world workloads (Section 7).
+
+Each module provides (a) the *performance-model* sweep -- the operand
+counts, vector sizes and per-chunk sense counts that parameterize the
+Fig. 17/18 evaluation -- and (b) a *functional* generator producing
+actual bit vectors for the end-to-end examples and integration tests.
+"""
+
+from repro.workloads.base import WorkloadPoint
+from repro.workloads.bitmap_index import (
+    bmi_sweep,
+    generate_login_bitmaps,
+    run_bmi_query_reference,
+)
+from repro.workloads.image_segmentation import (
+    generate_segmentation_masks,
+    ims_sweep,
+)
+from repro.workloads.kclique import (
+    generate_kclique_graph,
+    kclique_star_reference,
+    kcs_sweep,
+)
+
+__all__ = [
+    "WorkloadPoint",
+    "bmi_sweep",
+    "generate_kclique_graph",
+    "generate_login_bitmaps",
+    "generate_segmentation_masks",
+    "ims_sweep",
+    "kclique_star_reference",
+    "kcs_sweep",
+    "run_bmi_query_reference",
+]

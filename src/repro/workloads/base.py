@@ -1,0 +1,102 @@
+"""Workload descriptors consumed by the performance layer."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ssd.pipeline import DataflowSpec
+
+#: Wordlines per string group -- the intra-block MWS operand limit.
+STRING_GROUP_WORDLINES = 48
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One sweep point of one workload.
+
+    ``n_operands`` bit vectors of ``vector_bytes`` each are combined
+    per query; ``n_queries`` queries run back to back (1 for BMI/IMS,
+    one per clique for KCS).  ``extra_or_operand`` marks KCS's final
+    OR with the clique vector (stored in a different block, merged by
+    combined intra+inter MWS per Equation 1).
+    ``host_bitcount`` marks a result-side bit-count on the host CPU.
+    """
+
+    workload: str
+    label: str
+    parameter: float
+    n_operands: int
+    vector_bytes: int
+    n_queries: int = 1
+    extra_or_operand: bool = False
+    host_bitcount: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_operands < 1:
+            raise ValueError("n_operands must be >= 1")
+        if self.vector_bytes < 1:
+            raise ValueError("vector_bytes must be >= 1")
+        if self.n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Derived model inputs
+    # ------------------------------------------------------------------
+
+    @property
+    def operands_per_query(self) -> int:
+        return self.n_operands + (1 if self.extra_or_operand else 0)
+
+    @property
+    def result_bytes(self) -> float:
+        return float(self.vector_bytes) * self.n_queries
+
+    @property
+    def input_bytes(self) -> float:
+        return float(self.vector_bytes) * self.operands_per_query * (
+            self.n_queries
+        )
+
+    @property
+    def fc_senses_per_chunk(self) -> float:
+        """MWS commands Flash-Cosmos needs per result chunk.
+
+        AND groups of up to 48 operands resolve in one intra-block
+        sense each and AND-accumulate in the sensing latch; a trailing
+        OR operand rides along with the *last* AND group via combined
+        intra+inter MWS (Equation 1) when there is exactly one group,
+        otherwise it costs one more sense (OR-merge through the cache
+        latch)."""
+        groups = math.ceil(self.n_operands / STRING_GROUP_WORDLINES)
+        if self.extra_or_operand and groups > 1:
+            return groups + 1
+        return groups
+
+    @property
+    def fc_blocks_per_sense(self) -> int:
+        """Blocks activated by the typical FC sense of this workload."""
+        return 2 if self.extra_or_operand else 1
+
+    @property
+    def pb_senses_per_chunk(self) -> float:
+        """ParaBit: one full sense per operand."""
+        return float(self.operands_per_query)
+
+    def dataflow_spec(self) -> DataflowSpec:
+        return DataflowSpec(
+            n_operands=self.operands_per_query,
+            result_bytes=self.result_bytes,
+            fc_senses_per_chunk=self.fc_senses_per_chunk,
+            pb_senses_per_chunk=self.pb_senses_per_chunk,
+            fc_blocks_per_sense=self.fc_blocks_per_sense,
+            # The host ingests the full result either way (bit-count
+            # for BMI, buffering for IMS/KCS); energy accounting
+            # distinguishes the CPU work, timing uses stream rate.
+            host_bytes_per_result_byte=1.0,
+        )
+
+    @property
+    def fc_wordlines_per_sense(self) -> float:
+        """Average wordlines per MWS sense (for the power model)."""
+        return self.operands_per_query / self.fc_senses_per_chunk

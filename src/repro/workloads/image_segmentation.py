@@ -1,0 +1,69 @@
+"""Image-segmentation workload (IMS, Section 7).
+
+YUV color segmentation: pixel p belongs to color C when
+Y(p,C) . U(p,C) . V(p,C) -- a 3-operand bulk bitwise AND over
+bit vectors of I x 800 x 600 x 4 bits (I images, 4 colors).  The
+result is comparable in size to the inputs (up to 44 GiB at
+I = 200,000), which makes IMS transfer-bound: Flash-Cosmos and
+ParaBit perform almost identically here (Fig. 17(b)) -- an important
+*negative* crossover the reproduction must preserve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadPoint
+
+PIXELS_PER_IMAGE = 800 * 600
+N_COLORS = 4
+IMAGE_SWEEP = (10_000, 50_000, 100_000, 200_000)
+
+
+def ims_point(n_images: int) -> WorkloadPoint:
+    bits = n_images * PIXELS_PER_IMAGE * N_COLORS
+    return WorkloadPoint(
+        workload="IMS",
+        label=f"I={n_images // 1000}k",
+        parameter=n_images,
+        n_operands=3,
+        vector_bytes=bits // 8,
+        n_queries=1,
+        host_bitcount=False,
+    )
+
+
+def ims_sweep() -> list[WorkloadPoint]:
+    """The Fig. 17(b)/18(b) sweep: I in {10, 50, 100, 200} x 10^3."""
+    return [ims_point(i) for i in IMAGE_SWEEP]
+
+
+# ----------------------------------------------------------------------
+# Functional generator
+# ----------------------------------------------------------------------
+
+
+def generate_segmentation_masks(
+    n_pixels: int,
+    rng: np.random.Generator,
+    *,
+    match_rates: tuple[float, float, float] = (0.6, 0.5, 0.55),
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic Y/U/V membership bit vectors for one color plane.
+
+    Rates reflect that each YUV component independently includes a
+    pixel with moderate probability, so the AND selects a minority
+    region -- the shape real segmentation produces.
+    """
+    y_rate, u_rate, v_rate = match_rates
+    y = (rng.random(n_pixels) < y_rate).astype(np.uint8)
+    u = (rng.random(n_pixels) < u_rate).astype(np.uint8)
+    v = (rng.random(n_pixels) < v_rate).astype(np.uint8)
+    return y, u, v
+
+
+def segment_reference(
+    y: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Host-side oracle: the segmented region is Y . U . V."""
+    return (y & u & v).astype(np.uint8)

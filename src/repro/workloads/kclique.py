@@ -1,0 +1,108 @@
+"""K-clique star listing workload (KCS, Section 7).
+
+With vertices represented as adjacency bit vectors, a k-clique star is
+computed as ``AND of the k member adjacency vectors, OR the clique's
+own membership vector`` -- a set-centric formulation (SISA, MICRO'21).
+Flash-Cosmos evaluates the AND and the OR *in one sense* when the
+clique vector sits in a different block (combined intra+inter MWS,
+Equation 1).  The paper sweeps k from 8 to 64 over a 32-M-vertex graph
+with 1,024 cliques.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadPoint
+
+N_VERTICES = 32_000_000
+N_CLIQUES = 1_024
+K_SWEEP = (8, 16, 24, 32, 48, 64)
+
+
+def kcs_point(
+    k: int, *, n_vertices: int = N_VERTICES, n_cliques: int = N_CLIQUES
+) -> WorkloadPoint:
+    return WorkloadPoint(
+        workload="KCS",
+        label=f"k={k}",
+        parameter=k,
+        n_operands=k,
+        vector_bytes=n_vertices // 8,
+        n_queries=n_cliques,
+        extra_or_operand=True,  # OR with the clique-membership vector
+        host_bitcount=False,
+    )
+
+
+def kcs_sweep(
+    *, n_vertices: int = N_VERTICES, n_cliques: int = N_CLIQUES
+) -> list[WorkloadPoint]:
+    """The Fig. 17(c)/18(c) sweep: k in {8, 16, 24, 32, 48, 64}."""
+    return [
+        kcs_point(k, n_vertices=n_vertices, n_cliques=n_cliques)
+        for k in K_SWEEP
+    ]
+
+
+# ----------------------------------------------------------------------
+# Functional generator (uses networkx when available)
+# ----------------------------------------------------------------------
+
+
+def generate_kclique_graph(
+    n_vertices: int,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    background_edge_prob: float = 0.05,
+    n_satellites: int = 0,
+) -> tuple[np.ndarray, list[int]]:
+    """A random graph with one planted k-clique.
+
+    Returns the dense adjacency bit matrix (uint8, with self-loops set
+    so a clique member's adjacency vector includes itself, as the
+    set-centric formulation requires) and the clique's vertex list.
+    ``n_satellites`` additionally plants vertices connected to every
+    clique member, guaranteeing a non-trivial star.
+    """
+    if k > n_vertices:
+        raise ValueError("clique larger than graph")
+    if n_satellites > n_vertices - k:
+        raise ValueError("too many satellites for the graph size")
+    adjacency = (
+        rng.random((n_vertices, n_vertices)) < background_edge_prob
+    ).astype(np.uint8)
+    adjacency = adjacency | adjacency.T  # undirected
+    members = list(rng.choice(n_vertices, size=k + n_satellites,
+                              replace=False))
+    clique = members[:k]
+    for i in clique:
+        for j in clique:
+            adjacency[i, j] = 1
+    for satellite in members[k:]:
+        for member in clique:
+            adjacency[satellite, member] = 1
+            adjacency[member, satellite] = 1
+    np.fill_diagonal(adjacency, 1)
+    return adjacency, clique
+
+
+def clique_membership_vector(n_vertices: int, clique: list[int]) -> np.ndarray:
+    vector = np.zeros(n_vertices, dtype=np.uint8)
+    vector[clique] = 1
+    return vector
+
+
+def kclique_star_reference(
+    adjacency: np.ndarray, clique: list[int]
+) -> np.ndarray:
+    """Host-side oracle: the k-clique star bit vector.
+
+    AND of the members' adjacency rows selects the vertices connected
+    to *all* clique members; OR with the membership vector adds the
+    clique itself (Section 7's formulation)."""
+    rows = adjacency[clique]
+    common = np.bitwise_and.reduce(rows, axis=0)
+    return (common | clique_membership_vector(adjacency.shape[0], clique)
+            ).astype(np.uint8)

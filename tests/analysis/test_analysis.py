@@ -1,0 +1,104 @@
+"""Tests for repro.analysis (report formatting, reliability math)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.paper import PAPER
+from repro.analysis.reliability import (
+    correct_bit_probability,
+    correct_query_probability,
+    expected_miscounted_users,
+)
+from repro.analysis.report import format_series, format_table
+
+
+class TestPaperReference:
+    def test_all_figures_present(self):
+        for key in ("fig7", "fig8", "fig11", "fig12", "fig13", "fig14",
+                    "fig17", "fig18", "sec7_reliability", "sec8_3",
+                    "table1"):
+            assert key in PAPER
+
+    def test_headline_values(self):
+        assert PAPER["fig17"]["fc_vs_osp_avg"] == 32.0
+        assert PAPER["fig18"]["fc_vs_osp_avg"] == 95.0
+
+
+class TestReliability:
+    def test_paper_042_number(self):
+        """Section 7: RBER 8.6e-4 over ~1,000 operand reads leaves a
+        ~0.39-0.42 per-bit survival probability."""
+        ref = PAPER["sec7_reliability"]
+        p = correct_bit_probability(ref["rber"], 1000)
+        assert p == pytest.approx(ref["p_correct"], abs=0.05)
+
+    def test_whole_vector_probability_is_nil(self):
+        """Across 800M result bits the query is essentially never
+        correct -- the case for zero-error ESP."""
+        p = correct_query_probability(8.6e-4, 1095, 800_000_000)
+        assert p < 1e-100
+
+    def test_expected_miscounts(self):
+        miscounts = expected_miscounted_users(8.6e-4, 1095, 800_000_000)
+        assert miscounts > 4e8  # over half the users miscounted
+
+    def test_zero_rber_is_perfect(self):
+        assert correct_bit_probability(0.0, 1000) == 1.0
+        assert correct_query_probability(0.0, 1000, 10**9) == 1.0
+        assert expected_miscounted_users(0.0, 1000, 10**9) == 0.0
+
+    @given(
+        rber=st.floats(0.0, 0.1),
+        n=st.integers(1, 2000),
+    )
+    def test_probability_bounds(self, rber, n):
+        p = correct_bit_probability(rber, n)
+        assert 0.0 <= p <= 1.0
+
+    @given(n1=st.integers(1, 500), n2=st.integers(501, 2000))
+    def test_more_operands_lower_survival(self, n1, n2):
+        assert correct_bit_probability(1e-3, n1) > correct_bit_probability(
+            1e-3, n2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correct_bit_probability(1.0, 10)
+        with pytest.raises(ValueError):
+            correct_bit_probability(0.1, 0)
+        with pytest.raises(ValueError):
+            correct_query_probability(0.1, 1, 0)
+        with pytest.raises(ValueError):
+            expected_miscounted_users(0.1, 1, 0)
+
+
+class TestReportFormatting:
+    def test_format_table(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.5], ["bb", 2e-6]],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "name" in text
+        assert "2e-06" in text
+
+    def test_table_width_validation(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a"], [[1, 2]])
+        with pytest.raises(ValueError, match="headers"):
+            format_table([], [])
+
+    def test_format_series(self):
+        text = format_series("tMWS/tR", [1, 48], [1.0, 1.033])
+        assert "tMWS/tR" in text
+        assert "48=1.033" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1.0])
+
+    def test_empty_table_renders(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text

@@ -1,0 +1,125 @@
+"""Tests for the Fig. 8 / 11 / 12 / 13 / 14 characterization campaigns."""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.characterization.esp_sweep import esp_latency_sweep
+from repro.characterization.mws_latency import (
+    inter_block_latency_series,
+    intra_block_latency_series,
+    validate_mws_zero_errors,
+)
+from repro.characterization.power_sweep import mws_power_series
+from repro.characterization.rber import (
+    measure_rber_grid,
+    randomization_penalty,
+)
+from repro.characterization.testbed import ChipPopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return ChipPopulation(n_chips=40, blocks_per_chip=20)
+
+
+class TestFig8Campaign:
+    def test_grid_shape(self, population):
+        grid = measure_rber_grid("slc", True, population=population,
+                                 n_blocks=16)
+        assert len(grid.values) == 36
+        series = grid.series_by_pec()
+        assert set(series) == {0, 1000, 2000, 3000, 6000, 10000}
+        assert all(len(v) == 6 for v in series.values())
+
+    def test_monotone_in_stress(self, population):
+        grid = measure_rber_grid("slc", True, population=population,
+                                 n_blocks=16)
+        for pec, series in grid.series_by_pec().items():
+            assert series == sorted(series), f"PEC={pec} not monotone"
+
+    def test_mlc_anchors(self, population):
+        ref = PAPER["fig8"]
+        rand = measure_rber_grid("mlc", True, population=population,
+                                 n_blocks=16)
+        norand = measure_rber_grid("mlc", False, population=population,
+                                   n_blocks=16)
+        assert rand.min() == pytest.approx(ref["mlc_rand_min"], rel=0.5)
+        assert norand.max() == pytest.approx(ref["mlc_norand_max"], rel=0.5)
+
+    def test_randomization_penalties(self, population):
+        slc = randomization_penalty("slc", population=population, n_blocks=12)
+        mlc = randomization_penalty("mlc", population=population, n_blocks=12)
+        assert 1.3 < slc < 2.5  # paper: 1.91x
+        assert 3.0 < mlc < 7.0  # paper: 4.92x
+        assert mlc > slc
+
+
+class TestFig11Campaign:
+    @pytest.fixture(scope="class")
+    def sweep(self, population):
+        return esp_latency_sweep(population=population)
+
+    def test_series_ordering(self, sweep):
+        for w, m, b in zip(sweep.worst, sweep.median, sweep.best):
+            assert w > m > b
+
+    def test_zero_error_knee(self, sweep):
+        """Paper: tESP >= 1.9 x tPROG achieves zero errors."""
+        assert sweep.zero_error_knee() == pytest.approx(1.9, abs=0.1)
+
+    def test_median_reduction_at_1p6(self, sweep):
+        """Paper: an order of magnitude at +60% latency."""
+        assert 5.0 < sweep.median_reduction_at(1.6) < 60.0
+
+    def test_monotone_decreasing(self, sweep):
+        assert sweep.worst == sorted(sweep.worst, reverse=True)
+
+    def test_no_knee_raises_when_threshold_impossible(self, sweep):
+        sweep.zero_error_threshold = 1e-30
+        try:
+            with pytest.raises(ValueError):
+                sweep.zero_error_knee()
+        finally:
+            sweep.zero_error_threshold = 2.07e-12
+
+
+class TestFig12And13Campaigns:
+    def test_intra_series(self):
+        series = dict(intra_block_latency_series())
+        assert series[1] == pytest.approx(1.0)
+        assert series[48] == pytest.approx(1.033, abs=0.002)
+        assert series[8] < 1.01
+
+    def test_inter_series(self):
+        series = dict(inter_block_latency_series())
+        assert series[1] == pytest.approx(1.0)
+        assert series[8] == pytest.approx(1.0, abs=0.01)
+        assert series[32] == pytest.approx(1.363, abs=0.01)
+
+    def test_functional_zero_error_validation(self):
+        """The paper's headline validation, scaled down: every sensed
+        bit of intra- and inter-block MWS matches the oracle."""
+        result = validate_mws_zero_errors(page_bits=2048)
+        assert result.error_free
+        assert result.cells_checked > 1e5
+        assert result.senses == 2
+
+
+class TestFig14Campaign:
+    def test_power_series(self):
+        series, erase, prog = mws_power_series()
+        by_blocks = {p.n_blocks: p for p in series}
+        assert by_blocks[1].power_factor == pytest.approx(1.0)
+        assert by_blocks[2].power_factor == pytest.approx(1.34, abs=0.02)
+        assert by_blocks[4].power_factor == pytest.approx(1.80, abs=0.05)
+        assert by_blocks[4].power_factor < erase < 2.0
+        assert prog > 1.0
+
+    def test_energy_always_beats_serial_reads(self):
+        series, _, _ = mws_power_series()
+        for point in series:
+            if point.n_blocks > 1:
+                assert point.energy_vs_serial_reads < 1.0
+        four = {p.n_blocks: p for p in series}[4]
+        # Paper: ~53% energy saving at 4 blocks.
+        assert 1 - four.energy_vs_serial_reads == pytest.approx(0.53, abs=0.07)

@@ -1,0 +1,71 @@
+"""Cross-validation: Monte-Carlo RBER vs the closed-form curves."""
+
+import pytest
+
+from repro.characterization.functional_rber import measure_functional_rber
+from repro.flash.errors import OperatingCondition
+from repro.flash.ispp import ProgramMode
+
+
+class TestFunctionalRber:
+    def test_matches_closed_form_at_high_stress(self):
+        """At (10K PEC, 12 months, no randomization) the measured RBER
+        tracks the Gaussian-tail prediction within sampling noise."""
+        condition = OperatingCondition(
+            pe_cycles=10_000, retention_months=12.0, randomized=False
+        )
+        result = measure_functional_rber(
+            condition, page_bits=65536, n_wordlines=8, seed=3
+        )
+        assert result.bit_errors > 50  # enough samples to compare
+        assert result.ratio == pytest.approx(1.0, abs=0.35)
+
+    def test_matches_closed_form_at_moderate_stress(self):
+        condition = OperatingCondition(
+            pe_cycles=3_000, retention_months=3.0, randomized=False
+        )
+        result = measure_functional_rber(
+            condition, page_bits=131072, n_wordlines=8, seed=4
+        )
+        assert result.bit_errors > 20
+        assert result.ratio == pytest.approx(1.0, abs=0.4)
+
+    def test_esp_measures_zero_errors(self):
+        """ESP at the knee: no sampled errors (analytic RBER ~1e-13,
+        so any error would be a modeling bug)."""
+        condition = OperatingCondition(
+            pe_cycles=10_000, retention_months=12.0, randomized=False
+        )
+        result = measure_functional_rber(
+            condition,
+            mode=ProgramMode.ESP,
+            esp_extra=0.9,
+            page_bits=65536,
+            n_wordlines=8,
+            seed=5,
+        )
+        assert result.bit_errors == 0
+        assert result.analytic_rber < 1e-10
+
+    def test_stress_ordering_preserved(self):
+        """More stress -> more measured errors (same seed/pages)."""
+        mild = measure_functional_rber(
+            OperatingCondition(pe_cycles=1_000, retention_months=1.0,
+                               randomized=False),
+            page_bits=65536, n_wordlines=4, seed=6,
+        )
+        harsh = measure_functional_rber(
+            OperatingCondition(pe_cycles=10_000, retention_months=12.0,
+                               randomized=False),
+            page_bits=65536, n_wordlines=4, seed=6,
+        )
+        assert harsh.bit_errors > mild.bit_errors
+
+    def test_ratio_guard(self):
+        result = measure_functional_rber(
+            OperatingCondition(), mode=ProgramMode.ESP, esp_extra=0.9,
+            page_bits=1024, n_wordlines=2, seed=7,
+        )
+        if result.analytic_rber == 0:
+            with pytest.raises(ZeroDivisionError):
+                _ = result.ratio

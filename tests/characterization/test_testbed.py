@@ -1,0 +1,64 @@
+"""Tests for the simulated chip population (repro.characterization)."""
+
+import pytest
+
+from repro.characterization.testbed import ChipPopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return ChipPopulation(n_chips=40, blocks_per_chip=30)
+
+
+class TestPopulation:
+    def test_size(self, population):
+        assert len(population) == 40 * 30
+
+    def test_paper_scale_defaults(self):
+        pop = ChipPopulation()
+        assert pop.n_chips == 160
+        assert pop.n_wafers == 5
+        assert pop.blocks_per_chip == 120
+
+    def test_deterministic(self):
+        a = ChipPopulation(n_chips=10, blocks_per_chip=5, seed=3)
+        b = ChipPopulation(n_chips=10, blocks_per_chip=5, seed=3)
+        assert [s.sigma_multiplier for s in a.samples] == [
+            s.sigma_multiplier for s in b.samples
+        ]
+
+    def test_seed_changes_population(self):
+        a = ChipPopulation(n_chips=10, blocks_per_chip=5, seed=3)
+        b = ChipPopulation(n_chips=10, blocks_per_chip=5, seed=4)
+        assert [s.sigma_multiplier for s in a.samples] != [
+            s.sigma_multiplier for s in b.samples
+        ]
+
+    def test_wafer_assignment(self, population):
+        wafers = {s.wafer for s in population.samples}
+        assert wafers == set(range(5))
+
+    def test_quantiles_ordered(self, population):
+        best = population.best_block().sigma_multiplier
+        median = population.median_block().sigma_multiplier
+        worst = population.worst_block().sigma_multiplier
+        assert best < median < worst
+
+    def test_quantile_validation(self, population):
+        with pytest.raises(ValueError):
+            population.quantile_block(1.5)
+
+    def test_multipliers_are_reasonable(self, population):
+        ms = population.sigma_multipliers()
+        assert 0.7 < ms.min() < ms.max() < 1.4
+        assert abs(ms.mean() - 1.0) < 0.05
+
+    def test_subsample(self, population):
+        sub = population.subsample(10, seed=1)
+        assert len(sub) == 10
+        with pytest.raises(ValueError):
+            population.subsample(10_000)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ChipPopulation(n_chips=0)

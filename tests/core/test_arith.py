@@ -1,0 +1,160 @@
+"""Tests for the bit-serial arithmetic framework (repro.core.arith)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import FlashCosmos
+from repro.core.arith import ArithmeticUnit
+from repro.flash.chip import NandFlashChip
+from repro.flash.geometry import ChipGeometry
+
+PAGE_BITS = 64
+
+GEOMETRY = ChipGeometry(
+    planes_per_die=1,
+    blocks_per_plane=512,
+    subblocks_per_block=1,
+    wordlines_per_string=8,
+    page_size_bits=PAGE_BITS,
+)
+
+
+def make_unit(seed=0):
+    chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=seed)
+    return ArithmeticUnit(FlashCosmos(chip))
+
+
+def values(seed, n_bits):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << n_bits, PAGE_BITS, dtype=np.uint64)
+
+
+class TestStorage:
+    def test_store_read_roundtrip(self):
+        unit = make_unit()
+        vals = values(1, 8)
+        vec = unit.store_unsigned("x", vals, 8)
+        assert vec.n_bits == 8
+        np.testing.assert_array_equal(unit.read_unsigned(vec), vals)
+
+    def test_length_validated(self):
+        unit = make_unit()
+        with pytest.raises(ValueError, match="page width"):
+            unit.store_unsigned("x", np.zeros(10, dtype=np.uint64), 4)
+
+    def test_range_validated(self):
+        unit = make_unit()
+        vals = np.full(PAGE_BITS, 16, dtype=np.uint64)
+        with pytest.raises(ValueError, match="exceed"):
+            unit.store_unsigned("x", vals, 4)
+        with pytest.raises(ValueError, match="n_bits"):
+            unit.store_unsigned("x", vals, 0)
+
+
+class TestAdd:
+    def test_simple_add(self):
+        unit = make_unit(seed=2)
+        a_vals = values(3, 6)
+        b_vals = values(4, 6)
+        a = unit.store_unsigned("a", a_vals, 6)
+        b = unit.store_unsigned("b", b_vals, 6)
+        result = unit.add(a, b, "sum")
+        assert result.n_bits == 7  # carry-out bit
+        np.testing.assert_array_equal(
+            unit.read_unsigned(result), a_vals + b_vals
+        )
+
+    def test_carry_chain(self):
+        """All-ones plus one exercises the full carry ripple."""
+        unit = make_unit(seed=5)
+        a_vals = np.full(PAGE_BITS, 15, dtype=np.uint64)
+        b_vals = np.ones(PAGE_BITS, dtype=np.uint64)
+        a = unit.store_unsigned("a", a_vals, 4)
+        b = unit.store_unsigned("b", b_vals, 4)
+        result = unit.add(a, b, "sum")
+        np.testing.assert_array_equal(
+            unit.read_unsigned(result),
+            np.full(PAGE_BITS, 16, dtype=np.uint64),
+        )
+
+    def test_cost_scales_with_width_not_length(self):
+        """The PuM promise: O(W) senses regardless of element count."""
+        unit = make_unit(seed=6)
+        a = unit.store_unsigned("a", values(7, 8), 8)
+        b = unit.store_unsigned("b", values(8, 8), 8)
+        senses_before = unit.senses
+        unit.add(a, b, "sum")
+        senses_used = unit.senses - senses_before
+        # Per bit: p, g, s, pc, carry evaluations; a handful each.
+        assert senses_used <= 8 * 10
+
+    def test_incompatible_widths_rejected(self):
+        unit = make_unit(seed=9)
+        a = unit.store_unsigned("a", values(10, 4), 4)
+        b = unit.store_unsigned("b", values(11, 6), 6)
+        with pytest.raises(ValueError, match="widths differ"):
+            unit.add(a, b, "sum")
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000), n_bits=st.integers(1, 8))
+    def test_add_property(self, seed, n_bits):
+        unit = make_unit(seed=seed)
+        a_vals = values(seed, n_bits)
+        b_vals = values(seed + 1, n_bits)
+        a = unit.store_unsigned("a", a_vals, n_bits)
+        b = unit.store_unsigned("b", b_vals, n_bits)
+        result = unit.add(a, b, "sum")
+        np.testing.assert_array_equal(
+            unit.read_unsigned(result), a_vals + b_vals
+        )
+
+
+class TestSubtract:
+    def test_simple_subtract(self):
+        unit = make_unit(seed=12)
+        a_vals = values(13, 6)
+        b_vals = values(14, 6)
+        a = unit.store_unsigned("a", a_vals, 6)
+        b = unit.store_unsigned("b", b_vals, 6)
+        result = unit.subtract(a, b, "diff")
+        expected = (a_vals - b_vals) % (1 << 6)
+        np.testing.assert_array_equal(unit.read_unsigned(result), expected)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_subtract_property(self, seed):
+        n_bits = 5
+        unit = make_unit(seed=seed)
+        a_vals = values(seed + 2, n_bits)
+        b_vals = values(seed + 3, n_bits)
+        a = unit.store_unsigned("a", a_vals, n_bits)
+        b = unit.store_unsigned("b", b_vals, n_bits)
+        result = unit.subtract(a, b, "diff")
+        expected = (a_vals - b_vals) % (1 << n_bits)
+        np.testing.assert_array_equal(unit.read_unsigned(result), expected)
+
+
+class TestEquals:
+    def test_equality_mask(self):
+        unit = make_unit(seed=15)
+        a_vals = values(16, 5)
+        b_vals = a_vals.copy()
+        flip = np.arange(PAGE_BITS) % 3 == 0
+        b_vals[flip] = (b_vals[flip] + 1) % (1 << 5)
+        a = unit.store_unsigned("a", a_vals, 5)
+        b = unit.store_unsigned("b", b_vals, 5)
+        mask = unit.equals(a, b)
+        np.testing.assert_array_equal(
+            mask.astype(bool), a_vals == b_vals
+        )
+
+    def test_single_bit_equality(self):
+        unit = make_unit(seed=17)
+        a_vals = values(18, 1)
+        b_vals = values(19, 1)
+        a = unit.store_unsigned("a", a_vals, 1)
+        b = unit.store_unsigned("b", b_vals, 1)
+        mask = unit.equals(a, b)
+        np.testing.assert_array_equal(mask.astype(bool), a_vals == b_vals)

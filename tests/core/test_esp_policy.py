@@ -1,0 +1,61 @@
+"""Tests for repro.core.esp (ESP effort policy)."""
+
+import pytest
+
+from repro.core.esp import EspPolicy
+from repro.flash.errors import OperatingCondition, WORST_CASE_CONDITION
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return EspPolicy()
+
+
+class TestMinimalExtra:
+    def test_paper_default_near_0p9(self, policy):
+        """Fig. 11 knee: zero errors require tESP ~ 1.9 x tPROG, i.e.
+        extra ~ 0.9.  Table 1 adopts tESP = 400 us (extra = 1.0) as a
+        rounded-up operating point."""
+        extra = policy.paper_default_extra()
+        assert 0.8 <= extra <= 1.0
+
+    def test_latency_of_paper_default(self, policy):
+        extra = policy.paper_default_extra()
+        latency = policy.program_latency_us(extra)
+        assert 360.0 <= latency <= 400.0
+
+    def test_relaxed_target_needs_less_effort(self, policy):
+        strict = policy.minimal_extra(target_rber=1e-12)
+        relaxed = policy.minimal_extra(target_rber=1e-6)
+        assert relaxed < strict
+
+    def test_benign_condition_needs_less_effort(self, policy):
+        benign = OperatingCondition(pe_cycles=0, retention_months=0.0)
+        easy = policy.minimal_extra(target_rber=1e-6, condition=benign)
+        hard = policy.minimal_extra(
+            target_rber=1e-6, condition=WORST_CASE_CONDITION
+        )
+        assert easy < hard
+
+    def test_trivial_target_is_zero_effort(self, policy):
+        extra = policy.minimal_extra(
+            target_rber=0.5,
+            condition=OperatingCondition(),
+        )
+        assert extra == 0.0
+
+    def test_unreachable_target_raises(self, policy):
+        with pytest.raises(ValueError, match="unreachable"):
+            policy.minimal_extra(target_rber=1e-30)
+
+    def test_solution_actually_meets_target(self, policy):
+        target = 1e-9
+        extra = policy.minimal_extra(target_rber=target)
+        cond = WORST_CASE_CONDITION.with_quality(
+            policy.calibration.quality.sigma_multiplier_worst
+        )
+        assert policy.rber_at(extra, cond) < target
+
+    def test_latency_validation(self, policy):
+        with pytest.raises(ValueError):
+            policy.program_latency_us(1.5)

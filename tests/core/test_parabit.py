@@ -1,0 +1,123 @@
+"""Tests for the ParaBit baseline (serial sensing, latch accumulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parabit import ParaBit
+from repro.flash.chip import NandFlashChip
+from repro.flash.geometry import ChipGeometry, WordlineAddress
+
+GEOMETRY = ChipGeometry(
+    planes_per_die=2,
+    blocks_per_plane=8,
+    subblocks_per_block=2,
+    wordlines_per_string=8,
+    page_size_bits=128,
+)
+
+
+@pytest.fixture
+def setup():
+    chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=31)
+    rng = np.random.default_rng(32)
+    addresses = []
+    env = []
+    for i in range(6):
+        addr = WordlineAddress(0, i, 0, 0)
+        data = rng.integers(0, 2, GEOMETRY.page_size_bits, dtype=np.uint8)
+        chip.program_page(addr, data, randomize=False)
+        addresses.append(addr)
+        env.append(data)
+    return chip, addresses, env
+
+
+class TestBitwiseOps:
+    def test_and(self, setup):
+        chip, addresses, env = setup
+        result = ParaBit(chip).bitwise_and(addresses)
+        np.testing.assert_array_equal(
+            result.bits, np.bitwise_and.reduce(np.stack(env), axis=0)
+        )
+        assert result.n_senses == len(addresses)
+
+    def test_or(self, setup):
+        chip, addresses, env = setup
+        result = ParaBit(chip).bitwise_or(addresses)
+        np.testing.assert_array_equal(
+            result.bits, np.bitwise_or.reduce(np.stack(env), axis=0)
+        )
+        assert result.n_senses == len(addresses)
+
+    def test_xor(self, setup):
+        chip, addresses, env = setup
+        result = ParaBit(chip).bitwise_xor(addresses[0], addresses[1])
+        np.testing.assert_array_equal(result.bits, env[0] ^ env[1])
+        assert result.n_senses == 2
+
+    def test_single_operand(self, setup):
+        chip, addresses, env = setup
+        result = ParaBit(chip).bitwise_and(addresses[:1])
+        np.testing.assert_array_equal(result.bits, env[0])
+
+    def test_validation(self, setup):
+        chip, addresses, _ = setup
+        pb = ParaBit(chip)
+        with pytest.raises(ValueError, match="at least one"):
+            pb.bitwise_and([])
+        cross = [addresses[0], WordlineAddress(1, 0, 0, 0)]
+        with pytest.raises(ValueError, match="share a plane"):
+            pb.bitwise_and(cross)
+        with pytest.raises(ValueError, match="share a plane"):
+            pb.bitwise_xor(addresses[0], WordlineAddress(1, 0, 0, 0))
+
+
+class TestSerialSensingCost:
+    def test_latency_scales_linearly_with_operands(self, setup):
+        """The bottleneck Flash-Cosmos removes (Section 3.2): ParaBit
+        pays one full sense per operand."""
+        chip, addresses, _ = setup
+        pb = ParaBit(chip)
+        r2 = pb.bitwise_and(addresses[:2])
+        r6 = pb.bitwise_and(addresses[:6])
+        assert r6.latency_us == pytest.approx(3 * r2.latency_us, rel=0.01)
+
+    def test_flash_cosmos_beats_parabit_on_senses(self, setup):
+        """FC computes the same AND in one sense vs ParaBit's N."""
+        chip, addresses, env = setup
+        # Store the same operands in one string group for FC.
+        from repro.core.api import FlashCosmos
+        from repro.core.expressions import And, Operand
+
+        fc = FlashCosmos(chip)
+        names = []
+        for i, data in enumerate(env):
+            fc.fc_write(f"w{i}", data, group="g", plane=1)
+            names.append(f"w{i}")
+        fc_result = fc.fc_read(And(*(Operand(n) for n in names)))
+        pb_result = ParaBit(chip).bitwise_and(addresses)
+        np.testing.assert_array_equal(fc_result.bits, pb_result.bits)
+        assert fc_result.n_senses == 1
+        assert pb_result.n_senses == 6
+        assert fc_result.latency_us < pb_result.latency_us / 4
+
+
+class TestReliabilityProblem:
+    def test_parabit_on_randomized_data_is_garbage(self):
+        """Section 3.2: ParaBit senses raw cells, so AND over
+        randomized pages de-randomizes to garbage."""
+        chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=33)
+        rng = np.random.default_rng(34)
+        a = rng.integers(0, 2, GEOMETRY.page_size_bits, dtype=np.uint8)
+        b = rng.integers(0, 2, GEOMETRY.page_size_bits, dtype=np.uint8)
+        addr_a = WordlineAddress(0, 0, 0, 0)
+        addr_b = WordlineAddress(0, 0, 0, 1)
+        chip.program_page(addr_a, a, randomize=True)
+        chip.program_page(addr_b, b, randomize=True)
+        raw = ParaBit(chip).bitwise_and([addr_a, addr_b]).bits
+        # Even after de-randomizing with either page's stream the
+        # result does not recover a & b.
+        for addr in (addr_a, addr_b):
+            recovered = chip.randomizer.derandomize(
+                raw, chip.page_index(addr)
+            )
+            assert (recovered != (a & b)).any()

@@ -1,0 +1,185 @@
+"""Tests for repro.ecc.bch -- including the ECC/IFP non-commutativity
+claim the paper builds on (Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BchCode, BchDecodeFailure
+
+
+@pytest.fixture(scope="module")
+def code():
+    """BCH(15, 7, 2) -- small enough for exhaustive-ish testing."""
+    return BchCode(m=4, t=2)
+
+
+@pytest.fixture(scope="module")
+def strong_code():
+    """BCH(63, 45, 3) -- a realistic-shape code."""
+    return BchCode(m=6, t=3)
+
+
+def random_data(code, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, code.k, dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_bch_15_7_2(self, code):
+        """The classic BCH(15,7) double-error-correcting code."""
+        assert (code.n, code.k, code.t) == (15, 7, 2)
+
+    def test_bch_63_45_3(self, strong_code):
+        assert (strong_code.n, strong_code.k) == (63, 45)
+
+    def test_rejects_zero_t(self):
+        with pytest.raises(ValueError):
+            BchCode(m=4, t=0)
+
+    def test_rejects_overfull_code(self):
+        """GF(4): t=2 forces the generator to absorb every bit."""
+        with pytest.raises(ValueError, match="no data bits"):
+            BchCode(m=2, t=2)
+
+
+class TestEncoding:
+    def test_systematic(self, code):
+        data = random_data(code, 0)
+        cw = code.encode(data)
+        np.testing.assert_array_equal(cw[: code.k], data)
+        assert cw.shape == (code.n,)
+
+    def test_codeword_has_zero_syndromes(self, code):
+        for seed in range(10):
+            cw = code.encode(random_data(code, seed))
+            assert not any(code.syndromes(cw))
+
+    def test_linear(self, code):
+        a = random_data(code, 1)
+        b = random_data(code, 2)
+        cw_sum = code.encode(a ^ b)
+        np.testing.assert_array_equal(cw_sum, code.encode(a) ^ code.encode(b))
+
+    def test_input_validation(self, code):
+        with pytest.raises(ValueError, match="bits"):
+            code.encode(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError, match="0/1"):
+            code.encode(np.full(code.k, 2, dtype=np.uint8))
+
+
+class TestDecoding:
+    def test_clean_roundtrip(self, code):
+        data = random_data(code, 3)
+        decoded, n = code.decode(code.encode(data))
+        np.testing.assert_array_equal(decoded, data)
+        assert n == 0
+
+    @pytest.mark.parametrize("n_errors", [1, 2])
+    def test_corrects_up_to_t(self, code, n_errors):
+        rng = np.random.default_rng(17)
+        for _ in range(30):
+            data = rng.integers(0, 2, code.k, dtype=np.uint8)
+            cw = code.encode(data)
+            positions = rng.choice(code.n, size=n_errors, replace=False)
+            cw[positions] ^= 1
+            decoded, n = code.decode(cw)
+            np.testing.assert_array_equal(decoded, data)
+            assert n == n_errors
+
+    def test_detects_beyond_t(self, code):
+        """Three errors in a t=2 code must not silently decode to the
+        original data; miscorrection to a *different* codeword is
+        allowed (it is for any bounded-distance decoder)."""
+        rng = np.random.default_rng(23)
+        outcomes = {"failure": 0, "miscorrection": 0}
+        for _ in range(40):
+            data = rng.integers(0, 2, code.k, dtype=np.uint8)
+            cw = code.encode(data)
+            positions = rng.choice(code.n, size=3, replace=False)
+            cw[positions] ^= 1
+            try:
+                decoded, _ = code.decode(cw)
+            except BchDecodeFailure:
+                outcomes["failure"] += 1
+            else:
+                assert not np.array_equal(decoded, data)
+                outcomes["miscorrection"] += 1
+        assert outcomes["failure"] > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), data=st.data())
+    def test_roundtrip_property(self, strong_code, seed, data):
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(0, 2, strong_code.k, dtype=np.uint8)
+        cw = strong_code.encode(payload)
+        n_errors = data.draw(st.integers(0, strong_code.t))
+        if n_errors:
+            positions = rng.choice(strong_code.n, size=n_errors, replace=False)
+            cw[positions] ^= 1
+        decoded, n = strong_code.decode(cw)
+        np.testing.assert_array_equal(decoded, payload)
+        assert n == n_errors
+
+
+class TestNonCommutativityWithIfp:
+    """Section 3.2: bitwise AND/OR of ECC-encoded pages is not the
+    encoding of the AND/OR of the data, so in-flash bitwise results
+    cannot be repaired by the controller's ECC."""
+
+    def test_and_of_codewords_usually_not_a_codeword(self, code):
+        rng = np.random.default_rng(5)
+        violations = 0
+        for _ in range(50):
+            a = rng.integers(0, 2, code.k, dtype=np.uint8)
+            b = rng.integers(0, 2, code.k, dtype=np.uint8)
+            in_flash = code.encode(a) & code.encode(b)
+            expected = code.encode(a & b)
+            if not np.array_equal(in_flash, expected):
+                violations += 1
+        assert violations > 25  # almost always wrong
+
+    def test_or_of_codewords_usually_not_a_codeword(self, code):
+        rng = np.random.default_rng(6)
+        violations = 0
+        for _ in range(50):
+            a = rng.integers(0, 2, code.k, dtype=np.uint8)
+            b = rng.integers(0, 2, code.k, dtype=np.uint8)
+            in_flash = code.encode(a) | code.encode(b)
+            expected = code.encode(a | b)
+            if not np.array_equal(in_flash, expected):
+                violations += 1
+        assert violations > 25
+
+    def test_xor_of_codewords_is_a_codeword(self, code):
+        """Linearity makes XOR the one operation ECC *does* commute
+        with -- consistent with the paper's observation that image
+        encryption (XOR-only) needs no ESP."""
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            a = rng.integers(0, 2, code.k, dtype=np.uint8)
+            b = rng.integers(0, 2, code.k, dtype=np.uint8)
+            np.testing.assert_array_equal(
+                code.encode(a) ^ code.encode(b), code.encode(a ^ b)
+            )
+
+    def test_decoding_an_anded_pair_corrupts_result(self, code):
+        """End-to-end: treat the in-flash AND as a received word; the
+        decode either fails or returns something other than a & b for
+        most operand pairs."""
+        rng = np.random.default_rng(8)
+        wrong = 0
+        total = 50
+        for _ in range(total):
+            a = rng.integers(0, 2, code.k, dtype=np.uint8)
+            b = rng.integers(0, 2, code.k, dtype=np.uint8)
+            in_flash = code.encode(a) & code.encode(b)
+            try:
+                decoded, _ = code.decode(in_flash)
+            except BchDecodeFailure:
+                wrong += 1
+                continue
+            if not np.array_equal(decoded, a & b):
+                wrong += 1
+        assert wrong > total // 2

@@ -1,0 +1,38 @@
+"""Tests for repro.ecc.crc."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ecc.crc import crc32_bits
+
+
+class TestCrc32Bits:
+    def test_deterministic(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        assert crc32_bits(bits) == crc32_bits(bits.copy())
+
+    def test_detects_single_bit_flip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 256, dtype=np.uint8)
+        reference = crc32_bits(bits)
+        for pos in [0, 100, 255]:
+            flipped = bits.copy()
+            flipped[pos] ^= 1
+            assert crc32_bits(flipped) != reference
+
+    @given(bits=npst.arrays(np.uint8, st.integers(1, 512),
+                            elements=st.integers(0, 1)))
+    def test_always_32_bit(self, bits):
+        value = crc32_bits(bits)
+        assert 0 <= value <= 0xFFFFFFFF
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            crc32_bits(np.array([0, 2], dtype=np.uint8))
+
+    def test_rejects_multidim(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            crc32_bits(np.zeros((2, 2), dtype=np.uint8))

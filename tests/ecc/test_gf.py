@@ -1,0 +1,118 @@
+"""Tests for repro.ecc.gf."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf import GaloisField
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GaloisField(4)
+
+
+@pytest.fixture(scope="module")
+def gf256():
+    return GaloisField(8)
+
+
+class TestConstruction:
+    def test_sizes(self, gf16):
+        assert gf16.size == 16
+        assert gf16.order == 15
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            GaloisField(1)
+        with pytest.raises(ValueError):
+            GaloisField(17)
+
+    def test_rejects_non_primitive_polynomial(self):
+        # x^4 + 1 is not primitive (it's not even irreducible).
+        with pytest.raises(ValueError, match="not primitive"):
+            GaloisField(4, primitive_poly=0b10001)
+
+    def test_exp_log_roundtrip(self, gf256):
+        for x in range(1, 256):
+            assert gf256.exp(gf256.log(x)) == x
+
+    def test_exp_is_periodic(self, gf16):
+        assert gf16.exp(0) == 1
+        assert gf16.exp(15) == 1
+        assert gf16.exp(-1) == gf16.exp(14)
+
+
+class TestFieldAxioms:
+    @settings(max_examples=60)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_mul_commutative(self, gf256, a, b):
+        assert gf256.mul(a, b) == gf256.mul(b, a)
+
+    @settings(max_examples=60)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+    def test_mul_associative(self, gf256, a, b, c):
+        assert gf256.mul(gf256.mul(a, b), c) == gf256.mul(a, gf256.mul(b, c))
+
+    @settings(max_examples=60)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+    def test_distributive(self, gf256, a, b, c):
+        assert gf256.mul(a, b ^ c) == gf256.mul(a, b) ^ gf256.mul(a, c)
+
+    @given(a=st.integers(1, 255))
+    def test_inverse(self, gf256, a):
+        assert gf256.mul(a, gf256.inverse(a)) == 1
+
+    @given(a=st.integers(1, 255), b=st.integers(1, 255))
+    def test_div_is_mul_by_inverse(self, gf256, a, b):
+        assert gf256.div(a, b) == gf256.mul(a, gf256.inverse(b))
+
+    def test_zero_handling(self, gf16):
+        assert gf16.mul(0, 7) == 0
+        assert gf16.div(0, 7) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf16.div(3, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf16.inverse(0)
+        with pytest.raises(ValueError):
+            gf16.log(0)
+
+    @given(a=st.integers(0, 15), n=st.integers(0, 30))
+    def test_pow_matches_repeated_mul(self, gf16, a, n):
+        expected = 1
+        for _ in range(n):
+            expected = gf16.mul(expected, a)
+        assert gf16.pow(a, n) == expected
+
+    def test_pow_zero_cases(self, gf16):
+        assert gf16.pow(0, 0) == 1
+        assert gf16.pow(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf16.pow(0, -1)
+
+
+class TestPolynomials:
+    def test_poly_eval_constant(self, gf16):
+        assert gf16.poly_eval([5], 7) == 5
+
+    def test_poly_eval_known(self, gf16):
+        # p(x) = x^2 + x + 1 at x = alpha: alpha^2 ^ alpha ^ 1.
+        alpha = gf16.exp(1)
+        expected = gf16.mul(alpha, alpha) ^ alpha ^ 1
+        assert gf16.poly_eval([1, 1, 1], alpha) == expected
+
+    def test_poly_mul_degree(self, gf16):
+        out = gf16.poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2 over GF(2)
+        assert out == [1, 0, 1]
+
+    @given(x=st.integers(0, 15))
+    def test_minimal_polynomial_annihilates(self, gf16, x):
+        poly = gf16.minimal_polynomial(x)
+        assert gf16.poly_eval(poly, x) == 0
+
+    def test_minimal_polynomial_is_binary(self, gf256):
+        poly = gf256.minimal_polynomial(gf256.exp(1))
+        assert all(c in (0, 1) for c in poly)
+        # alpha's minimal polynomial is the primitive polynomial itself.
+        as_int = sum(c << i for i, c in enumerate(poly))
+        assert as_int == gf256.primitive_poly

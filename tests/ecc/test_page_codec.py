@@ -1,0 +1,152 @@
+"""Tests for the interleaved page codec (repro.ecc.page_codec)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BchCode
+from repro.ecc.page_codec import PageCodec
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return PageCodec(BchCode(m=6, t=3), n_codewords=8)
+
+
+def payload(codec, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, codec.logical_bits, dtype=np.uint8)
+
+
+class TestShapes:
+    def test_sizes(self, codec):
+        assert codec.logical_bits == 45 * 8
+        assert codec.physical_bits == 63 * 8
+        assert codec.correctable_bits_per_page == 24
+
+    def test_n_codewords_validated(self):
+        with pytest.raises(ValueError):
+            PageCodec(BchCode(m=4, t=2), n_codewords=0)
+
+    def test_encode_shape_validated(self, codec):
+        with pytest.raises(ValueError, match="payload"):
+            codec.encode_page(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError, match="stored page"):
+            codec.decode_page(np.zeros(3, dtype=np.uint8))
+
+
+class TestRoundtrip:
+    def test_clean_roundtrip(self, codec):
+        data = payload(codec, 1)
+        result = codec.decode_page(codec.encode_page(data))
+        assert result.ok
+        assert result.corrected_bits == 0
+        np.testing.assert_array_equal(result.data_bits, data)
+
+    def test_corrects_scattered_errors(self, codec):
+        data = payload(codec, 2)
+        stored = codec.encode_page(data)
+        rng = np.random.default_rng(3)
+        positions = rng.choice(codec.physical_bits, size=12, replace=False)
+        stored[positions] ^= 1
+        result = codec.decode_page(stored)
+        # 12 scattered errors across 8 codewords: usually <= t each.
+        if result.ok:
+            np.testing.assert_array_equal(result.data_bits, data)
+            assert result.corrected_bits == 12
+
+    def test_burst_errors_interleave_across_codewords(self, codec):
+        """A physical burst of 16 adjacent bit errors spreads over the
+        8 interleaved codewords (2 each) -- well within t = 3."""
+        data = payload(codec, 4)
+        stored = codec.encode_page(data)
+        stored[100:116] ^= 1
+        result = codec.decode_page(stored)
+        assert result.ok
+        np.testing.assert_array_equal(result.data_bits, data)
+        assert result.corrected_bits == 16
+
+    def test_reports_uncorrectable_codewords(self, codec):
+        data = payload(codec, 5)
+        stored = codec.encode_page(data)
+        # Overwhelm codeword 0: flip 7 of its bits (interleaved lanes).
+        lanes = np.arange(7) * codec.n_codewords
+        stored[lanes] ^= 1
+        result = codec.decode_page(stored)
+        assert not result.ok
+        assert result.failed_codewords >= 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), n_errors=st.integers(0, 8))
+    def test_roundtrip_property(self, codec, seed, n_errors):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, codec.logical_bits, dtype=np.uint8)
+        stored = codec.encode_page(data)
+        if n_errors:
+            # One error per distinct codeword lane: always correctable.
+            lanes = rng.choice(codec.n_codewords, size=min(n_errors, 8),
+                               replace=False)
+            rows = rng.integers(0, codec.code.n, size=lanes.size)
+            for row, lane in zip(rows, lanes):
+                stored[row * codec.n_codewords + lane] ^= 1
+        result = codec.decode_page(stored)
+        assert result.ok
+        np.testing.assert_array_equal(result.data_bits, data)
+
+
+class TestWithFlashReadRetry:
+    def test_codec_as_read_retry_validator(self):
+        """End to end: ECC decode + embedded CRC is the 'validate'
+        oracle of the chip's read-retry loop -- the firmware pattern
+        the paper's read-retry citation describes.  The CRC guards
+        against silent BCH miscorrection of beyond-t codewords."""
+        from repro.ecc.crc import crc32_bits
+        from repro.flash.chip import NandFlashChip
+        from repro.flash.geometry import ChipGeometry, WordlineAddress
+        from repro.flash.ispp import ProgramMode
+
+        code = BchCode(m=6, t=3)
+        codec = PageCodec(code, n_codewords=16)
+        geometry = ChipGeometry(
+            planes_per_die=1,
+            blocks_per_plane=4,
+            subblocks_per_block=1,
+            wordlines_per_string=8,
+            page_size_bits=codec.physical_bits,
+        )
+        chip = NandFlashChip(geometry, inject_errors=True, seed=31)
+        addr = WordlineAddress(0, 0, 0, 0)
+        rng = np.random.default_rng(32)
+        # Payload = user data || CRC32 of the user data (firmware
+        # metadata embedded in the page).
+        user_bits = codec.logical_bits - 32
+        user = rng.integers(0, 2, user_bits, dtype=np.uint8)
+        crc = np.array(
+            [(crc32_bits(user) >> i) & 1 for i in range(32)], dtype=np.uint8
+        )
+        payload = np.concatenate([user, crc])
+        chip.program_page(
+            addr, codec.encode_page(payload),
+            mode=ProgramMode.ESP, esp_extra=0.9, randomize=False,
+        )
+        # Severe drift past the verify margin.
+        block = chip.plane_array.block(addr.block_address)
+        programmed = block.programmed_mask()[addr.wordline]
+        block.vth[addr.wordline][programmed] -= 2.05
+
+        def validate(raw):
+            result = codec.decode_page(raw)
+            if not result.ok:
+                return False
+            got_user = result.data_bits[:user_bits]
+            got_crc = result.data_bits[user_bits:]
+            value = sum(int(b) << i for i, b in enumerate(got_crc))
+            return crc32_bits(got_user) == value
+
+        bits, retries = chip.read_page_with_retry(
+            addr, validate, vref_offsets=(0.0, -0.3, -0.6)
+        )
+        assert retries > 0
+        result = codec.decode_page(bits)
+        np.testing.assert_array_equal(result.data_bits[:user_bits], user)

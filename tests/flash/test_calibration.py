@@ -1,0 +1,183 @@
+"""Calibration anchor tests: pin the reliability model to the paper.
+
+Each test names the figure/claim it reproduces.  Tolerances are
+deliberately wide (the paper reports averages over 160 physical chips;
+we assert the model lands in the right regime and preserves every
+ordering the paper derives conclusions from).
+"""
+
+import pytest
+
+from repro.flash.calibration import DEFAULT_CALIBRATION
+from repro.flash.errors import (
+    ErrorModel,
+    OperatingCondition,
+    WORST_CASE_CONDITION,
+)
+
+PEC_GRID = [0, 1_000, 2_000, 3_000, 6_000, 10_000]
+RETENTION_GRID = [0.0, 1.0, 2.0, 3.0, 6.0, 12.0]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ErrorModel(DEFAULT_CALIBRATION)
+
+
+def grid_rber(model, mode, randomized):
+    return [
+        model.rber(
+            mode,
+            OperatingCondition(
+                pe_cycles=pec, retention_months=months, randomized=randomized
+            ),
+        )
+        for pec in PEC_GRID
+        for months in RETENTION_GRID
+    ]
+
+
+class TestFig8SlcAnchors:
+    def test_fresh_slc_rber_regime(self, model):
+        """Fig. 8(a): fresh SLC RBER sits near 2e-4 -- ~12 orders of
+        magnitude above the 1e-15..1e-16 UBER requirement."""
+        rber = model.slc_rber(OperatingCondition())
+        assert 1e-4 < rber < 5e-4
+
+    def test_worst_slc_rber_regime(self, model):
+        """Fig. 8(a) left: 10K PEC + 1-year retention lands ~2e-3."""
+        rber = model.slc_rber(
+            OperatingCondition(pe_cycles=10_000, retention_months=12.0)
+        )
+        assert 1e-3 < rber < 4e-3
+
+    def test_randomization_factor(self, model):
+        """Fig. 8(a): disabling randomization costs ~1.91x on average."""
+        with_rand = grid_rber(model, "slc", True)
+        without = grid_rber(model, "slc", False)
+        ratio = sum(without) / sum(with_rand)
+        assert 1.4 < ratio < 2.4
+
+    def test_rber_monotone_in_pec(self, model):
+        rbers = [
+            model.slc_rber(OperatingCondition(pe_cycles=p, retention_months=6.0))
+            for p in PEC_GRID
+        ]
+        assert rbers == sorted(rbers)
+
+    def test_rber_monotone_in_retention(self, model):
+        rbers = [
+            model.slc_rber(
+                OperatingCondition(pe_cycles=6_000, retention_months=m)
+            )
+            for m in RETENTION_GRID
+        ]
+        assert rbers == sorted(rbers)
+
+
+class TestFig8MlcAnchors:
+    def test_mlc_best_case(self, model):
+        """Fig. 8(b): best-case MLC RBER = 8.6e-4."""
+        rber = model.mlc_rber(OperatingCondition())
+        assert rber == pytest.approx(8.6e-4, rel=0.5)
+
+    def test_mlc_worst_case(self, model):
+        """Fig. 8(b): worst-case MLC RBER (no randomization) = 1.6e-2."""
+        rber = model.mlc_rber(WORST_CASE_CONDITION)
+        assert rber == pytest.approx(1.6e-2, rel=0.5)
+
+    def test_mlc_randomization_factor(self, model):
+        """Fig. 8(b): disabling randomization costs ~4.92x on average."""
+        with_rand = grid_rber(model, "mlc", True)
+        without = grid_rber(model, "mlc", False)
+        ratio = sum(without) / sum(with_rand)
+        assert 3.0 < ratio < 7.0
+
+    def test_mlc_up_to_4x_slc(self, model):
+        """Section 3.2: MLC reaches up to 4x the RBER of SLC."""
+        slc = grid_rber(model, "slc", True)
+        mlc = grid_rber(model, "mlc", True)
+        max_ratio = max(m / s for m, s in zip(mlc, slc))
+        assert 2.0 < max_ratio < 6.0
+        assert all(m > s for m, s in zip(mlc, slc))
+
+    def test_paper_rber_range(self, model):
+        """Section 3.2: ParaBit is unusable for applications that
+        cannot tolerate RBER in [8.6e-4, 1.6e-2]."""
+        low = model.mlc_rber(OperatingCondition())
+        high = model.mlc_rber(WORST_CASE_CONDITION)
+        assert low < high
+        assert high / low > 10
+
+
+class TestFig11EspAnchors:
+    @staticmethod
+    def esp_condition(extra, sigma_multiplier=1.0):
+        return OperatingCondition(
+            pe_cycles=10_000,
+            retention_months=12.0,
+            randomized=False,
+            esp_extra=extra,
+            sigma_multiplier=sigma_multiplier,
+        )
+
+    def test_regular_slc_baseline(self, model):
+        """tESP = tPROG (extra=0) equals regular SLC-mode programming
+        at the worst-case condition: Fig. 11 starts near 4e-3."""
+        worst = DEFAULT_CALIBRATION.quality.sigma_multiplier_worst
+        rber = model.slc_rber(self.esp_condition(0.0, worst))
+        assert 2e-3 < rber < 1e-2
+
+    def test_median_order_of_magnitude_at_1p6(self, model):
+        """Section 5.2: +60% tESP buys the median block an order of
+        magnitude of RBER."""
+        base = model.slc_rber(self.esp_condition(0.0))
+        improved = model.slc_rber(self.esp_condition(0.6))
+        assert 5.0 < base / improved < 60.0
+
+    def test_zero_errors_at_1p9(self, model):
+        """Section 5.2: tESP >= 1.9x tPROG -> statistical RBER below
+        2.07e-12 even for the worst block."""
+        worst = DEFAULT_CALIBRATION.quality.sigma_multiplier_worst
+        cond = self.esp_condition(0.9, worst)
+        assert model.slc_rber(cond) < DEFAULT_CALIBRATION.zero_error_rber
+        assert model.is_effectively_error_free(cond)
+
+    def test_not_error_free_below_knee(self, model):
+        cond = self.esp_condition(0.5)
+        assert not model.is_effectively_error_free(cond)
+
+    def test_esp_monotone_in_effort(self, model):
+        rbers = [
+            model.slc_rber(self.esp_condition(e))
+            for e in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        ]
+        assert rbers == sorted(rbers, reverse=True)
+
+    def test_block_quality_ordering(self, model):
+        """Fig. 11 plots worst > median > best block at every tESP."""
+        q = DEFAULT_CALIBRATION.quality
+        for extra in [0.0, 0.4, 0.8]:
+            worst = model.slc_rber(
+                self.esp_condition(extra, q.sigma_multiplier_worst)
+            )
+            median = model.slc_rber(
+                self.esp_condition(extra, q.sigma_multiplier_median)
+            )
+            best = model.slc_rber(
+                self.esp_condition(extra, q.sigma_multiplier_best)
+            )
+            assert worst > median > best
+
+    def test_mlc_cannot_reach_esp_reliability(self, model):
+        """Section 5.2 footnote: enhanced MLC programming cannot push
+        RBER below 1e-4; only SLC-family ESP reaches the zero-error
+        regime."""
+        esp = model.slc_rber(self.esp_condition(1.0))
+        mlc = model.mlc_rber(
+            OperatingCondition(
+                pe_cycles=10_000, retention_months=12.0, randomized=False
+            )
+        )
+        assert mlc > 1e-4
+        assert esp < 1e-12

@@ -1,0 +1,186 @@
+"""Tests for repro.flash.errors (mechanisms and Monte-Carlo path)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.errors import ErrorModel, OperatingCondition
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ErrorModel()
+
+
+class TestOperatingCondition:
+    def test_defaults_are_pristine(self):
+        cond = OperatingCondition()
+        assert cond.pe_cycles == 0
+        assert cond.randomized
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pe_cycles": -1},
+            {"retention_months": -0.1},
+            {"reads": -1},
+            {"esp_extra": 1.5},
+            {"sigma_multiplier": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            OperatingCondition(**kwargs)
+
+    def test_with_quality(self):
+        cond = OperatingCondition(pe_cycles=5).with_quality(1.1)
+        assert cond.sigma_multiplier == 1.1
+        assert cond.pe_cycles == 5
+
+
+class TestSlcShifts:
+    def test_pristine_has_no_drift(self, model):
+        s = model.slc_shifts(OperatingCondition())
+        assert s.retention_down == 0.0
+        assert s.erased_up > 0.0  # baseline interference exists
+        assert s.sigma_factor == 1.0
+
+    def test_retention_grows_with_time_and_wear(self, model):
+        young = model.slc_shifts(OperatingCondition(retention_months=1.0))
+        old = model.slc_shifts(OperatingCondition(retention_months=12.0))
+        worn = model.slc_shifts(
+            OperatingCondition(retention_months=12.0, pe_cycles=10_000)
+        )
+        assert 0 < young.retention_down < old.retention_down
+        assert old.retention_down < worn.retention_down
+
+    def test_read_disturb_raises_erased(self, model):
+        quiet = model.slc_shifts(OperatingCondition())
+        disturbed = model.slc_shifts(OperatingCondition(reads=100_000))
+        assert disturbed.erased_up > quiet.erased_up
+
+    def test_esp_moves_ref_and_narrows_programmed(self, model):
+        base = model.slc_shifts(OperatingCondition())
+        esp = model.slc_shifts(OperatingCondition(esp_extra=1.0))
+        assert esp.read_ref > base.read_ref
+        assert esp.programmed_mean > base.programmed_mean
+        assert esp.programmed_sigma < base.programmed_sigma
+
+    def test_error_split_sides(self, model):
+        p_erased, p_programmed = model.slc_error_split(
+            OperatingCondition(pe_cycles=10_000, retention_months=12.0)
+        )
+        assert 0 <= p_erased < 0.1
+        assert 0 <= p_programmed < 0.1
+
+
+class TestModeDispatch:
+    def test_dispatch_matches_direct_calls(self, model):
+        cond = OperatingCondition(pe_cycles=1000, retention_months=3.0)
+        assert model.rber("slc", cond) == model.slc_rber(cond)
+        assert model.rber("mlc", cond) == model.mlc_rber(cond)
+        assert model.rber("tlc", cond) == model.tlc_rber(cond)
+
+    def test_slc_mode_ignores_esp_extra(self, model):
+        cond = OperatingCondition(esp_extra=0.9)
+        assert model.rber("slc", cond) == model.slc_rber(
+            OperatingCondition(esp_extra=0.0)
+        )
+        assert model.rber("esp", cond) < model.rber("slc", cond)
+
+    def test_unknown_mode(self, model):
+        with pytest.raises(ValueError, match="unknown programming mode"):
+            model.rber("qlc", OperatingCondition())
+
+    def test_tlc_worse_than_mlc(self, model):
+        """More bits per cell -> higher RBER (Section 2.2)."""
+        cond = OperatingCondition(pe_cycles=3000, retention_months=3.0)
+        assert model.tlc_rber(cond) > model.mlc_rber(cond)
+
+
+class TestMonteCarloPerturb:
+    def test_shapes_must_match(self, model):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="shape"):
+            model.perturb(
+                np.zeros((2, 4), dtype=np.float32),
+                np.zeros((2, 5), dtype=bool),
+                OperatingCondition(),
+                rng,
+            )
+
+    def test_pristine_condition_only_shifts_erased_baseline(self, model):
+        rng = np.random.default_rng(0)
+        vth = np.array([[-2.8, 2.5]], dtype=np.float32)
+        programmed = np.array([[False, True]])
+        out = model.perturb(vth, programmed, OperatingCondition(), rng)
+        shifts = model.slc_shifts(OperatingCondition())
+        assert out[0, 0] == pytest.approx(-2.8 + shifts.erased_up, abs=1e-5)
+        assert out[0, 1] == pytest.approx(2.5, abs=1e-5)
+
+    def test_does_not_mutate_input(self, model):
+        rng = np.random.default_rng(0)
+        vth = np.full((4, 8), 2.5, dtype=np.float32)
+        programmed = np.ones((4, 8), dtype=bool)
+        before = vth.copy()
+        model.perturb(
+            vth,
+            programmed,
+            OperatingCondition(pe_cycles=10_000, retention_months=12.0),
+            rng,
+        )
+        np.testing.assert_array_equal(vth, before)
+
+    def test_monte_carlo_matches_closed_form(self, model):
+        """Sampled misread rate tracks the analytic RBER -- the link
+        between the functional chip and the characterization curves."""
+        cond = OperatingCondition(pe_cycles=10_000, retention_months=12.0,
+                                  randomized=False)
+        rng = np.random.default_rng(42)
+        n = 400_000
+        c = model.calibration.slc
+        half = n // 2
+        vth = np.concatenate(
+            [
+                rng.normal(c.erased_mean, c.erased_sigma, half),
+                rng.normal(c.programmed_mean, c.programmed_sigma, half),
+            ]
+        ).astype(np.float32)
+        programmed = np.arange(n) >= half
+        out = model.perturb(vth, programmed, cond, rng)
+        read_one = out <= model.slc_shifts(cond).read_ref
+        errors = int((read_one != ~programmed).sum())
+        measured = errors / n
+        expected = model.slc_rber(cond)
+        assert measured == pytest.approx(expected, rel=0.25)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pec=st.integers(0, 10_000),
+        months=st.floats(0, 12),
+        extra=st.floats(0, 1),
+    )
+    def test_rber_always_a_probability(self, model, pec, months, extra):
+        cond = OperatingCondition(
+            pe_cycles=pec, retention_months=months, esp_extra=extra
+        )
+        for mode in ("slc", "esp", "mlc", "tlc"):
+            rber = model.rber(mode, cond)
+            assert 0.0 <= rber <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(pec=st.integers(0, 10_000), months=st.floats(0, 12))
+    def test_esp_never_worse_than_regular_slc(self, model, pec, months):
+        """ESP strictly dominates regular SLC programming at any
+        stress -- the reliability half of the paper's contribution."""
+        cond = OperatingCondition(
+            pe_cycles=pec, retention_months=months, randomized=False
+        )
+        esp_cond = OperatingCondition(
+            pe_cycles=pec,
+            retention_months=months,
+            randomized=False,
+            esp_extra=1.0,
+        )
+        assert model.slc_rber(esp_cond) <= model.slc_rber(cond)

@@ -1,0 +1,150 @@
+"""Tests for repro.flash.geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flash.geometry import (
+    BlockAddress,
+    ChipGeometry,
+    StringGroup,
+    WordlineAddress,
+    iter_blocks,
+    iter_wordlines,
+)
+
+
+class TestChipGeometry:
+    def test_table1_defaults(self):
+        """Defaults reproduce Table 1's per-die organization."""
+        g = ChipGeometry()
+        assert g.planes_per_die == 2
+        assert g.blocks_per_plane == 2048
+        assert g.page_size_bits == 16 * 1024 * 8
+        assert g.wordlines_per_string == 48
+        # Table 1: 196 (4 x 48) WLs/block -- we model the 192 data WLs.
+        assert g.wordlines_per_block == 192
+
+    def test_page_size_bytes(self):
+        assert ChipGeometry().page_size_bytes == 16 * 1024
+
+    def test_page_size_bytes_rejects_unaligned(self):
+        g = ChipGeometry(page_size_bits=13)
+        with pytest.raises(ValueError, match="byte aligned"):
+            _ = g.page_size_bytes
+
+    def test_capacity_chain(self):
+        g = ChipGeometry(
+            planes_per_die=2,
+            blocks_per_plane=4,
+            subblocks_per_block=2,
+            wordlines_per_string=8,
+            page_size_bits=64,
+        )
+        assert g.pages_per_block == 16
+        assert g.block_capacity_bits == 16 * 64
+        assert g.plane_capacity_bits == 4 * 16 * 64
+        assert g.die_capacity_bits == 2 * 4 * 16 * 64
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "planes_per_die",
+            "blocks_per_plane",
+            "subblocks_per_block",
+            "wordlines_per_string",
+            "page_size_bits",
+            "dies_per_chip",
+        ],
+    )
+    def test_rejects_nonpositive_dimensions(self, field):
+        with pytest.raises(ValueError, match=field):
+            ChipGeometry(**{field: 0})
+
+    def test_scaled_overrides(self):
+        g = ChipGeometry().scaled(page_size_bits=256, blocks_per_plane=4)
+        assert g.page_size_bits == 256
+        assert g.blocks_per_plane == 4
+        assert g.wordlines_per_string == 48
+
+    def test_scaled_rejects_unknown_field(self):
+        with pytest.raises(TypeError, match="unknown geometry fields"):
+            ChipGeometry().scaled(bogus=1)
+
+    @given(
+        planes=st.integers(1, 4),
+        blocks=st.integers(1, 64),
+        subblocks=st.integers(1, 8),
+        wordlines=st.integers(1, 176),
+        page_bits=st.integers(8, 4096).map(lambda b: b * 8),
+    )
+    def test_capacity_is_product_of_dimensions(
+        self, planes, blocks, subblocks, wordlines, page_bits
+    ):
+        g = ChipGeometry(
+            planes_per_die=planes,
+            blocks_per_plane=blocks,
+            subblocks_per_block=subblocks,
+            wordlines_per_string=wordlines,
+            page_size_bits=page_bits,
+        )
+        assert (
+            g.die_capacity_bits
+            == planes * blocks * subblocks * wordlines * page_bits
+        )
+
+
+class TestAddresses:
+    def test_block_address_validation(self, tiny_geometry):
+        BlockAddress(0, 0, 0).validate(tiny_geometry)
+        with pytest.raises(IndexError, match="plane"):
+            BlockAddress(5, 0, 0).validate(tiny_geometry)
+        with pytest.raises(IndexError, match="block"):
+            BlockAddress(0, 99, 0).validate(tiny_geometry)
+        with pytest.raises(IndexError, match="subblock"):
+            BlockAddress(0, 0, 9).validate(tiny_geometry)
+
+    def test_wordline_address_validation(self, tiny_geometry):
+        WordlineAddress(0, 0, 0, 7).validate(tiny_geometry)
+        with pytest.raises(IndexError, match="wordline"):
+            WordlineAddress(0, 0, 0, 8).validate(tiny_geometry)
+
+    def test_wordline_block_address(self):
+        wl = WordlineAddress(1, 2, 3, 4)
+        assert wl.block_address == BlockAddress(1, 2, 3)
+
+    def test_addresses_are_ordered_and_hashable(self):
+        a = BlockAddress(0, 0, 0)
+        b = BlockAddress(0, 1, 0)
+        assert a < b
+        assert len({a, b, BlockAddress(0, 0, 0)}) == 2
+
+
+class TestIteration:
+    def test_iter_wordlines_covers_string(self, tiny_geometry):
+        wls = list(iter_wordlines(tiny_geometry, BlockAddress(1, 2, 1)))
+        assert len(wls) == tiny_geometry.wordlines_per_string
+        assert wls[0].wordline == 0
+        assert all(w.plane == 1 and w.block == 2 for w in wls)
+
+    def test_iter_blocks_count(self, tiny_geometry):
+        blocks = list(iter_blocks(tiny_geometry))
+        expected = (
+            tiny_geometry.planes_per_die
+            * tiny_geometry.blocks_per_plane
+            * tiny_geometry.subblocks_per_block
+        )
+        assert len(blocks) == expected
+        assert len(set(blocks)) == expected
+
+
+class TestStringGroup:
+    def test_rejects_duplicate_wordlines(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            StringGroup(BlockAddress(0, 0, 0), (1, 1))
+
+    def test_addresses_expand(self):
+        group = StringGroup(BlockAddress(0, 3, 1), (0, 5))
+        addrs = group.addresses()
+        assert [a.wordline for a in addrs] == [0, 5]
+        assert all(a.block == 3 and a.subblock == 1 for a in addrs)

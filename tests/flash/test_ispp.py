@@ -1,0 +1,163 @@
+"""Tests for repro.flash.ispp."""
+
+import numpy as np
+import pytest
+
+from repro.flash.calibration import DEFAULT_CALIBRATION
+from repro.flash.ispp import IsppEngine, IsppParameters, ProgramMode
+
+
+@pytest.fixture
+def engine():
+    return IsppEngine()
+
+
+class TestProgramMode:
+    def test_bits_per_cell(self):
+        assert ProgramMode.SLC.bits_per_cell == 1
+        assert ProgramMode.ESP.bits_per_cell == 1
+        assert ProgramMode.MLC.bits_per_cell == 2
+        assert ProgramMode.TLC.bits_per_cell == 3
+
+
+class TestIsppParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="delta_v"):
+            IsppParameters(vpgm_start=0, delta_v=0, vtgt=1, pulse_noise_sigma=0.1)
+        with pytest.raises(ValueError, match="max_pulses"):
+            IsppParameters(
+                vpgm_start=0, delta_v=1, vtgt=1, pulse_noise_sigma=0.1, max_pulses=0
+            )
+        with pytest.raises(ValueError, match="pulse_noise_sigma"):
+            IsppParameters(vpgm_start=0, delta_v=1, vtgt=1, pulse_noise_sigma=-1)
+
+
+class TestParameterDerivation:
+    def test_slc_parameters_match_calibration(self, engine):
+        """The ISPP engine must *produce* the distribution the error
+        model *assumes*: mean of vtgt + delta/2 = calibrated mean."""
+        c = DEFAULT_CALIBRATION.slc
+        params = engine.slc_parameters(0.0)
+        assert params.vtgt + 0.5 * params.delta_v == pytest.approx(
+            c.programmed_mean
+        )
+
+    def test_esp_narrows_step(self, engine):
+        base = engine.slc_parameters(0.0)
+        esp = engine.slc_parameters(1.0)
+        assert esp.delta_v < base.delta_v
+        assert esp.vtgt > base.vtgt
+
+    def test_esp_extra_range(self, engine):
+        with pytest.raises(ValueError, match="esp_extra"):
+            engine.slc_parameters(1.5)
+
+
+class TestLatency:
+    def test_table1_program_latencies(self, engine):
+        """Table 1: tPROG = 200/500/700 us (SLC/MLC/TLC), tESP = 400 us."""
+        assert engine.program_latency_us(ProgramMode.SLC) == 200.0
+        assert engine.program_latency_us(ProgramMode.MLC) == 500.0
+        assert engine.program_latency_us(ProgramMode.TLC) == 700.0
+        assert engine.program_latency_us(ProgramMode.ESP, 1.0) == 400.0
+
+    def test_esp_latency_scales_linearly(self, engine):
+        assert engine.program_latency_us(ProgramMode.ESP, 0.5) == 300.0
+        assert engine.program_latency_us(ProgramMode.ESP, 0.0) == 200.0
+
+
+class TestProgramRow:
+    def test_shapes_must_match(self, engine):
+        rng = np.random.default_rng(0)
+        params = engine.slc_parameters()
+        with pytest.raises(ValueError, match="shape"):
+            engine.program_row(
+                np.zeros(4, dtype=np.float32), np.zeros(5, dtype=bool), params, rng
+            )
+
+    def test_only_targets_move(self, engine):
+        rng = np.random.default_rng(0)
+        row = np.full(64, -2.8, dtype=np.float32)
+        mask = np.zeros(64, dtype=bool)
+        mask[::2] = True
+        params = engine.slc_parameters()
+        engine.program_row(row, mask, params, rng)
+        assert (row[mask] >= params.vtgt).all()
+        assert (row[~mask] == -2.8).all()
+
+    def test_all_cells_verify(self, engine):
+        rng = np.random.default_rng(1)
+        row = np.full(4096, -2.8, dtype=np.float32)
+        mask = np.ones(4096, dtype=bool)
+        result = engine.program_row(row, mask, engine.slc_parameters(), rng)
+        assert result.failed_cells == 0
+        assert result.pulses >= 1
+
+    def test_max_pulses_reports_failures(self, engine):
+        rng = np.random.default_rng(2)
+        row = np.full(16, -50.0, dtype=np.float32)
+        mask = np.ones(16, dtype=bool)
+        params = IsppParameters(
+            vpgm_start=-50.0,
+            delta_v=0.5,
+            vtgt=2.0,
+            pulse_noise_sigma=0.0,
+            max_pulses=3,
+        )
+        result = engine.program_row(row, mask, params, rng)
+        assert result.failed_cells == 16
+
+
+class TestProgramSlc:
+    def _distribution(self, engine, esp_extra, n=60_000):
+        rng = np.random.default_rng(3)
+        c = DEFAULT_CALIBRATION.slc
+        row = (c.erased_mean + c.erased_sigma * rng.standard_normal(n)).astype(
+            np.float32
+        )
+        data = np.zeros(n, dtype=np.uint8)  # all cells programmed
+        engine.program_slc(row, data, rng, esp_extra=esp_extra)
+        return row
+
+    def test_regular_slc_distribution_matches_calibration(self, engine):
+        c = DEFAULT_CALIBRATION.slc
+        row = self._distribution(engine, 0.0)
+        assert row.mean() == pytest.approx(c.programmed_mean, abs=0.15)
+        assert row.std() == pytest.approx(c.programmed_sigma, rel=0.25)
+
+    def test_full_esp_distribution_matches_calibration(self, engine):
+        c = DEFAULT_CALIBRATION.slc
+        row = self._distribution(engine, 1.0)
+        expected_mean = c.programmed_mean + c.esp_target_raise
+        expected_sigma = c.programmed_sigma * (1 - c.esp_sigma_shrink)
+        assert row.mean() == pytest.approx(expected_mean, abs=0.15)
+        assert row.std() == pytest.approx(expected_sigma, rel=0.35)
+
+    def test_esp_narrower_and_higher_than_slc(self, engine):
+        slc = self._distribution(engine, 0.0, n=20_000)
+        esp = self._distribution(engine, 1.0, n=20_000)
+        assert esp.mean() > slc.mean()
+        assert esp.std() < slc.std()
+
+    def test_ones_stay_erased(self, engine):
+        rng = np.random.default_rng(4)
+        c = DEFAULT_CALIBRATION.slc
+        row = np.full(256, c.erased_mean, dtype=np.float32)
+        data = np.ones(256, dtype=np.uint8)
+        engine.program_slc(row, data, rng)
+        assert (row == c.erased_mean).all()
+
+    def test_esp_reports_table1_latency(self, engine):
+        rng = np.random.default_rng(5)
+        c = DEFAULT_CALIBRATION.slc
+        row = np.full(64, c.erased_mean, dtype=np.float32)
+        data = np.zeros(64, dtype=np.uint8)
+        result = engine.program_slc(row, data, rng, esp_extra=1.0)
+        assert result.latency_us == 400.0
+
+    def test_data_shape_checked(self, engine):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError, match="share a shape"):
+            engine.program_slc(
+                np.zeros(8, dtype=np.float32), np.zeros(9, dtype=np.uint8), rng
+            )

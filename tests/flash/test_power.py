@@ -1,0 +1,93 @@
+"""Tests for repro.flash.power (Fig. 14 anchors)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flash.power import PowerModel
+
+
+@pytest.fixture
+def power():
+    return PowerModel()
+
+
+class TestFig14Anchors:
+    def test_two_blocks_plus_34_percent(self, power):
+        """Fig. 14: activating a second block costs ~+34% power."""
+        assert power.inter_block_mws_power_factor(2) == pytest.approx(
+            1.34, abs=0.02
+        )
+
+    def test_four_blocks_plus_80_percent(self, power):
+        """Section 5.2: 4-block MWS costs ~80% more than a read."""
+        assert power.inter_block_mws_power_factor(4) == pytest.approx(
+            1.80, abs=0.05
+        )
+
+    def test_four_blocks_below_erase(self, power):
+        """Fig. 14: inter-block MWS stays below erase power until 4
+        blocks -- the basis of the Table 1 block limit."""
+        assert power.inter_block_mws_power_factor(4) < power.erase_power_factor()
+        assert power.inter_block_mws_power_factor(5) > power.erase_power_factor()
+
+    def test_energy_saving_vs_serial_reads(self, power):
+        """Section 5.2: 4-block MWS saves ~53% energy vs 4 reads
+        (80% more power for 3.3% more time, replacing four senses)."""
+        t_read = 22.5
+        t_mws = t_read * 1.033
+        mws_energy = power.energy_nj(
+            power.inter_block_mws_power_factor(4), t_mws
+        )
+        serial_energy = 4 * power.read_energy_nj(t_read)
+        saving = 1 - mws_energy / serial_energy
+        assert saving == pytest.approx(0.53, abs=0.05)
+
+    def test_monotone_in_blocks(self, power):
+        factors = [power.inter_block_mws_power_factor(n) for n in range(1, 6)]
+        assert factors == sorted(factors)
+        assert factors[0] == 1.0
+
+
+class TestIntraBlockPower:
+    def test_intra_block_saves_power(self, power):
+        """Section 4.1: intra-block MWS draws slightly less than a
+        regular read (VREF on extra WLs instead of VPASS)."""
+        assert power.intra_block_mws_power_factor(48) < 1.0
+        assert power.intra_block_mws_power_factor(1) == 1.0
+
+    def test_saving_is_bounded(self, power):
+        assert power.intra_block_mws_power_factor(1000) >= 0.5
+
+    @given(n=st.integers(1, 48))
+    def test_within_read_envelope(self, n):
+        power = PowerModel()
+        assert 0.5 <= power.intra_block_mws_power_factor(n) <= 1.0
+
+
+class TestCombinedAndEnergy:
+    def test_combined_power_factor(self, power):
+        combined = power.mws_power_factor(96, 2)
+        assert combined == pytest.approx(
+            power.inter_block_mws_power_factor(2)
+            * power.intra_block_mws_power_factor(48)
+        )
+
+    def test_validation(self, power):
+        with pytest.raises(ValueError):
+            power.inter_block_mws_power_factor(0)
+        with pytest.raises(ValueError):
+            power.intra_block_mws_power_factor(0)
+        with pytest.raises(ValueError):
+            power.mws_power_factor(2, 3)
+        with pytest.raises(ValueError):
+            power.energy_nj(1.0, -1.0)
+
+    def test_energy_scale(self, power):
+        """45 mW x 22.5 us ~ 1 uJ per page read."""
+        energy = power.read_energy_nj(22.5)
+        assert energy == pytest.approx(45.0 * 22.5, rel=1e-9)
+
+    def test_program_and_erase_factors_exceed_read(self, power):
+        assert power.program_power_factor() > 1.0
+        assert power.erase_power_factor() > power.program_power_factor()

@@ -1,0 +1,123 @@
+"""Tests for repro.flash.randomizer -- including the paper's central
+claim that randomization does not commute with in-flash AND/OR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.flash.randomizer import LfsrRandomizer, keystream_bits
+
+
+def pages(n=64):
+    return npst.arrays(np.uint8, n, elements=st.integers(0, 1))
+
+
+class TestKeystream:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            keystream_bits(123, 256), keystream_bits(123, 256)
+        )
+
+    def test_seed_changes_stream(self):
+        a = keystream_bits(1, 256)
+        b = keystream_bits(2, 256)
+        assert (a != b).any()
+
+    def test_zero_seed_is_remapped(self):
+        """An all-zero LFSR state would be a fixed point; the
+        implementation must avoid it."""
+        stream = keystream_bits(0, 256)
+        assert stream.any()
+
+    def test_stream_is_balanced(self):
+        """A maximal-length LFSR keystream is approximately balanced --
+        the property that randomizes V_TH states along a string."""
+        stream = keystream_bits(0xABCDEF, 8192)
+        density = stream.mean()
+        assert 0.45 < density < 0.55
+
+    def test_requested_length(self):
+        assert keystream_bits(5, 100).shape == (100,)
+
+
+class TestLfsrRandomizer:
+    @given(data=pages(), page_index=st.integers(0, 10_000))
+    def test_roundtrip(self, data, page_index):
+        r = LfsrRandomizer()
+        randomized = r.randomize(data, page_index)
+        np.testing.assert_array_equal(
+            r.derandomize(randomized, page_index), data
+        )
+
+    def test_neighbouring_pages_use_different_streams(self):
+        r = LfsrRandomizer()
+        zeros = np.zeros(512, dtype=np.uint8)
+        a = r.randomize(zeros, 0)
+        b = r.randomize(zeros, 1)
+        assert (a != b).any()
+
+    def test_device_seed_changes_output(self):
+        zeros = np.zeros(256, dtype=np.uint8)
+        a = LfsrRandomizer(device_seed=1).randomize(zeros, 0)
+        b = LfsrRandomizer(device_seed=2).randomize(zeros, 0)
+        assert (a != b).any()
+
+    def test_worst_case_pattern_is_dispersed(self):
+        """Randomization's purpose (Section 2.2): an all-zeros page (a
+        fully programmed wordline) becomes a balanced cell pattern."""
+        r = LfsrRandomizer()
+        worst = np.zeros(8192, dtype=np.uint8)
+        stored = r.randomize(worst, 42)
+        assert 0.45 < stored.mean() < 0.55
+
+
+class TestNonCommutativity:
+    """Section 3.2: AND/OR on randomized cells produces garbage after
+    de-randomization -- why ParaBit cannot use the randomizer and why
+    Flash-Cosmos needs ESP."""
+
+    @settings(max_examples=30)
+    @given(a=pages(), b=pages())
+    def test_and_does_not_commute_with_randomization(self, a, b):
+        r = LfsrRandomizer()
+        stored_a = r.randomize(a, 0)
+        stored_b = r.randomize(b, 1)
+        in_flash = stored_a & stored_b  # what MWS/ParaBit would sense
+        recovered = r.derandomize(in_flash, 0)
+        correct = a & b
+        # The identity could hold by chance only if the two keystreams
+        # agree wherever it matters; with random pages of 64 bits the
+        # chance is negligible, but we only assert "not guaranteed":
+        if not np.array_equal(recovered, correct):
+            assert True
+        else:
+            # Extremely unlikely; flag it if the property silently
+            # held for structural reasons.
+            streams_equal = np.array_equal(
+                r.randomize(np.zeros(64, dtype=np.uint8), 0),
+                r.randomize(np.zeros(64, dtype=np.uint8), 1),
+            )
+            assert not streams_equal
+
+    def test_concrete_counterexample(self):
+        r = LfsrRandomizer()
+        a = np.ones(512, dtype=np.uint8)
+        b = np.ones(512, dtype=np.uint8)
+        stored_a = r.randomize(a, 3)
+        stored_b = r.randomize(b, 4)
+        recovered = r.derandomize(stored_a & stored_b, 3)
+        # AND of all-ones is all-ones; the randomized path corrupts it.
+        assert (recovered != (a & b)).any()
+
+    def test_same_page_stream_would_commute_with_xor_only(self):
+        """XOR *does* commute with randomization (same keystream):
+        the reason image encryption needs no ESP (Section 7 footnote)."""
+        r = LfsrRandomizer()
+        a = np.random.default_rng(0).integers(0, 2, 512, dtype=np.uint8)
+        b = np.random.default_rng(1).integers(0, 2, 512, dtype=np.uint8)
+        stored_a = r.randomize(a, 7)
+        stored_b = r.randomize(b, 7)  # hypothetically same stream
+        recovered = stored_a ^ stored_b
+        np.testing.assert_array_equal(recovered, a ^ b)

@@ -1,0 +1,131 @@
+"""Tests for repro.flash.timing (Figs. 12-13 and Table 1 anchors)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flash.timing import TimingModel, TimingParameters
+
+
+@pytest.fixture
+def timing():
+    return TimingModel()
+
+
+class TestTable1Anchors:
+    def test_read_latency(self, timing):
+        assert timing.t_read_us == 22.5
+
+    def test_program_latencies(self, timing):
+        assert timing.t_program_us("slc") == 200.0
+        assert timing.t_program_us("mlc") == 500.0
+        assert timing.t_program_us("tlc") == 700.0
+        assert timing.t_program_us("esp", 1.0) == 400.0
+
+    def test_esp_extra_validated(self, timing):
+        with pytest.raises(ValueError):
+            timing.t_program_us("esp", 1.2)
+
+    def test_unknown_mode(self, timing):
+        with pytest.raises(ValueError, match="unknown"):
+            timing.t_program_us("qlc")
+
+    def test_fixed_mws_latency(self, timing):
+        """Table 1: tMWS = 25 us with at most 4 activated blocks."""
+        assert timing.t_mws_fixed_us(1) == 25.0
+        assert timing.t_mws_fixed_us(4) == 25.0
+        with pytest.raises(ValueError, match="limited to 4"):
+            timing.t_mws_fixed_us(5)
+
+    def test_erase_latency_range(self, timing):
+        """Section 2.1: tBERS is 3-5 ms."""
+        assert 3000.0 <= timing.t_erase_us() <= 5000.0
+
+
+class TestFig12IntraBlockLatency:
+    def test_single_wordline_is_free(self, timing):
+        """Fig. 12: a regular read (1 WL) needs no extra latency even
+        without randomization."""
+        assert timing.intra_block_penalty_us(1) == 0.0
+        assert timing.t_mws_us(1) == timing.t_read_us
+
+    def test_48_wordlines_cost_3p3_percent(self, timing):
+        """Fig. 12 anchor: tMWS(48 WLs) = 1.033 x tR."""
+        ratio = timing.t_mws_us(48) / timing.t_read_us
+        assert ratio == pytest.approx(1.033, abs=0.002)
+
+    def test_eight_wordlines_below_one_percent(self, timing):
+        """Section 5.2: MWS on <= 8 WLs costs < 1% extra."""
+        for n in range(1, 9):
+            assert timing.t_mws_us(n) / timing.t_read_us < 1.01
+
+    def test_monotone_in_wordlines(self, timing):
+        latencies = [timing.t_mws_us(n) for n in range(1, 49)]
+        assert latencies == sorted(latencies)
+
+    def test_rejects_zero_wordlines(self, timing):
+        with pytest.raises(ValueError):
+            timing.intra_block_penalty_us(0)
+
+
+class TestFig13InterBlockLatency:
+    def test_hidden_until_eight_blocks(self, timing):
+        """Fig. 13: WL precharge hides under BL precharge until ~8
+        blocks."""
+        for n in range(1, 9):
+            assert timing.inter_block_penalty_us(n) == pytest.approx(0.0, abs=0.2)
+
+    def test_32_blocks_cost_36_percent(self, timing):
+        """Fig. 13 anchor: tMWS(32 blocks) = 1.363 x tR."""
+        t = timing.t_mws_us(32, n_blocks=32)
+        assert t / timing.t_read_us == pytest.approx(1.363, abs=0.01)
+
+    def test_inter_cheaper_than_serial_reads(self, timing):
+        """Section 5.2: MWS on 32 blocks (1.363 x tR) beats 32 serial
+        reads (32 x tR) by a wide margin."""
+        assert timing.t_mws_us(32, n_blocks=32) < 32 * timing.t_read_us / 20
+
+    def test_monotone_in_blocks(self, timing):
+        latencies = [timing.t_mws_us(n, n_blocks=n) for n in range(1, 33)]
+        assert latencies == sorted(latencies)
+
+    def test_rejects_invalid_combinations(self, timing):
+        with pytest.raises(ValueError):
+            timing.t_mws_us(2, n_blocks=3)  # fewer WLs than blocks
+        with pytest.raises(ValueError):
+            timing.inter_block_penalty_us(0)
+
+
+class TestCombinedMws:
+    def test_combined_charges_both_penalties(self, timing):
+        """Equation 1-style MWS: intra penalty from the per-string WL
+        count plus inter penalty from the block count."""
+        t = timing.t_mws_us(96, n_blocks=2)
+        expected = (
+            timing.t_read_us
+            + timing.intra_block_penalty_us(48)
+            + timing.inter_block_penalty_us(2)
+        )
+        assert t == pytest.approx(expected)
+
+    @given(
+        n_blocks=st.integers(1, 32),
+        per_string=st.integers(1, 48),
+    )
+    def test_mws_always_beats_serial_sensing(self, n_blocks, per_string):
+        """The headline motivation: one MWS sense replaces
+        n_blocks x per_string serial senses and is always faster when
+        more than one wordline is read."""
+        timing = TimingModel()
+        n_wordlines = n_blocks * per_string
+        if n_wordlines == 1:
+            return
+        assert timing.t_mws_us(n_wordlines, n_blocks) < (
+            n_wordlines * timing.t_read_us
+        )
+
+    def test_custom_parameters_respected(self):
+        params = TimingParameters(t_read_slc_us=60.0)
+        timing = TimingModel(params)
+        assert timing.t_read_us == 60.0
+        assert timing.t_mws_us(1) == 60.0

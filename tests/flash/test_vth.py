@@ -1,0 +1,168 @@
+"""Tests for repro.flash.vth."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flash.vth import (
+    VthLevel,
+    VthState,
+    VthWindow,
+    evenly_spaced_window,
+    gaussian_tail,
+    gaussian_tail_inverse,
+    gray_code_flip_weights,
+    misread_probability,
+    slc_window,
+)
+
+
+class TestGaussianTail:
+    def test_symmetry(self):
+        assert gaussian_tail(0.0) == pytest.approx(0.5)
+        assert gaussian_tail(1.0) + gaussian_tail(-1.0) == pytest.approx(1.0)
+
+    def test_known_values(self):
+        assert gaussian_tail(1.0) == pytest.approx(0.158655, rel=1e-4)
+        assert gaussian_tail(3.0) == pytest.approx(1.349898e-3, rel=1e-4)
+
+    def test_deep_tail_accuracy(self):
+        """The ESP zero-error regime needs accuracy near Q ~ 1e-13."""
+        assert gaussian_tail(7.349) == pytest.approx(1e-13, rel=0.05)
+
+    @given(st.floats(min_value=-6.0, max_value=6.0))
+    def test_monotone_decreasing(self, z):
+        assert gaussian_tail(z) >= gaussian_tail(z + 0.1)
+
+    @given(st.floats(min_value=1e-12, max_value=0.5))
+    def test_inverse_roundtrip(self, q):
+        z = gaussian_tail_inverse(q)
+        assert gaussian_tail(z) == pytest.approx(q, rel=1e-6)
+
+    def test_inverse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            gaussian_tail_inverse(0.0)
+        with pytest.raises(ValueError):
+            gaussian_tail_inverse(1.0)
+
+
+class TestMisreadProbability:
+    def test_directions(self):
+        below = misread_probability(2.0, 0.5, 0.0, direction="below")
+        above = misread_probability(-2.0, 0.5, 0.0, direction="above")
+        assert below == pytest.approx(gaussian_tail(4.0))
+        assert above == pytest.approx(gaussian_tail(4.0))
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            misread_probability(0.0, 1.0, 0.0, direction="sideways")
+
+
+class TestVthWindow:
+    def test_slc_window_shape(self):
+        w = slc_window(
+            erased_mean=-2.8,
+            erased_sigma=0.32,
+            programmed_mean=2.5,
+            programmed_sigma=0.75,
+            read_ref=0.0,
+        )
+        assert w.bits_per_cell == 1
+        assert w.margin(0) == pytest.approx(5.3)
+        assert w.level(VthState.ERASED).mean == -2.8
+
+    def test_rejects_wrong_ref_count(self):
+        levels = (
+            VthLevel(VthState.ERASED, -2.0, 0.3),
+            VthLevel(VthState.P1, 2.0, 0.3),
+        )
+        with pytest.raises(ValueError, match="read refs"):
+            VthWindow(levels=levels, read_refs=())
+
+    def test_rejects_unsorted_levels(self):
+        levels = (
+            VthLevel(VthState.ERASED, 2.0, 0.3),
+            VthLevel(VthState.P1, -2.0, 0.3),
+        )
+        with pytest.raises(ValueError, match="increasing"):
+            VthWindow(levels=levels, read_refs=(0.0,))
+
+    def test_rejects_ref_outside_gap(self):
+        levels = (
+            VthLevel(VthState.ERASED, -2.0, 0.3),
+            VthLevel(VthState.P1, 2.0, 0.3),
+        )
+        with pytest.raises(ValueError, match="separate"):
+            VthWindow(levels=levels, read_refs=(3.0,))
+
+    def test_level_lookup_missing(self):
+        w = slc_window(
+            erased_mean=-2.0,
+            erased_sigma=0.3,
+            programmed_mean=2.0,
+            programmed_sigma=0.3,
+            read_ref=0.0,
+        )
+        with pytest.raises(KeyError):
+            w.level(VthState.P7)
+
+    def test_sigma_must_be_positive(self):
+        with pytest.raises(ValueError, match="sigma"):
+            VthLevel(VthState.ERASED, 0.0, 0.0)
+
+
+class TestEvenlySpacedWindow:
+    @pytest.mark.parametrize("n_levels,bits", [(2, 1), (4, 2), (8, 3)])
+    def test_bits_per_cell(self, n_levels, bits):
+        w = evenly_spaced_window(
+            erased_mean=-2.5,
+            erased_sigma=0.3,
+            top_mean=3.2,
+            programmed_sigma=0.25,
+            n_levels=n_levels,
+        )
+        assert w.bits_per_cell == bits
+
+    def test_refs_at_midpoints(self):
+        w = evenly_spaced_window(
+            erased_mean=-3.0,
+            erased_sigma=0.3,
+            top_mean=3.0,
+            programmed_sigma=0.25,
+            n_levels=4,
+        )
+        means = [lvl.mean for lvl in w.levels]
+        for i, ref in enumerate(w.read_refs):
+            assert ref == pytest.approx(0.5 * (means[i] + means[i + 1]))
+
+    def test_mlc_margins_shrink_vs_slc(self):
+        """Packing more states into the window shrinks every margin --
+        the physical reason for Figure 8(b)'s higher RBER."""
+        slc = evenly_spaced_window(
+            erased_mean=-2.5, erased_sigma=0.3, top_mean=3.2,
+            programmed_sigma=0.25, n_levels=2,
+        )
+        mlc = evenly_spaced_window(
+            erased_mean=-2.5, erased_sigma=0.3, top_mean=3.2,
+            programmed_sigma=0.25, n_levels=4,
+        )
+        assert mlc.margin(0) < slc.margin(0)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError, match="two levels"):
+            evenly_spaced_window(
+                erased_mean=-2.5, erased_sigma=0.3, top_mean=3.2,
+                programmed_sigma=0.25, n_levels=1,
+            )
+
+
+class TestGrayCode:
+    def test_weights(self):
+        assert gray_code_flip_weights(4) == (0.5, 0.5, 0.5)
+        assert gray_code_flip_weights(8) == tuple([1 / 3] * 7)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            gray_code_flip_weights(6)

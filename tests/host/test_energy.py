@@ -1,0 +1,126 @@
+"""Tests for repro.host.energy."""
+
+import pytest
+
+from repro.host.energy import EnergyModel, EnergyParameters
+from repro.ssd.config import table1_config
+from repro.ssd.pipeline import Platform, PlatformTiming
+
+
+def timing(platform, *, makespan=1.0, senses=1000.0, internal=1e9,
+           external=1e8, host=1e8):
+    return PlatformTiming(
+        platform=platform,
+        makespan_s=makespan,
+        resource_busy_s={},
+        bottleneck="ext",
+        n_die_senses=senses,
+        internal_bytes=internal,
+        external_bytes=external,
+        host_bytes=host,
+    )
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(table1_config())
+
+
+class TestComponents:
+    def test_sense_energy_regular_read(self, model):
+        t = timing(Platform.OSP, senses=1000.0)
+        e = model.evaluate(
+            Platform.OSP, t, bitwise_host_bytes=0.0, result_host_bytes=0.0
+        )
+        per_sense = 0.045 * 22.5e-6
+        assert e.sense_j == pytest.approx(1000 * per_sense)
+
+    def test_fc_sense_uses_mws_power_and_latency(self, model):
+        t = timing(Platform.FC, senses=1000.0)
+        e = model.evaluate(
+            Platform.FC,
+            t,
+            bitwise_host_bytes=0.0,
+            result_host_bytes=0.0,
+            fc_wordlines_per_sense=48,
+            fc_blocks_per_sense=1,
+        )
+        # Intra-block MWS draws slightly *less* than a read but runs
+        # slightly longer (25 vs 22.5 us).
+        factor = model.power_model.mws_power_factor(48, 1)
+        per_sense = 0.045 * factor * 25e-6
+        assert e.sense_j == pytest.approx(1000 * per_sense)
+        assert factor < 1.0
+
+    def test_fc_inter_block_sense_costs_more_power(self, model):
+        t = timing(Platform.FC, senses=1000.0)
+        one = model.evaluate(
+            Platform.FC, t, bitwise_host_bytes=0, result_host_bytes=0,
+            fc_wordlines_per_sense=8, fc_blocks_per_sense=1,
+        )
+        two = model.evaluate(
+            Platform.FC, t, bitwise_host_bytes=0, result_host_bytes=0,
+            fc_wordlines_per_sense=8, fc_blocks_per_sense=2,
+        )
+        assert two.sense_j > one.sense_j
+
+    def test_transfer_energies_scale_with_bytes(self, model):
+        t = timing(Platform.ISP, internal=2e9, external=2e8)
+        e = model.evaluate(
+            Platform.ISP, t, bitwise_host_bytes=0.0, result_host_bytes=0.0
+        )
+        p = model.params
+        assert e.channel_j == pytest.approx(2e9 * p.e_channel_per_byte)
+        assert e.external_j == pytest.approx(2e8 * p.e_external_per_byte)
+        assert e.dram_j == pytest.approx(2e8 * p.e_dram_per_byte)
+
+    def test_cpu_terms(self, model):
+        t = timing(Platform.OSP)
+        e = model.evaluate(
+            Platform.OSP, t, bitwise_host_bytes=1e9, result_host_bytes=1e8
+        )
+        p = model.params
+        expected = 1e9 * p.e_cpu_bitwise_per_byte + 1e8 * p.e_cpu_result_per_byte
+        assert e.cpu_j == pytest.approx(expected)
+
+    def test_accelerator_only_for_isp(self, model):
+        t = timing(Platform.ISP, internal=64e6)
+        e = model.evaluate(
+            Platform.ISP, t, bitwise_host_bytes=0.0, result_host_bytes=0.0
+        )
+        assert e.accelerator_j == pytest.approx(1e6 * 93e-12)
+        e_fc = model.evaluate(
+            Platform.FC, timing(Platform.FC), bitwise_host_bytes=0.0,
+            result_host_bytes=0.0,
+        )
+        assert e_fc.accelerator_j == 0.0
+
+    def test_background_scales_with_makespan(self, model):
+        slow = model.evaluate(
+            Platform.PB, timing(Platform.PB, makespan=10.0),
+            bitwise_host_bytes=0.0, result_host_bytes=0.0,
+        )
+        fast = model.evaluate(
+            Platform.PB, timing(Platform.PB, makespan=1.0),
+            bitwise_host_bytes=0.0, result_host_bytes=0.0,
+        )
+        assert slow.background_j == pytest.approx(10 * fast.background_j)
+
+    def test_total_is_sum(self, model):
+        e = model.evaluate(
+            Platform.OSP, timing(Platform.OSP), bitwise_host_bytes=1e9,
+            result_host_bytes=1e8,
+        )
+        assert e.total_j == pytest.approx(
+            e.sense_j + e.channel_j + e.external_j + e.dram_j + e.cpu_j
+            + e.accelerator_j + e.background_j
+        )
+
+    def test_custom_parameters(self):
+        params = EnergyParameters(e_cpu_bitwise_per_byte=1e-9)
+        model = EnergyModel(table1_config(), params)
+        e = model.evaluate(
+            Platform.OSP, timing(Platform.OSP), bitwise_host_bytes=1e9,
+            result_host_bytes=0.0,
+        )
+        assert e.cpu_j == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Tests for the timeline simulator (repro.ssd.events)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.events import SerialResource, StageJob, simulate_stages
+
+
+class TestSerialResource:
+    def test_fcfs_serialization(self):
+        r = SerialResource("r")
+        assert r.execute(0.0, 10.0) == (0.0, 10.0)
+        assert r.execute(0.0, 5.0) == (10.0, 15.0)
+        assert r.execute(20.0, 5.0) == (20.0, 25.0)
+        assert r.busy_time == 20.0
+        assert r.jobs_served == 3
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SerialResource("r").execute(0.0, -1.0)
+
+    def test_reset(self):
+        r = SerialResource("r")
+        r.execute(0.0, 5.0)
+        r.reset()
+        assert r.available_at == 0.0
+        assert r.busy_time == 0.0
+
+
+class TestStageJob:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            StageJob(0.0, (1.0,), ("a", "b"))
+        with pytest.raises(ValueError, match="at least one"):
+            StageJob(0.0, (), ())
+
+
+class TestSimulateStages:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_stages([])
+
+    def test_single_job(self):
+        report = simulate_stages(
+            [StageJob(0.0, (2.0, 3.0), ("a", "b"))]
+        )
+        assert report.makespan == 5.0
+        assert report.resource_busy == {"a": 2.0, "b": 3.0}
+        assert report.bottleneck == "b"
+
+    def test_two_stage_pipeline_overlaps(self):
+        """Three jobs through stage a (1 s) then stage b (2 s):
+        b is the bottleneck, makespan = 1 + 3 x 2."""
+        jobs = [StageJob(0.0, (1.0, 2.0), ("a", "b")) for _ in range(3)]
+        report = simulate_stages(jobs)
+        assert report.makespan == pytest.approx(7.0)
+
+    def test_parallel_resources(self):
+        """Jobs on independent resources do not serialize."""
+        jobs = [
+            StageJob(0.0, (5.0,), ("a",)),
+            StageJob(0.0, (5.0,), ("b",)),
+        ]
+        assert simulate_stages(jobs).makespan == 5.0
+
+    def test_fan_in_to_shared_stage(self):
+        """Two producers feeding one consumer serialize on it."""
+        jobs = [
+            StageJob(0.0, (1.0, 4.0), ("a", "shared")),
+            StageJob(0.0, (1.0, 4.0), ("b", "shared")),
+        ]
+        assert simulate_stages(jobs).makespan == pytest.approx(9.0)
+
+    def test_ready_times_respected(self):
+        jobs = [StageJob(10.0, (1.0,), ("a",))]
+        assert simulate_stages(jobs).makespan == 11.0
+
+    def test_fcfs_order_by_ready_time(self):
+        """A later-ready job must not overtake an earlier-ready one on
+        the same resource."""
+        jobs = [
+            StageJob(5.0, (10.0,), ("r",)),
+            StageJob(0.0, (1.0,), ("r",)),
+        ]
+        report = simulate_stages(jobs)
+        # Early job runs [0,1]; late job [5,15].
+        assert report.completion_times == [15.0, 1.0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        durations=st.lists(
+            st.tuples(
+                st.floats(0.0, 10.0), st.floats(0.0, 10.0)
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_makespan_bounds(self, durations):
+        """Makespan is at least the busiest resource's work and at
+        most the fully serial sum."""
+        jobs = [
+            StageJob(0.0, (a, b), ("s1", "s2")) for a, b in durations
+        ]
+        report = simulate_stages(jobs)
+        total_a = sum(a for a, _ in durations)
+        total_b = sum(b for _, b in durations)
+        assert report.makespan >= max(total_a, total_b) - 1e-9
+        assert report.makespan <= total_a + total_b + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(2, 20),
+        t1=st.floats(0.1, 5.0),
+        t2=st.floats(0.1, 5.0),
+    )
+    def test_steady_state_pipeline_formula(self, n, t1, t2):
+        """For a uniform 2-stage pipeline the makespan equals
+        fill + n x bottleneck."""
+        jobs = [StageJob(0.0, (t1, t2), ("a", "b")) for _ in range(n)]
+        report = simulate_stages(jobs)
+        expected = min(t1, t2) + n * max(t1, t2)
+        assert report.makespan == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for repro.ssd.ftl."""
+
+import pytest
+
+from repro.ssd.ftl import FlashTranslationLayer
+
+
+@pytest.fixture
+def ftl():
+    return FlashTranslationLayer(n_chips=4, page_bits=128)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, ftl):
+        record = ftl.register_vector(
+            "v", 512, group="g", inverted=True, esp_extra=0.9
+        )
+        assert record.n_chunks == 4
+        assert ftl.lookup("v") is record
+        assert "v" in ftl
+        assert ftl.vectors() == ("v",)
+
+    def test_duplicate_rejected(self, ftl):
+        ftl.register_vector("v", 128, group=None, inverted=False,
+                            esp_extra=0.9)
+        with pytest.raises(ValueError, match="already registered"):
+            ftl.register_vector("v", 128, group=None, inverted=False,
+                                esp_extra=0.9)
+
+    def test_unaligned_length_rejected(self, ftl):
+        with pytest.raises(ValueError, match="multiple of the page"):
+            ftl.register_vector("v", 100, group=None, inverted=False,
+                                esp_extra=0.9)
+
+    def test_lookup_missing(self, ftl):
+        with pytest.raises(KeyError, match="not stored"):
+            ftl.lookup("nope")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FlashTranslationLayer(n_chips=0, page_bits=128)
+        with pytest.raises(ValueError):
+            FlashTranslationLayer(n_chips=1, page_bits=0)
+
+
+class TestStriping:
+    def test_round_robin(self, ftl):
+        record = ftl.register_vector(
+            "v", 128 * 8, group=None, inverted=False, esp_extra=0.9
+        )
+        chips = [p.chip for p in record.placements]
+        assert chips == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_equal_offsets_co_located(self, ftl):
+        """Chunk c of every vector lands on the same chip -- the MWS
+        co-location requirement."""
+        a = ftl.register_vector("a", 512, group="g", inverted=False,
+                                esp_extra=0.9)
+        b = ftl.register_vector("b", 512, group="g", inverted=False,
+                                esp_extra=0.9)
+        for pa, pb in zip(a.placements, b.placements):
+            assert pa.chip == pb.chip
+
+    def test_chunks_on_chip(self, ftl):
+        ftl.register_vector("v", 128 * 8, group=None, inverted=False,
+                            esp_extra=0.9)
+        assert ftl.chunks_on_chip("v", 0) == [0, 4]
+        assert ftl.chunks_on_chip("v", 3) == [3, 7]
+
+
+class TestValidation:
+    def test_co_location_check(self, ftl):
+        ftl.register_vector("a", 512, group=None, inverted=False,
+                            esp_extra=0.9)
+        ftl.register_vector("b", 512, group=None, inverted=False,
+                            esp_extra=0.9)
+        ftl.register_vector("c", 256, group=None, inverted=False,
+                            esp_extra=0.9)
+        ftl.validate_co_located(["a", "b"])
+        with pytest.raises(ValueError, match="mismatched lengths"):
+            ftl.validate_co_located(["a", "c"])

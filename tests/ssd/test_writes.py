@@ -1,0 +1,82 @@
+"""Tests for the Section 8.3 write-bandwidth model."""
+
+import pytest
+
+from repro.analysis.paper import PAPER
+from repro.ssd.config import table1_config
+from repro.ssd.writes import (
+    program_capacity_bytes_per_s,
+    program_latency_us,
+    sequential_write_bandwidth,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return table1_config()
+
+
+class TestProgramLatency:
+    def test_table1_values(self, config):
+        assert program_latency_us(config, "slc") == 200.0
+        assert program_latency_us(config, "mlc") == 500.0
+        assert program_latency_us(config, "tlc") == 700.0
+        assert program_latency_us(config, "esp", 1.0) == 400.0
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            program_latency_us(config, "qlc")
+        with pytest.raises(ValueError):
+            program_latency_us(config, "esp", 2.0)
+
+
+class TestSec83Anchors:
+    """Paper: ESP writes at 4.7 GB/s = 73.4% / 121.4% / 166.7% of
+    SLC (6.4) / MLC (3.87) / TLC (2.82)."""
+
+    def test_slc_bandwidth(self, config):
+        bw = sequential_write_bandwidth(config, "slc")
+        assert bw == pytest.approx(PAPER["sec8_3"]["slc_write_bw_gbps"] * 1e9,
+                                   rel=0.05)
+
+    def test_esp_bandwidth(self, config):
+        bw = sequential_write_bandwidth(config, "esp")
+        assert bw == pytest.approx(PAPER["sec8_3"]["esp_write_bw_gbps"] * 1e9,
+                                   rel=0.05)
+
+    def test_mlc_bandwidth(self, config):
+        bw = sequential_write_bandwidth(config, "mlc")
+        assert bw == pytest.approx(PAPER["sec8_3"]["mlc_write_bw_gbps"] * 1e9,
+                                   rel=0.05)
+
+    def test_tlc_bandwidth(self, config):
+        bw = sequential_write_bandwidth(config, "tlc")
+        assert bw == pytest.approx(PAPER["sec8_3"]["tlc_write_bw_gbps"] * 1e9,
+                                   rel=0.05)
+
+    def test_paper_ratios(self, config):
+        esp = sequential_write_bandwidth(config, "esp")
+        slc = sequential_write_bandwidth(config, "slc")
+        mlc = sequential_write_bandwidth(config, "mlc")
+        tlc = sequential_write_bandwidth(config, "tlc")
+        assert esp / slc == pytest.approx(0.734, rel=0.05)
+        assert esp / mlc == pytest.approx(1.214, rel=0.08)
+        assert esp / tlc == pytest.approx(1.667, rel=0.08)
+
+    def test_esp_does_not_degrade_vs_mlc_tlc(self, config):
+        """Section 8.3's conclusion: ESP stays *faster* than MLC- and
+        TLC-mode programming despite the doubled tPROG."""
+        esp = sequential_write_bandwidth(config, "esp")
+        assert esp > sequential_write_bandwidth(config, "mlc")
+        assert esp > sequential_write_bandwidth(config, "tlc")
+
+    def test_slc_is_host_bound(self, config):
+        """SLC capacity exceeds the host ceiling; the ceiling rules."""
+        capacity = program_capacity_bytes_per_s(config, "slc")
+        bw = sequential_write_bandwidth(config, "slc")
+        assert capacity > bw
+
+    def test_esp_effort_scales_bandwidth(self, config):
+        partial = sequential_write_bandwidth(config, "esp", 0.5)
+        full = sequential_write_bandwidth(config, "esp", 1.0)
+        assert partial > full

@@ -1,0 +1,161 @@
+"""Tests for the workload descriptors and functional generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import STRING_GROUP_WORDLINES, WorkloadPoint
+from repro.workloads.bitmap_index import (
+    bmi_point,
+    bmi_sweep,
+    days_for_months,
+    generate_login_bitmaps,
+    run_bmi_query_reference,
+)
+from repro.workloads.image_segmentation import (
+    generate_segmentation_masks,
+    ims_point,
+    ims_sweep,
+    segment_reference,
+)
+from repro.workloads.kclique import (
+    clique_membership_vector,
+    generate_kclique_graph,
+    kclique_star_reference,
+    kcs_point,
+    kcs_sweep,
+)
+
+
+class TestWorkloadPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadPoint("w", "l", 0, n_operands=0, vector_bytes=1)
+        with pytest.raises(ValueError):
+            WorkloadPoint("w", "l", 0, n_operands=1, vector_bytes=0)
+        with pytest.raises(ValueError):
+            WorkloadPoint("w", "l", 0, n_operands=1, vector_bytes=1,
+                          n_queries=0)
+
+    def test_fc_senses_small_and(self):
+        p = WorkloadPoint("w", "l", 0, n_operands=3, vector_bytes=100)
+        assert p.fc_senses_per_chunk == 1
+        assert p.pb_senses_per_chunk == 3
+
+    def test_fc_senses_group_boundaries(self):
+        at_limit = WorkloadPoint(
+            "w", "l", 0, n_operands=STRING_GROUP_WORDLINES, vector_bytes=1
+        )
+        above = WorkloadPoint(
+            "w", "l", 0, n_operands=STRING_GROUP_WORDLINES + 1, vector_bytes=1
+        )
+        assert at_limit.fc_senses_per_chunk == 1
+        assert above.fc_senses_per_chunk == 2
+
+    def test_extra_or_operand_rides_single_group(self):
+        p = WorkloadPoint(
+            "w", "l", 0, n_operands=32, vector_bytes=1, extra_or_operand=True
+        )
+        assert p.fc_senses_per_chunk == 1  # combined intra+inter MWS
+        assert p.fc_blocks_per_sense == 2
+        assert p.pb_senses_per_chunk == 33
+
+    def test_extra_or_operand_with_multiple_groups(self):
+        p = WorkloadPoint(
+            "w", "l", 0, n_operands=64, vector_bytes=1, extra_or_operand=True
+        )
+        assert p.fc_senses_per_chunk == 3  # 2 AND groups + OR merge
+
+
+class TestBmi:
+    def test_days_for_months(self):
+        """The paper's 30..1,095 operand range."""
+        assert days_for_months(1) == 30
+        assert days_for_months(36) == 1095
+
+    def test_point_parameters(self):
+        p = bmi_point(36)
+        assert p.n_operands == 1095
+        assert p.vector_bytes == 100_000_000  # 800M users / 8
+        assert p.host_bitcount
+
+    def test_sweep_labels(self):
+        sweep = bmi_sweep()
+        assert [p.parameter for p in sweep] == [1, 3, 6, 12, 24, 36]
+
+    def test_functional_generator_and_query(self):
+        rng = np.random.default_rng(0)
+        days = generate_login_bitmaps(1000, 30, rng, activity=0.9)
+        assert len(days) == 30
+        result, count = run_bmi_query_reference(days)
+        assert count == int(result.sum())
+        # The always-active core guarantees a non-empty result.
+        assert count >= 1000 // 50
+
+    def test_generator_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_login_bitmaps(10, 2, rng, activity=1.5)
+        with pytest.raises(ValueError):
+            run_bmi_query_reference([])
+        with pytest.raises(ValueError):
+            days_for_months(0)
+
+
+class TestIms:
+    def test_point_parameters(self):
+        p = ims_point(200_000)
+        assert p.n_operands == 3
+        # 44.7 GiB (the paper's "up to 44 GiB" result vector).
+        assert p.vector_bytes == 200_000 * 800 * 600 * 4 // 8
+
+    def test_sweep(self):
+        assert [p.parameter for p in ims_sweep()] == [
+            10_000, 50_000, 100_000, 200_000,
+        ]
+
+    def test_functional_masks(self):
+        rng = np.random.default_rng(1)
+        y, u, v = generate_segmentation_masks(10_000, rng)
+        seg = segment_reference(y, u, v)
+        # The AND selects a strict minority region.
+        assert 0 < seg.mean() < min(y.mean(), u.mean(), v.mean())
+
+
+class TestKcs:
+    def test_point_parameters(self):
+        p = kcs_point(32)
+        assert p.n_operands == 32
+        assert p.n_queries == 1024
+        assert p.vector_bytes == 4_000_000
+        assert p.extra_or_operand
+
+    def test_sweep(self):
+        assert [p.parameter for p in kcs_sweep()] == [8, 16, 24, 32, 48, 64]
+
+    def test_functional_graph_and_reference(self):
+        rng = np.random.default_rng(2)
+        adjacency, clique = generate_kclique_graph(200, 5, rng)
+        star = kclique_star_reference(adjacency, clique)
+        # Every clique member belongs to its own star.
+        membership = clique_membership_vector(200, clique)
+        assert ((star & membership) == membership).all()
+        # The clique is fully connected.
+        for i in clique:
+            for j in clique:
+                assert adjacency[i, j] == 1
+
+    def test_star_members_connect_to_all_clique_vertices(self):
+        rng = np.random.default_rng(3)
+        adjacency, clique = generate_kclique_graph(150, 4, rng)
+        star = kclique_star_reference(adjacency, clique)
+        members = np.nonzero(star)[0]
+        clique_set = set(clique)
+        for v in members:
+            if v in clique_set:
+                continue
+            assert all(adjacency[v, c] for c in clique)
+
+    def test_clique_larger_than_graph_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            generate_kclique_graph(3, 5, rng)

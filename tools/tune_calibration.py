@@ -1,0 +1,116 @@
+"""Check the reliability-model calibration against the paper's anchors.
+
+Run:  python tools/tune_calibration.py
+
+Prints measured vs. target for every anchor in calibration.py's
+docstring.  Used during development to fix the constants; the frozen
+result is pinned by tests/flash/test_calibration.py.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.flash.calibration import DEFAULT_CALIBRATION
+from repro.flash.errors import ErrorModel, OperatingCondition
+
+PEC_GRID = [0, 1_000, 2_000, 3_000, 6_000, 10_000]
+RETENTION_GRID = [0.0, 1.0, 2.0, 3.0, 6.0, 12.0]
+
+
+def grid(model: ErrorModel, mode: str, randomized: bool) -> list[float]:
+    out = []
+    for pec in PEC_GRID:
+        for months in RETENTION_GRID:
+            cond = OperatingCondition(
+                pe_cycles=pec, retention_months=months, randomized=randomized
+            )
+            out.append(model.rber(mode, cond))
+    return out
+
+
+def mean(xs: list[float]) -> float:
+    return sum(xs) / len(xs)
+
+
+def main() -> None:
+    model = ErrorModel(DEFAULT_CALIBRATION)
+    q = DEFAULT_CALIBRATION.quality
+
+    slc_rand = grid(model, "slc", True)
+    slc_norand = grid(model, "slc", False)
+    mlc_rand = grid(model, "mlc", True)
+    mlc_norand = grid(model, "mlc", False)
+
+    def report(name, measured, target):
+        flag = "OK " if 0.5 * target <= measured <= 2.0 * target else "TUNE"
+        print(f"{flag} {name:<46} measured={measured:.3e} target={target:.3e}")
+
+    fresh = OperatingCondition()
+    worst_rand = OperatingCondition(pe_cycles=10_000, retention_months=12.0)
+    worst_norand = OperatingCondition(
+        pe_cycles=10_000, retention_months=12.0, randomized=False
+    )
+
+    report("SLC+rand fresh", model.slc_rber(fresh), 2.2e-4)
+    report("SLC+rand worst (10K,12mo)", model.slc_rber(worst_rand), 2.0e-3)
+    report("SLC avg no-rand/rand ratio", mean(slc_norand) / mean(slc_rand), 1.91)
+    report("MLC+rand fresh (paper min 8.6e-4)", model.mlc_rber(fresh), 8.6e-4)
+    report("MLC-rand worst (paper max 1.6e-2)", model.mlc_rber(worst_norand), 1.6e-2)
+    report("MLC avg no-rand/rand ratio", mean(mlc_norand) / mean(mlc_rand), 4.92)
+    report(
+        "MLC/SLC max ratio (paper: up to 4x)",
+        max(m / s for m, s in zip(mlc_rand, slc_rand)),
+        4.0,
+    )
+
+    # Fig 11: ESP sweep at worst-case condition, no randomization.
+    print("\nESP sweep (RBER vs tESP/tPROG), no-rand, 10K PEC, 12 months:")
+    for extra in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]:
+        row = []
+        for mult, label in [
+            (q.sigma_multiplier_worst, "worst"),
+            (q.sigma_multiplier_median, "median"),
+            (q.sigma_multiplier_best, "best"),
+        ]:
+            cond = OperatingCondition(
+                pe_cycles=10_000,
+                retention_months=12.0,
+                randomized=False,
+                esp_extra=extra,
+                sigma_multiplier=mult,
+            )
+            row.append(f"{label}={model.slc_rber(cond):.3e}")
+        print(f"  tESP={1+extra:.1f}x  " + "  ".join(row))
+
+    worst_esp19 = OperatingCondition(
+        pe_cycles=10_000,
+        retention_months=12.0,
+        randomized=False,
+        esp_extra=0.9,
+        sigma_multiplier=q.sigma_multiplier_worst,
+    )
+    report(
+        "ESP tESP=1.9x worst block (must be < 2.07e-12)",
+        model.slc_rber(worst_esp19),
+        1e-13,
+    )
+    med0 = OperatingCondition(
+        pe_cycles=10_000, retention_months=12.0, randomized=False, esp_extra=0.0
+    )
+    med6 = OperatingCondition(
+        pe_cycles=10_000, retention_months=12.0, randomized=False, esp_extra=0.6
+    )
+    report(
+        "ESP median 10x drop at tESP=1.6x",
+        model.slc_rber(med0) / model.slc_rber(med6),
+        10.0,
+    )
+    print(f"\nzero-error predicate at 1.9x worst: "
+          f"{model.is_effectively_error_free(worst_esp19)}")
+
+
+if __name__ == "__main__":
+    main()
