@@ -128,16 +128,38 @@ class FlashCosmos:
         """
         if name in self.directory:
             raise ValueError(f"operand {name!r} already written")
-        address = self._allocate_wordline(plane, group)
+        # Coerce before allocating so a malformed input cannot leak a
+        # wordline.
         data = np.asarray(data_bits, dtype=np.uint8)
         stored = (1 - data).astype(np.uint8) if inverse else data
-        self.chip.program_page(
-            address,
-            stored,
-            mode=ProgramMode.ESP,
-            esp_extra=self.esp_extra,
-            randomize=False,
+        # Snapshot the allocation cursors so a failed program does not
+        # leak the wordline: the cursor would otherwise sit one past a
+        # page that holds no registered operand.
+        subblock_cursor = self._next_subblock.get(plane)
+        group_key = (plane, group) if group is not None else None
+        group_cursor = (
+            self._group_cursor.get(group_key) if group_key else None
         )
+        address = self._allocate_wordline(plane, group)
+        try:
+            self.chip.program_page(
+                address,
+                stored,
+                mode=ProgramMode.ESP,
+                esp_extra=self.esp_extra,
+                randomize=False,
+            )
+        except Exception:
+            if subblock_cursor is None:
+                self._next_subblock.pop(plane, None)
+            else:
+                self._next_subblock[plane] = subblock_cursor
+            if group_key is not None:
+                if group_cursor is None:
+                    self._group_cursor.pop(group_key, None)
+                else:
+                    self._group_cursor[group_key] = group_cursor
+            raise
         self.directory.register(
             StoredOperand(
                 name=name,

@@ -156,6 +156,33 @@ def operand_names(expr: Expression) -> frozenset[str]:
 # ----------------------------------------------------------------------
 
 
+def rename_operands(
+    expr: Expression, mapping: Mapping[str, str]
+) -> Expression:
+    """Rebuild ``expr`` with operand names substituted per ``mapping``
+    (names absent from the mapping are kept).
+
+    This is the expression-tree counterpart of template binding: where
+    :meth:`repro.core.planner.PlanTemplate.bind` relocates a *plan*,
+    this relocates the *expression* -- useful for replanning fallbacks
+    and for reproducing the legacy per-chunk-replan path in benchmarks.
+    """
+    if isinstance(expr, Operand):
+        return Operand(mapping.get(expr.name, expr.name))
+    if isinstance(expr, Not):
+        return Not(rename_operands(expr.expr, mapping))
+    if isinstance(expr, And):
+        return And(*(rename_operands(t, mapping) for t in expr.terms))
+    if isinstance(expr, Or):
+        return Or(*(rename_operands(t, mapping) for t in expr.terms))
+    if isinstance(expr, Xor):
+        return Xor(
+            rename_operands(expr.left, mapping),
+            rename_operands(expr.right, mapping),
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
 def to_nnf(expr: Expression) -> Expression:
     """Negation normal form: NOT appears only on operands or XOR.
 

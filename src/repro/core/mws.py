@@ -49,6 +49,15 @@ class MwsExecutor:
             energy_nj=self.chip.counters.energy_nj - energy_before,
         )
 
+    def execute_many(self, plans: list[Plan]) -> list[ExecutionResult]:
+        """Drain a queue of plans on this chip in order.
+
+        The query engine dispatches each chip's bound per-chunk plans
+        as one queue; executing them back to back here keeps the
+        per-chip counter deltas attributable to the queue as a whole.
+        """
+        return [self.execute(plan) for plan in plans]
+
     def estimate_latency_us(self, plan: Plan) -> float:
         """Latency of a plan from the physically derived tMWS model,
         without executing it."""

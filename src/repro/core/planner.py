@@ -24,6 +24,17 @@ expression and complements.  The planner composes units with latch
 accumulation and raises :class:`PlanningError` (with actionable data
 placement advice) for expressions the hardware cannot evaluate
 without rewriting the layout.
+
+Planning output is *relocatable*: the primary product is a
+:class:`PlanTemplate`, which records the command sequence with
+operand **names** in place of physical addresses.  A template is
+valid for any layout *congruent* to the one it was planned against
+(same co-location groups, same inversion flags); binding it against a
+concrete directory resolves names to wordline addresses and yields an
+executable :class:`Plan`.  This is what lets an SSD-scale query plan
+once and stamp the same template onto every striped chunk instead of
+re-running the planner per chunk (In-DRAM bulk-bitwise engines make
+the same move: translate once, execute across the bulk dimension).
 """
 
 from __future__ import annotations
@@ -79,6 +90,12 @@ class OperandDirectory:
             return self._operands[name]
         except KeyError:
             raise KeyError(f"operand {name!r} is not stored") from None
+
+    def unregister(self, name: str) -> None:
+        """Drop a registration (rollback of a failed multi-chunk
+        write).  The physical page stays programmed; only the name
+        becomes reusable."""
+        self._operands.pop(name, None)
 
     def __contains__(self, name: str) -> bool:
         return name in self._operands
@@ -169,6 +186,161 @@ class Plan:
 
 
 # ----------------------------------------------------------------------
+# Relocatable plan templates
+# ----------------------------------------------------------------------
+
+
+class TemplateBindError(Exception):
+    """The concrete layout is not congruent to the template's layout."""
+
+
+@dataclass(frozen=True)
+class TemplateSenseStep:
+    """One MWS command with operand names in place of addresses.
+
+    ``groups`` holds one name tuple per simultaneously sensed block;
+    the names of a group must resolve to wordlines of a single
+    sub-block at bind time (the co-location the template was planned
+    under).
+    """
+
+    iscm: IscmFlags
+    groups: tuple[tuple[str, ...], ...]
+
+    @property
+    def n_wordlines(self) -> int:
+        return sum(len(names) for names in self.groups)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.groups)
+
+
+@dataclass(frozen=True)
+class TemplateXorStep:
+    """Latch XOR command (plane resolved at bind time)."""
+
+
+@dataclass(frozen=True)
+class PlanTemplate:
+    """Relocatable command sequence for one expression shape + layout.
+
+    ``inversions`` records the stored-inversion flag every referenced
+    operand had when the template was planned; binding against a
+    layout whose flags differ is rejected, because the ISCM flags
+    baked into the steps would compute the wrong function.
+    """
+
+    steps: tuple[TemplateSenseStep | TemplateXorStep, ...]
+    inversions: tuple[tuple[str, bool], ...]
+
+    @property
+    def operand_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.inversions)
+
+    @property
+    def sense_steps(self) -> tuple[TemplateSenseStep, ...]:
+        return tuple(
+            s for s in self.steps if isinstance(s, TemplateSenseStep)
+        )
+
+    @property
+    def n_senses(self) -> int:
+        return len(self.sense_steps)
+
+    def sense_profile(self) -> tuple[tuple[int, int], ...]:
+        """(n_wordlines, n_blocks) per sense, address-free -- the
+        timing/power models need only these counts, so template-level
+        cost estimation works without binding."""
+        return tuple((s.n_wordlines, s.n_blocks) for s in self.sense_steps)
+
+    def bind(self, directory) -> Plan:
+        """Resolve operand names to addresses and emit an executable
+        :class:`Plan`.
+
+        ``directory`` is anything with ``lookup(name) -> StoredOperand``
+        (an :class:`OperandDirectory`, or a per-chunk view of one); a
+        bare callable is also accepted.  Raises
+        :class:`TemplateBindError` when the layout is not congruent:
+        an operand changed its inversion flag, a group's operands no
+        longer share a block, or operands straddle planes.
+        """
+        lookup = getattr(directory, "lookup", directory)
+        # Resolve every operand exactly once (binding runs once per
+        # chunk of an SSD query -- hot path).
+        addresses: dict[str, WordlineAddress] = {}
+        for name, inverted in self.inversions:
+            operand = lookup(name)
+            if operand.inverted != inverted:
+                raise TemplateBindError(
+                    f"operand {name!r} is stored "
+                    f"{'inverted' if operand.inverted else 'direct'} "
+                    "but the template was planned for the opposite "
+                    "polarity; replan against this layout"
+                )
+            addresses[name] = operand.address
+
+        plane: int | None = None
+        bound: list[SenseStep | XorStep] = []
+        for step in self.steps:
+            if isinstance(step, TemplateXorStep):
+                if plane is None:
+                    raise TemplateBindError(
+                        "XOR step precedes any sense step"
+                    )
+                bound.append(XorStep(plane))
+                continue
+            targets: list[tuple[BlockAddress, tuple[int, ...]]] = []
+            step_blocks: set[tuple[int, int, int]] = set()
+            for names in step.groups:
+                first = addresses[names[0]]
+                block_key = (first.plane, first.block, first.subblock)
+                if block_key in step_blocks:
+                    # Two OR-groups drifted into one string group: the
+                    # sense would AND them, not OR them.
+                    raise TemplateBindError(
+                        f"operands {names} share a sub-block with "
+                        "another group of the same sense; the "
+                        "template's inter-block OR does not apply"
+                    )
+                step_blocks.add(block_key)
+                wordlines = [first.wordline]
+                for name in names[1:]:
+                    addr = addresses[name]
+                    if (
+                        addr.plane != first.plane
+                        or addr.block != first.block
+                        or addr.subblock != first.subblock
+                    ):
+                        raise TemplateBindError(
+                            f"operands {names} are no longer co-located "
+                            "in one sub-block; the template's "
+                            "intra-block AND does not apply"
+                        )
+                    wordlines.append(addr.wordline)
+                if len(set(wordlines)) != len(wordlines):
+                    raise TemplateBindError(
+                        f"operands {names} collide on one wordline"
+                    )
+                if plane is None:
+                    plane = first.plane
+                elif first.plane != plane:
+                    raise TemplateBindError(
+                        "bound operands straddle planes; MWS senses one "
+                        "plane's bitlines at a time"
+                    )
+                targets.append((first.block_address, tuple(wordlines)))
+            bound.append(
+                SenseStep(
+                    MwsCommand(iscm=step.iscm, targets=tuple(targets))
+                )
+            )
+        if plane is None:
+            raise TemplateBindError("template contains no sense steps")
+        return Plan(plane=plane, steps=tuple(bound))
+
+
+# ----------------------------------------------------------------------
 # Internal unit representation
 # ----------------------------------------------------------------------
 
@@ -209,12 +381,67 @@ class Planner:
             raise ValueError("block_limit must be >= 1")
         self.directory = directory
         self.block_limit = block_limit
+        #: How many times this planner ran full expression planning
+        #: (template builds included, binds excluded) -- the quantity
+        #: the query engine amortizes across chunks.
+        self.n_plans = 0
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
     def plan(self, expr: Expression) -> Plan:
+        """Plan ``expr`` against this planner's directory.
+
+        Produces the same plan as ``plan_template(expr).bind(directory)``
+        (a property the tests pin) without paying the lift/bind pass --
+        single-shot callers plan concretely; bulk callers lift once via
+        :meth:`plan_template` and bind per chunk.
+        """
+        return self._plan_concrete(expr)
+
+    def plan_template(self, expr: Expression) -> PlanTemplate:
+        """Plan ``expr`` and lift the result into a relocatable
+        :class:`PlanTemplate` (addresses replaced by operand names).
+
+        The template reproduces this directory's plan exactly when
+        bound back against it, and transplants to any congruent layout
+        -- e.g. the same vectors' other chunks on other chips.
+        """
+        plan = self._plan_concrete(expr)
+        names = sorted(_names(expr))
+        address_to_name: dict[WordlineAddress, str] = {}
+        inversions: list[tuple[str, bool]] = []
+        for name in names:
+            operand = self.directory.lookup(name)
+            address_to_name[operand.address] = name
+            inversions.append((name, operand.inverted))
+        steps: list[TemplateSenseStep | TemplateXorStep] = []
+        for step in plan.steps:
+            if isinstance(step, XorStep):
+                steps.append(TemplateXorStep())
+                continue
+            groups = []
+            for block, wordlines in step.command.targets:
+                groups.append(
+                    tuple(
+                        address_to_name[
+                            WordlineAddress(
+                                block.plane, block.block, block.subblock, wl
+                            )
+                        ]
+                        for wl in wordlines
+                    )
+                )
+            steps.append(
+                TemplateSenseStep(
+                    iscm=step.command.iscm, groups=tuple(groups)
+                )
+            )
+        return PlanTemplate(steps=tuple(steps), inversions=tuple(inversions))
+
+    def _plan_concrete(self, expr: Expression) -> Plan:
+        self.n_plans += 1
         nnf = to_nnf(expr)
         plane = self._common_plane(nnf)
 

@@ -94,6 +94,12 @@ class NandFlashChip:
         }
         #: Runtime-tunable parameters (the SET FEATURE command).
         self._features: dict[str, float] = {}
+        #: Per-randomization-flag variants of the ambient condition
+        #: (avoids a dataclass replace per sense -- hot path).
+        self._condition_variants: dict[bool, OperatingCondition] = {}
+        #: (n_wordlines, n_blocks) -> (duration_us, energy_nj) for MWS
+        #: senses; the models are pure in these counts -- hot path.
+        self._mws_cost_cache: dict[tuple[int, int], tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Environment control (test-mode features)
@@ -103,6 +109,7 @@ class NandFlashChip:
         """Set the ambient stress condition (retention age, chip-level
         P/E floor, block quality) applied to subsequent senses."""
         self.condition = condition
+        self._condition_variants.clear()
 
     def cycle_block(self, address: BlockAddress, pe_cycles: int) -> None:
         """Wear a block to ``pe_cycles`` program/erase cycles (the
@@ -416,8 +423,18 @@ class NandFlashChip:
 
         n_wordlines = outcome.wordlines_sensed
         n_blocks = outcome.blocks_sensed
-        duration = self.timing.t_mws_us(n_wordlines, n_blocks)
-        energy = self.power.mws_energy_nj(n_wordlines, n_blocks, duration)
+        cost = self._mws_cost_cache.get((n_wordlines, n_blocks))
+        if cost is None:
+            duration = self.timing.t_mws_us(n_wordlines, n_blocks)
+            energy = self.power.mws_energy_nj(
+                n_wordlines, n_blocks, duration
+            )
+            self._mws_cost_cache[(n_wordlines, n_blocks)] = (
+                duration,
+                energy,
+            )
+        else:
+            duration, energy = cost
         self.counters.senses += 1
         self.counters.wordlines_sensed += n_wordlines
         self.counters.charge(duration, energy)
@@ -457,7 +474,13 @@ class NandFlashChip:
             for block, wordlines in blocks
             for wl in wordlines
         )
-        return replace(self.condition, randomized=randomized)
+        if randomized == self.condition.randomized:
+            return self.condition
+        cached = self._condition_variants.get(randomized)
+        if cached is None:
+            cached = replace(self.condition, randomized=randomized)
+            self._condition_variants[randomized] = cached
+        return cached
 
     def stored_bits(self, address: WordlineAddress) -> np.ndarray:
         """Ground truth as stored in the cells (post-randomization)."""

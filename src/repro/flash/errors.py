@@ -96,6 +96,9 @@ class ErrorModel:
 
     def __init__(self, calibration: FlashCalibration | None = None) -> None:
         self.calibration = calibration or DEFAULT_CALIBRATION
+        # slc_shifts is pure math over a frozen condition and sits on
+        # the per-sense hot path of the functional simulator; memoize.
+        self._slc_shift_cache: dict[OperatingCondition, SlcShifts] = {}
 
     # ------------------------------------------------------------------
     # SLC (and ESP, which is SLC with extra ISPP effort)
@@ -103,6 +106,15 @@ class ErrorModel:
 
     def slc_shifts(self, condition: OperatingCondition) -> SlcShifts:
         """Resolve all mechanism shifts for an SLC/ESP wordline."""
+        cached = self._slc_shift_cache.get(condition)
+        if cached is not None:
+            return cached
+        shifts = self._slc_shifts_uncached(condition)
+        if len(self._slc_shift_cache) < 4096:
+            self._slc_shift_cache[condition] = shifts
+        return shifts
+
+    def _slc_shifts_uncached(self, condition: OperatingCondition) -> SlcShifts:
         c = self.calibration.slc
         pec = condition.pe_cycles
         retention = c.k_ret * (1.0 + c.w_ret * pec) * math.log1p(

@@ -71,7 +71,7 @@ class LatchBank:
             return
         if self._sense is None:
             raise LatchStateError("S-latch used before initialization")
-        self._sense = (self._sense & data).astype(np.uint8)
+        self._sense = self._sense & data
 
     def transfer_to_cache(self) -> None:
         """Move S-latch data to the C-latch (enable M3): OR-merge onto
@@ -80,13 +80,13 @@ class LatchBank:
             raise LatchStateError("transfer with empty S-latch")
         if self._cache is None:
             raise LatchStateError("transfer with uninitialized C-latch")
-        self._cache = (self._cache | self._sense).astype(np.uint8)
+        self._cache = self._cache | self._sense
 
     def xor_into_cache(self) -> None:
         """C-latch := S-latch XOR C-latch (the on-chip XOR feature)."""
         if self._sense is None or self._cache is None:
             raise LatchStateError("XOR requires both latches to hold data")
-        self._cache = (self._cache ^ self._sense).astype(np.uint8)
+        self._cache = self._cache ^ self._sense
 
     # ------------------------------------------------------------------
     # Reading out
@@ -115,6 +115,8 @@ class LatchBank:
             raise ValueError(
                 f"latch page must have {self.page_bits} bits, got {arr.shape}"
             )
-        if not np.isin(arr, (0, 1)).all():
+        # uint8 cannot be negative, so a single max() comparison is the
+        # full 0/1 domain check (this runs once per sense -- hot path).
+        if arr.size and int(arr.max()) > 1:
             raise ValueError("latch data must be 0/1 bits")
         return arr

@@ -59,6 +59,10 @@ class SensingEngine:
         self.error_model = error_model
         self.rng = rng or np.random.default_rng(0)
         self.inject_errors = inject_errors
+        # Error-free sensing resolves the read reference from a
+        # pristine condition whose only live input is the ESP effort;
+        # cache it per effort to keep the per-sense hot path lean.
+        self._pristine_read_ref: dict[float, float] = {}
 
     # ------------------------------------------------------------------
     # Cell-level conductance
@@ -81,28 +85,42 @@ class SensingEngine:
         """
         if not wordlines:
             raise ValueError("MWS requires at least one wordline")
-        modes = {block.metadata[wl].mode for wl in wordlines}
         from repro.flash.ispp import ProgramMode
 
-        if ProgramMode.MLC in modes and len(modes) > 1:
+        # Single pass over the wordline metadata (per-sense hot path).
+        metadata = block.metadata
+        first = metadata[wordlines[0]]
+        mode = first.mode
+        esp_extra = first.esp_extra
+        has_mlc = mode is ProgramMode.MLC
+        mixed_modes = False
+        for wl in wordlines[1:]:
+            meta = metadata[wl]
+            if meta.mode is not mode:
+                mixed_modes = True
+                if meta.mode is ProgramMode.MLC:
+                    has_mlc = True
+            if meta.esp_extra != esp_extra:
+                raise ValueError(
+                    "all wordlines of one MWS must share a programming "
+                    "mode (got ESP extras "
+                    f"{sorted({block.wordline_esp_extra(w) for w in wordlines})})"
+                )
+        if has_mlc and mixed_modes:
             raise ValueError(
                 "MWS cannot mix MLC and SLC-family wordlines in one sense"
             )
-        extras = {block.wordline_esp_extra(wl) for wl in wordlines}
-        if len(extras) > 1:
-            raise ValueError(
-                "all wordlines of one MWS must share a programming mode "
-                f"(got ESP extras {sorted(extras)})"
-            )
-        esp_extra = extras.pop()
-        cond = replace(
-            condition,
-            esp_extra=esp_extra,
-            pe_cycles=max(condition.pe_cycles, block.pe_cycles),
-            sigma_multiplier=condition.sigma_multiplier * block.sigma_multiplier,
-        )
+        modes = {ProgramMode.MLC} if has_mlc else {mode}
         rows = np.array(sorted(wordlines))
         vth = block.vth[rows]
+        if self.inject_errors:
+            cond = replace(
+                condition,
+                esp_extra=esp_extra,
+                pe_cycles=max(condition.pe_cycles, block.pe_cycles),
+                sigma_multiplier=condition.sigma_multiplier
+                * block.sigma_multiplier,
+            )
         if ProgramMode.MLC in modes:
             # LSB-page sensing: the read mechanism is identical to an
             # SLC read except for the reference voltage (VREF2 between
@@ -117,8 +135,15 @@ class SensingEngine:
             vth = self.error_model.perturb(vth, programmed, cond, self.rng)
             read_ref = self.error_model.slc_shifts(cond).read_ref
         else:
-            pristine = replace(cond, pe_cycles=0, retention_months=0.0, reads=0)
-            read_ref = self.error_model.slc_shifts(pristine).read_ref
+            # Error-free: only the ESP effort moves the reference
+            # (retention/PEC/read-disturb terms vanish at zero stress).
+            read_ref = self._pristine_read_ref.get(esp_extra)
+            if read_ref is None:
+                pristine = OperatingCondition(
+                    randomized=condition.randomized, esp_extra=esp_extra
+                )
+                read_ref = self.error_model.slc_shifts(pristine).read_ref
+                self._pristine_read_ref[esp_extra] = read_ref
         conducting = vth <= read_ref + vref_offset
         block.note_read(len(wordlines))
         return conducting.all(axis=0)

@@ -1,22 +1,42 @@
-"""SSD substrate: configuration, timeline simulation, FTL, controller.
+"""SSD substrate: configuration, timeline simulation, FTL, controller,
+and the plan-template query engine.
 
 Models the simulated SSD of Table 1 (an MQSim-style performance model
 plus a functional multi-chip controller) and the three data paths the
 paper compares: external I/O (host <-> SSD), internal I/O (controller
 <-> flash dies over shared channels), and in-flash sensing.
+
+Query execution is layered on three pieces:
+
+* :class:`~repro.ssd.controller.SmallSsd` stripes vectors across
+  functional chips and owns the FTL metadata;
+* :class:`~repro.ssd.query_engine.QueryEngine` turns each expression
+  into a *relocatable plan template* (LRU-cached by expression shape +
+  group layout), binds it to every chunk's addresses, and drains the
+  bound plans through per-chip queues -- planning cost is independent
+  of vector length;
+* :mod:`~repro.ssd.events` replays each query's chunk job stream
+  (die sense -> channel DMA -> external link) through the exact
+  timeline simulator, so functional queries also report pipelined
+  makespans, unifying the functional and performance paths.
 """
 
 from repro.ssd.config import SsdConfig, fig7_config, table1_config
-from repro.ssd.controller import SmallSsd
+from repro.ssd.controller import QueryResult, SmallSsd
 from repro.ssd.events import SerialResource, StageJob, simulate_stages
 from repro.ssd.ftl import FlashTranslationLayer, PagePlacement
 from repro.ssd.pipeline import PipelineModel, PlatformTiming
+from repro.ssd.query_engine import BatchResult, EngineStats, QueryEngine
 
 __all__ = [
+    "BatchResult",
+    "EngineStats",
     "FlashTranslationLayer",
     "PagePlacement",
     "PipelineModel",
     "PlatformTiming",
+    "QueryEngine",
+    "QueryResult",
     "SerialResource",
     "SmallSsd",
     "SsdConfig",

@@ -1,5 +1,6 @@
 """Functional multi-chip SSD: stripes vectors across Flash-Cosmos
-chips and fans expressions out chunk-by-chunk.
+chips and evaluates expressions with plan-once/bind-per-chunk
+execution.
 
 ``SmallSsd`` is the functional counterpart of the performance model:
 real bits move through real (scaled-down) chips, so examples and
@@ -7,6 +8,13 @@ integration tests can run end-to-end queries -- write day bitmaps,
 issue ``query(expr)``, get the exact result vector back -- while the
 cost counters aggregate the same quantities the performance model
 estimates at full scale.
+
+Queries are served by a :class:`~repro.ssd.query_engine.QueryEngine`:
+the expression is planned *once* into a relocatable template, bound
+per chunk against each chip's directory, dispatched through per-chip
+queues, and the chunk job stream is replayed through the event
+simulator -- so every functional query also reports the pipelined
+makespan (see :mod:`repro.ssd.query_engine`).
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.api import FlashCosmos
-from repro.core.expressions import Expression, operand_names
+from repro.core.expressions import Expression
 from repro.flash.chip import NandFlashChip
 from repro.flash.errors import OperatingCondition
 from repro.flash.geometry import ChipGeometry
@@ -25,12 +33,21 @@ from repro.ssd.ftl import FlashTranslationLayer
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Result of one SSD-level in-flash query."""
+    """Result of one SSD-level in-flash query.
+
+    ``makespan_us`` is the event-simulated pipelined completion time
+    of the query's chunk job stream (die sense -> channel -> external
+    link); ``latency_us`` remains the raw per-chip-maximum sense time
+    the seed model reported.  ``template_hit`` tells whether the query
+    was served from the plan-template cache without planning.
+    """
 
     bits: np.ndarray
     n_senses: int
     latency_us: float
     energy_nj: float
+    makespan_us: float = 0.0
+    template_hit: bool = False
 
 
 class SmallSsd:
@@ -53,6 +70,7 @@ class SmallSsd:
             wordlines_per_string=48,
             page_size_bits=1024,
         )
+        self.esp_extra = esp_extra
         self.chips = [
             NandFlashChip(
                 self.geometry, inject_errors=inject_errors, seed=seed + i
@@ -68,6 +86,11 @@ class SmallSsd:
         self.ftl = FlashTranslationLayer(
             n_chips=n_chips, page_bits=self.geometry.page_size_bits
         )
+        # Deferred import: the engine module type-checks against this
+        # one.
+        from repro.ssd.query_engine import QueryEngine
+
+        self.engine = QueryEngine(self)
 
     @property
     def page_bits(self) -> int:
@@ -89,6 +112,13 @@ class SmallSsd:
 
         Chunks land on chips round-robin; within each chip the operand
         keeps its group (string-group co-location) and inversion flag.
+        A vector whose length is not a page multiple stores its final
+        chunk zero-padded; reads and queries truncate back to the true
+        length.  If any chunk write fails, the registration is rolled
+        back -- the FTL record and every already-written chunk's
+        directory entry are removed, so the SSD is never left
+        half-registered (the programmed pages themselves are leaked
+        until garbage collection, like any interrupted write).
         """
         data = np.asarray(bits, dtype=np.uint8)
         record = self.ftl.register_vector(
@@ -96,25 +126,45 @@ class SmallSsd:
             data.size,
             group=group,
             inverted=inverse,
-            esp_extra=0.9,
+            esp_extra=self.esp_extra,
         )
         page = self.page_bits
-        for placement in record.placements:
-            chunk_bits = data[
-                placement.chunk * page : (placement.chunk + 1) * page
-            ]
-            controller = self.controllers[placement.chip]
-            # Only the *same* chunk offset of different vectors must
-            # share a string group (they are combined bit-by-bit);
-            # distinct offsets get distinct groups so a group never
-            # exhausts its 48 wordlines on one vector's own chunks.
-            chunk_group = f"{group}#{placement.chunk}" if group else None
-            controller.fc_write(
-                self._chunk_operand_name(name, placement.chunk),
-                chunk_bits,
-                group=chunk_group,
-                inverse=inverse,
-            )
+        written: list[tuple[int, str]] = []
+        try:
+            for placement in record.placements:
+                chunk_bits = data[
+                    placement.chunk * page : (placement.chunk + 1) * page
+                ]
+                if chunk_bits.size < page:
+                    chunk_bits = np.concatenate(
+                        [
+                            chunk_bits,
+                            np.zeros(
+                                page - chunk_bits.size, dtype=np.uint8
+                            ),
+                        ]
+                    )
+                controller = self.controllers[placement.chip]
+                # Only the *same* chunk offset of different vectors must
+                # share a string group (they are combined bit-by-bit);
+                # distinct offsets get distinct groups so a group never
+                # exhausts its 48 wordlines on one vector's own chunks.
+                chunk_group = (
+                    f"{group}#{placement.chunk}" if group else None
+                )
+                chunk_name = self._chunk_operand_name(name, placement.chunk)
+                controller.fc_write(
+                    chunk_name,
+                    chunk_bits,
+                    group=chunk_group,
+                    inverse=inverse,
+                )
+                written.append((placement.chip, chunk_name))
+        except Exception:
+            for chip, chunk_name in written:
+                self.controllers[chip].directory.unregister(chunk_name)
+            self.ftl.unregister(name)
+            raise
 
     def _chunk_operand_name(self, name: str, chunk: int) -> str:
         # Chunks striped to the same chip get distinct operand names;
@@ -128,44 +178,11 @@ class SmallSsd:
         lives on the same chip (identical striping), so each chip
         computes its chunks independently -- chips work in parallel in
         a real SSD, hence latency aggregates as the per-chip maximum.
+        The plan is built once (template cache) and bound to each
+        chunk's addresses; planning cost is independent of the number
+        of chunks.
         """
-        names = sorted(operand_names(expr))
-        if not names:
-            raise ValueError("expression references no operands")
-        self.ftl.validate_co_located(names)
-        n_chunks = self.ftl.lookup(names[0]).n_chunks
-
-        busy_before = [c.counters.busy_us for c in self.chips]
-        energy_before = [c.counters.energy_nj for c in self.chips]
-        senses_before = [c.counters.senses for c in self.chips]
-
-        pieces: list[np.ndarray] = []
-        for chunk in range(n_chunks):
-            chip_index = self.ftl.chip_of_chunk(chunk)
-            controller = self.controllers[chip_index]
-            chunk_expr = _rename_operands(
-                expr, {n: self._chunk_operand_name(n, chunk) for n in names}
-            )
-            pieces.append(controller.fc_read(chunk_expr).bits)
-
-        latency = max(
-            c.counters.busy_us - b
-            for c, b in zip(self.chips, busy_before)
-        )
-        energy = sum(
-            c.counters.energy_nj - b
-            for c, b in zip(self.chips, energy_before)
-        )
-        senses = sum(
-            c.counters.senses - b
-            for c, b in zip(self.chips, senses_before)
-        )
-        return QueryResult(
-            bits=np.concatenate(pieces) if pieces else np.empty(0, np.uint8),
-            n_senses=senses,
-            latency_us=latency,
-            energy_nj=energy,
-        )
+        return self.engine.query(expr)
 
     def read_vector(self, name: str) -> np.ndarray:
         """Read a stored vector back through regular page reads."""
@@ -180,23 +197,4 @@ class SmallSsd:
                 stored.address, inverse=stored.inverted
             )
             pieces.append(bits)
-        return np.concatenate(pieces)
-
-
-def _rename_operands(expr: Expression, mapping: dict[str, str]) -> Expression:
-    from repro.core.expressions import And, Not, Operand, Or, Xor
-
-    if isinstance(expr, Operand):
-        return Operand(mapping[expr.name])
-    if isinstance(expr, Not):
-        return Not(_rename_operands(expr.expr, mapping))
-    if isinstance(expr, And):
-        return And(*(_rename_operands(t, mapping) for t in expr.terms))
-    if isinstance(expr, Or):
-        return Or(*(_rename_operands(t, mapping) for t in expr.terms))
-    if isinstance(expr, Xor):
-        return Xor(
-            _rename_operands(expr.left, mapping),
-            _rename_operands(expr.right, mapping),
-        )
-    raise TypeError(f"unknown expression node {type(expr).__name__}")
+        return np.concatenate(pieces)[: record.n_bits]

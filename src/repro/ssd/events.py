@@ -74,10 +74,17 @@ class StageReport:
     makespan: float
     completion_times: list[float]
     resource_busy: dict[str, float] = field(default_factory=dict)
+    resource_jobs: dict[str, int] = field(default_factory=dict)
 
     @property
     def bottleneck(self) -> str:
         return max(self.resource_busy, key=self.resource_busy.get)
+
+    def utilization(self, name: str) -> float:
+        """Fraction of the makespan a resource spent busy."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.resource_busy.get(name, 0.0) / self.makespan
 
 
 def simulate_stages(jobs: list[StageJob]) -> StageReport:
@@ -123,5 +130,8 @@ def simulate_stages(jobs: list[StageJob]) -> StageReport:
         completion_times=completion,
         resource_busy={
             name: res.busy_time for name, res in resources.items()
+        },
+        resource_jobs={
+            name: res.jobs_served for name, res in resources.items()
         },
     )

@@ -26,7 +26,12 @@ class PagePlacement:
 
 @dataclass
 class VectorRecord:
-    """FTL metadata for one logical bit vector."""
+    """FTL metadata for one logical bit vector.
+
+    ``n_bits`` is the vector's true length; when it is not a multiple
+    of the page size the final chunk is stored zero-padded and
+    ``n_bits`` is what reads/queries truncate their results to.
+    """
 
     name: str
     n_bits: int
@@ -34,7 +39,18 @@ class VectorRecord:
     group: str | None
     inverted: bool
     esp_extra: float
+    page_bits: int = 0
     placements: list[PagePlacement] = field(default_factory=list)
+
+    @property
+    def padded_bits(self) -> int:
+        """Stored length including the zero-padded tail."""
+        return self.n_chunks * self.page_bits
+
+    @property
+    def pad_bits(self) -> int:
+        """Zero bits appended to fill the final chunk."""
+        return self.padded_bits - self.n_bits
 
 
 class FlashTranslationLayer:
@@ -60,12 +76,11 @@ class FlashTranslationLayer:
     ) -> VectorRecord:
         if name in self._vectors:
             raise ValueError(f"vector {name!r} already registered")
-        if n_bits % self.page_bits:
-            raise ValueError(
-                f"vector length {n_bits} is not a multiple of the page "
-                f"size ({self.page_bits} bits)"
-            )
-        n_chunks = n_bits // self.page_bits
+        if n_bits < 1:
+            raise ValueError("vector length must be >= 1 bit")
+        # A short final chunk is stored zero-padded; ``n_bits`` keeps
+        # the true length so reads and queries truncate the result.
+        n_chunks = -(-n_bits // self.page_bits)
         record = VectorRecord(
             name=name,
             n_bits=n_bits,
@@ -73,6 +88,7 @@ class FlashTranslationLayer:
             group=group,
             inverted=inverted,
             esp_extra=esp_extra,
+            page_bits=self.page_bits,
         )
         for chunk in range(n_chunks):
             record.placements.append(
@@ -94,6 +110,11 @@ class FlashTranslationLayer:
             return self._vectors[name]
         except KeyError:
             raise KeyError(f"vector {name!r} is not stored") from None
+
+    def unregister(self, name: str) -> None:
+        """Drop a vector's record (rollback of a failed striped write
+        so the SSD is never left half-registered)."""
+        self._vectors.pop(name, None)
 
     def __contains__(self, name: str) -> bool:
         return name in self._vectors

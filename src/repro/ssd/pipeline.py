@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.ssd.config import SsdConfig
 from repro.ssd.events import StageJob, StageReport, simulate_stages
@@ -85,6 +85,7 @@ class PlatformTiming:
     internal_bytes: float
     external_bytes: float
     host_bytes: float
+    resource_jobs: dict[str, int] = field(default_factory=dict)
 
     @property
     def makespan_us(self) -> float:
@@ -282,4 +283,5 @@ class PipelineModel:
             internal_bytes=internal,
             external_bytes=external,
             host_bytes=host,
+            resource_jobs=dict(report.resource_jobs),
         )

@@ -113,6 +113,85 @@ class TestFcWrite:
         assert not meta.randomized
 
 
+class TestAllocationRollback:
+    """A failed program must not leak its wordline or sub-block: the
+    allocation cursors roll back so the next write reuses the slot."""
+
+    def test_grouped_write_failure_leaks_no_wordline(self, monkeypatch):
+        fc = make_fc()
+        env = pages("abc", seed=30)
+        fc.fc_write("a", env["a"], group="g")
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("program failed")
+
+        monkeypatch.setattr(fc.chip, "program_page", boom)
+        with pytest.raises(RuntimeError, match="program failed"):
+            fc.fc_write("b", env["b"], group="g")
+        assert "b" not in fc.directory
+        monkeypatch.undo()
+        handle = fc.fc_write("b", env["b"], group="g")
+        # Directly after "a": wordline 1, not 2.
+        assert handle.address.wordline == 1
+
+    def test_first_grouped_write_failure_releases_subblock(
+        self, monkeypatch
+    ):
+        fc = make_fc()
+        env = pages("ab", seed=31)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("program failed")
+
+        monkeypatch.setattr(fc.chip, "program_page", boom)
+        with pytest.raises(RuntimeError):
+            fc.fc_write("a", env["a"], group="g")
+        monkeypatch.undo()
+        # The group cursor was rolled back too: a retry starts the
+        # group fresh in the first sub-block at wordline 0.
+        handle = fc.fc_write("a", env["a"], group="g")
+        assert (handle.address.block, handle.address.subblock) == (0, 0)
+        assert handle.address.wordline == 0
+        second = fc.fc_write("b", env["b"], group="g")
+        assert second.address.block_address == handle.address.block_address
+        assert second.address.wordline == 1
+
+    def test_malformed_data_leaks_no_wordline(self):
+        fc = make_fc()
+        env = pages("ab", seed=33)
+        fc.fc_write("a", env["a"], group="g")
+        with pytest.raises(ValueError):
+            fc.fc_write("bad", ["not", "bits"], group="g")
+        handle = fc.fc_write("b", env["b"], group="g")
+        assert handle.address.wordline == 1  # directly after "a"
+
+    def test_ungrouped_write_failure_releases_subblock(self, monkeypatch):
+        fc = make_fc()
+        env = pages("ab", seed=32)
+        first = fc.fc_write("a", env["a"])
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("program failed")
+
+        monkeypatch.setattr(fc.chip, "program_page", boom)
+        with pytest.raises(RuntimeError):
+            fc.fc_write("b", env["b"])
+        monkeypatch.undo()
+        retry = fc.fc_write("b", env["b"])
+        # The sub-block the failed write grabbed is reused, so the two
+        # writes occupy adjacent sub-blocks.
+        g = GEOMETRY
+        first_index = (
+            first.address.block * g.subblocks_per_block
+            + first.address.subblock
+        )
+        retry_index = (
+            retry.address.block * g.subblocks_per_block
+            + retry.address.subblock
+        )
+        assert retry_index == first_index + 1
+
+
 class TestFcRead:
     def test_and_of_grouped_operands(self):
         fc = make_fc()

@@ -267,3 +267,105 @@ class TestValidation:
         plan = planner.plan(And(*(op(f"A{i}") for i in range(4))))
         assert plan.sense_profile() == ((4, 1),)
         assert plan.total_wordlines == 4
+
+
+class TestPlanTemplates:
+    """Relocatable templates: plan once, bind against congruent
+    layouts (the query engine's chunk dimension)."""
+
+    def relocated_directory(self, wordline_shift=0, block_shift=0):
+        """A layout congruent to the main fixture's: same groups and
+        inversions, different physical addresses."""
+        d = OperandDirectory()
+        for i in range(4):
+            store(d, f"A{i}", 0, 0 + block_shift, 1, i + wordline_shift)
+        for i in range(4):
+            store(d, f"N{i}", 0, 1 + block_shift, 1, i + wordline_shift,
+                  inverted=True)
+        for i in range(6):
+            store(d, f"S{i}", 0, 2 + block_shift + i, 1, wordline_shift)
+        store(d, "P0", 1, 0 + block_shift, 1, wordline_shift)
+        return d
+
+    def test_bind_roundtrip_reproduces_plan(self, planner, directory):
+        exprs = [
+            And(*(op(f"A{i}") for i in range(4))),
+            Or(op("N0"), op("N1"), op("N2")),
+            Or(And(op("A0"), op("A1")), op("S0"), op("S1")),
+            Xor(op("A0"), op("S0")),
+            Xnor(op("A0"), op("S0")),
+            And(Or(op("S0"), And(op("A0"), op("A1"))),
+                Or(op("N0"), op("N1"))),
+        ]
+        for expr in exprs:
+            template = planner.plan_template(expr)
+            assert template.bind(directory) == planner.plan(expr)
+
+    def test_template_relocates_to_congruent_layout(self, planner):
+        expr = And(*(op(f"A{i}") for i in range(4)))
+        template = planner.plan_template(expr)
+        other = self.relocated_directory(wordline_shift=3, block_shift=2)
+        plan = template.bind(other)
+        assert plan.n_senses == 1
+        (step,) = plan.steps
+        assert step.command.targets == (
+            (BlockAddress(0, 2, 1), (3, 4, 5, 6)),
+        )
+
+    def test_template_sense_profile_matches_plan(self, planner):
+        expr = Or(And(op("A0"), op("A1")), op("S0"), op("S1"))
+        template = planner.plan_template(expr)
+        assert template.sense_profile() == planner.plan(expr).sense_profile()
+
+    def test_bind_rejects_inversion_drift(self, planner):
+        from repro.core.planner import TemplateBindError
+
+        template = planner.plan_template(And(op("A0"), op("A1")))
+        drifted = OperandDirectory()
+        store(drifted, "A0", 0, 0, 0, 0)
+        store(drifted, "A1", 0, 0, 0, 1, inverted=True)
+        with pytest.raises(TemplateBindError, match="polarity"):
+            template.bind(drifted)
+
+    def test_bind_rejects_broken_co_location(self, planner):
+        from repro.core.planner import TemplateBindError
+
+        template = planner.plan_template(And(op("A0"), op("A1")))
+        scattered = OperandDirectory()
+        store(scattered, "A0", 0, 0, 0, 0)
+        store(scattered, "A1", 0, 5, 0, 0)
+        with pytest.raises(TemplateBindError, match="co-located"):
+            template.bind(scattered)
+
+    def test_bind_accepts_bare_callable(self, planner, directory):
+        template = planner.plan_template(op("A0"))
+        plan = template.bind(directory.lookup)
+        assert plan == planner.plan(op("A0"))
+
+    def test_operand_names_and_inversions(self, planner):
+        template = planner.plan_template(And(op("A0"), Not(op("N0"))))
+        assert template.operand_names == ("A0", "N0")
+        assert dict(template.inversions) == {"A0": False, "N0": True}
+
+    def test_planner_counts_invocations(self, directory):
+        p = Planner(directory, block_limit=4)
+        assert p.n_plans == 0
+        template = p.plan_template(op("A0"))
+        p.plan(op("A0"))
+        assert p.n_plans == 2
+        # Binding an existing template is not a planner invocation.
+        template.bind(directory)
+        assert p.n_plans == 2
+
+    def test_bind_rejects_merged_or_groups(self, planner):
+        """Two inter-block-OR groups drifting into one sub-block would
+        AND together in a single sense; bind must refuse so the caller
+        replans (Figure 9: intra-block MWS is AND, not OR)."""
+        from repro.core.planner import TemplateBindError
+
+        template = planner.plan_template(Or(op("S0"), op("S1")))
+        merged = OperandDirectory()
+        store(merged, "S0", 0, 2, 0, 0)
+        store(merged, "S1", 0, 2, 0, 1)  # now same string group
+        with pytest.raises(TemplateBindError, match="share a sub-block"):
+            template.bind(merged)

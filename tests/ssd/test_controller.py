@@ -31,9 +31,52 @@ class TestWriteRead:
         ssd.write_vector("v", env["v"], inverse=True)
         np.testing.assert_array_equal(ssd.read_vector("v"), env["v"])
 
-    def test_unaligned_vector_rejected(self, ssd):
-        with pytest.raises(ValueError, match="multiple of the page"):
-            ssd.write_vector("v", np.ones(100, dtype=np.uint8))
+    def test_unaligned_vector_zero_padded_roundtrip(self, ssd):
+        """A short final chunk stores zero-padded; reads truncate back
+        to the true length."""
+        n_bits = ssd.page_bits + ssd.page_bits // 2
+        env = vectors(["v"], n_bits, seed=20)
+        ssd.write_vector("v", env["v"])
+        out = ssd.read_vector("v")
+        assert out.size == n_bits
+        np.testing.assert_array_equal(out, env["v"])
+
+    def test_unaligned_inverse_vector_roundtrip(self, ssd):
+        n_bits = ssd.page_bits * 2 + 7
+        env = vectors(["v"], n_bits, seed=21)
+        ssd.write_vector("v", env["v"], inverse=True)
+        np.testing.assert_array_equal(ssd.read_vector("v"), env["v"])
+
+    def test_esp_extra_threaded_to_ftl_record(self):
+        """Regression: the FTL record must carry the SSD's configured
+        ESP effort, not a hardcoded 0.9."""
+        ssd = SmallSsd(n_chips=2, esp_extra=0.35, seed=7)
+        ssd.write_vector(
+            "v", np.ones(ssd.page_bits, dtype=np.uint8)
+        )
+        assert ssd.ftl.lookup("v").esp_extra == pytest.approx(0.35)
+        # And the chips actually program with that effort.
+        stored = ssd.controllers[0].stored("v@0")
+        assert stored.esp_extra == pytest.approx(0.35)
+
+    def test_failed_stripe_write_rolls_back(self, ssd, monkeypatch):
+        """A mid-stripe failure must not leave the SSD half-registered:
+        no FTL record, no chunk operands, and the name is reusable."""
+        n_bits = ssd.page_bits * 4  # chunks 0..3 on chips 0..3
+        env = vectors(["v"], n_bits, seed=22)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("program failed")
+
+        monkeypatch.setattr(ssd.controllers[2], "fc_write", boom)
+        with pytest.raises(RuntimeError, match="program failed"):
+            ssd.write_vector("v", env["v"])
+        assert "v" not in ssd.ftl
+        assert "v@0" not in ssd.controllers[0].directory
+        assert "v@1" not in ssd.controllers[1].directory
+        monkeypatch.undo()
+        ssd.write_vector("v", env["v"])
+        np.testing.assert_array_equal(ssd.read_vector("v"), env["v"])
 
 
 class TestQueries:
@@ -74,6 +117,24 @@ class TestQueries:
         ssd.write_vector("a", env["a"])
         result = ssd.query(Not(Operand("a")))
         np.testing.assert_array_equal(result.bits, 1 - env["a"])
+
+    def test_unaligned_query_truncates_to_true_length(self, ssd):
+        n_bits = ssd.page_bits * 2 + 100
+        env = vectors("ab", n_bits, seed=23)
+        for name in "ab":
+            ssd.write_vector(name, env[name], group="g")
+        expr = And(Operand("a"), Operand("b"))
+        result = ssd.query(expr)
+        assert result.bits.size == n_bits
+        np.testing.assert_array_equal(result.bits, evaluate(expr, env))
+
+    def test_query_reports_pipelined_makespan(self, ssd):
+        n_bits = ssd.page_bits * 8
+        env = vectors("ab", n_bits, seed=24)
+        for name in "ab":
+            ssd.write_vector(name, env[name], group="g")
+        result = ssd.query(And(Operand("a"), Operand("b")))
+        assert result.makespan_us > 0.0
 
     def test_mismatched_lengths_rejected(self, ssd):
         env_a = vectors("a", ssd.page_bits * 4, seed=7)

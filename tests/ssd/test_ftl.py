@@ -27,10 +27,35 @@ class TestRegistration:
             ftl.register_vector("v", 128, group=None, inverted=False,
                                 esp_extra=0.9)
 
-    def test_unaligned_length_rejected(self, ftl):
-        with pytest.raises(ValueError, match="multiple of the page"):
-            ftl.register_vector("v", 100, group=None, inverted=False,
+    def test_unaligned_length_rounds_up_with_padding(self, ftl):
+        """A short final chunk is stored zero-padded; the record keeps
+        the true length for result truncation."""
+        record = ftl.register_vector("v", 100, group=None, inverted=False,
+                                     esp_extra=0.9)
+        assert record.n_chunks == 1
+        assert record.n_bits == 100
+        assert record.padded_bits == 128
+        assert record.pad_bits == 28
+
+    def test_empty_vector_rejected(self, ftl):
+        with pytest.raises(ValueError, match=">= 1 bit"):
+            ftl.register_vector("v", 0, group=None, inverted=False,
                                 esp_extra=0.9)
+
+    def test_unregister_rolls_back(self, ftl):
+        ftl.register_vector("v", 128, group=None, inverted=False,
+                            esp_extra=0.9)
+        ftl.unregister("v")
+        assert "v" not in ftl
+        # The name is reusable after rollback.
+        ftl.register_vector("v", 256, group=None, inverted=False,
+                            esp_extra=0.9)
+        assert ftl.lookup("v").n_chunks == 2
+
+    def test_esp_extra_recorded(self, ftl):
+        record = ftl.register_vector("v", 128, group=None, inverted=False,
+                                     esp_extra=0.4)
+        assert record.esp_extra == pytest.approx(0.4)
 
     def test_lookup_missing(self, ftl):
         with pytest.raises(KeyError, match="not stored"):

@@ -1,0 +1,174 @@
+"""Tests for the plan-template query engine (repro.ssd.query_engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expressions import And, Operand, Or, evaluate
+from repro.core.planner import Planner
+from repro.ssd.controller import SmallSsd
+from repro.ssd.query_engine import QueryEngine
+
+
+def vectors(names, n_bits, seed=0):
+    rng = np.random.default_rng(seed)
+    return {n: rng.integers(0, 2, n_bits, dtype=np.uint8) for n in names}
+
+
+def count_plans(monkeypatch):
+    """Count every full planner invocation (template builds and
+    fallback replans) process-wide.  Patches the concrete planning
+    pass both paths funnel through."""
+    calls = {"n": 0}
+    original = Planner._plan_concrete
+
+    def counting(self, expr):
+        calls["n"] += 1
+        return original(self, expr)
+
+    monkeypatch.setattr(Planner, "_plan_concrete", counting)
+    return calls
+
+
+class TestPlanAmortization:
+    @pytest.mark.parametrize("n_chunks", [1, 4, 16, 64])
+    def test_planner_invocations_independent_of_chunk_count(
+        self, n_chunks, monkeypatch
+    ):
+        """Acceptance: an N-chunk query plans exactly once, for any N."""
+        ssd = SmallSsd(n_chips=4, seed=3)
+        env = vectors("ab", ssd.page_bits * n_chunks, seed=n_chunks)
+        for name in "ab":
+            ssd.write_vector(name, env[name], group="g")
+        calls = count_plans(monkeypatch)
+        expr = And(Operand("a"), Operand("b"))
+        result = ssd.query(expr)
+        np.testing.assert_array_equal(result.bits, evaluate(expr, env))
+        assert calls["n"] == 1
+
+    def test_repeated_query_hits_template_cache(self, monkeypatch):
+        ssd = SmallSsd(n_chips=2, seed=4)
+        env = vectors("ab", ssd.page_bits * 4, seed=5)
+        for name in "ab":
+            ssd.write_vector(name, env[name], group="g")
+        calls = count_plans(monkeypatch)
+        expr = And(Operand("a"), Operand("b"))
+        first = ssd.query(expr)
+        second = ssd.query(expr)
+        assert calls["n"] == 1
+        assert not first.template_hit
+        assert second.template_hit
+        np.testing.assert_array_equal(second.bits, first.bits)
+        stats = ssd.engine.stats
+        assert stats.template_hits == 1
+        assert stats.template_misses == 1
+        assert stats.planner_invocations == 1
+
+    def test_lru_cache_evicts_oldest_template(self):
+        ssd = SmallSsd(n_chips=2, seed=6)
+        ssd.engine = QueryEngine(ssd, cache_size=1)
+        env = vectors("abc", ssd.page_bits * 2, seed=7)
+        for name in "abc":
+            ssd.write_vector(name, env[name], group="g")
+        e1 = And(Operand("a"), Operand("b"))
+        e2 = And(Operand("b"), Operand("c"))
+        ssd.query(e1)
+        ssd.query(e2)  # evicts e1's template
+        ssd.query(e1)  # must replan
+        stats = ssd.engine.stats
+        assert stats.cached_templates == 1
+        assert stats.template_misses == 3
+
+    def test_layout_signature_separates_templates(self):
+        """The same expression over differently laid-out operands must
+        not share a template."""
+        ssd = SmallSsd(n_chips=2, seed=8)
+        env = vectors(["a", "b", "p", "q"], ssd.page_bits * 2, seed=9)
+        ssd.write_vector("a", env["a"], group="g")
+        ssd.write_vector("b", env["b"], group="g")
+        ssd.write_vector("p", env["p"], group="h", inverse=True)
+        ssd.write_vector("q", env["q"], group="h", inverse=True)
+        r1 = ssd.query(Or(Operand("a"), Operand("b")))
+        r2 = ssd.query(Or(Operand("p"), Operand("q")))
+        np.testing.assert_array_equal(
+            r1.bits, evaluate(Or(Operand("a"), Operand("b")), env)
+        )
+        np.testing.assert_array_equal(
+            r2.bits, evaluate(Or(Operand("p"), Operand("q")), env)
+        )
+        assert ssd.engine.stats.template_misses == 2
+
+
+class TestBindFallback:
+    def test_layout_drift_falls_back_to_replanning(self):
+        """A chunk whose placement drifted from the template's layout
+        is replanned, not failed."""
+        ssd = SmallSsd(n_chips=2, seed=10)
+        page = ssd.page_bits
+        env = vectors("ab", page * 2, seed=11)
+        for name in "ab":
+            ssd.write_vector(name, env[name], group="g")
+        # Tamper with chunk 1 of "b": move it out of the shared string
+        # group into its own block on the same chip.
+        controller = ssd.controllers[ssd.ftl.chip_of_chunk(1)]
+        controller.directory.unregister("b@1")
+        controller.fc_write("b@1", env["b"][page : 2 * page])
+        expr = And(Operand("a"), Operand("b"))
+        result = ssd.query(expr)
+        np.testing.assert_array_equal(result.bits, evaluate(expr, env))
+        stats = ssd.engine.stats
+        assert stats.bind_fallbacks == 1
+        assert stats.planner_invocations == 2  # template + one fallback
+        # A repeat finds the template cached but still replans the
+        # drifted chunk -- that is not a planning-free query.
+        repeat = ssd.query(expr)
+        np.testing.assert_array_equal(repeat.bits, evaluate(expr, env))
+        assert not repeat.template_hit
+        assert ssd.engine.stats.template_hits == 1
+
+
+class TestBatchExecution:
+    def test_batch_results_match_oracle_and_report_makespan(self):
+        ssd = SmallSsd(n_chips=4, seed=12)
+        env = vectors("abcd", ssd.page_bits * 8, seed=13)
+        for name in "abcd":
+            ssd.write_vector(name, env[name], group="g")
+        exprs = [
+            And(Operand("a"), Operand("b")),
+            And(Operand("c"), Operand("d")),
+            And(*(Operand(n) for n in "abcd")),
+        ]
+        batch = ssd.engine.query_batch(exprs)
+        assert len(batch.results) == 3
+        for expr, result in zip(exprs, batch.results):
+            np.testing.assert_array_equal(result.bits, evaluate(expr, env))
+            assert 0.0 < result.makespan_us <= batch.makespan_us
+        assert batch.bottleneck
+        assert batch.makespan_us > 0.0
+
+    def test_batch_amortizes_planning_across_queries(self, monkeypatch):
+        ssd = SmallSsd(n_chips=2, seed=14)
+        env = vectors("ab", ssd.page_bits * 4, seed=15)
+        for name in "ab":
+            ssd.write_vector(name, env[name], group="g")
+        calls = count_plans(monkeypatch)
+        expr = And(Operand("a"), Operand("b"))
+        batch = ssd.engine.query_batch([expr] * 5)
+        assert calls["n"] == 1
+        assert sum(r.template_hit for r in batch.results) == 4
+
+    def test_empty_batch_rejected(self):
+        ssd = SmallSsd(n_chips=2, seed=16)
+        with pytest.raises(ValueError, match="empty"):
+            ssd.engine.query_batch([])
+
+
+class TestEngineValidation:
+    def test_unknown_operand_raises(self):
+        ssd = SmallSsd(n_chips=2, seed=17)
+        with pytest.raises(KeyError):
+            ssd.query(Operand("missing"))
+
+    def test_cache_size_validated(self):
+        ssd = SmallSsd(n_chips=2, seed=18)
+        with pytest.raises(ValueError, match="cache_size"):
+            QueryEngine(ssd, cache_size=0)
