@@ -31,6 +31,7 @@ from repro.core.planner import (
 from repro.flash.chip import NandFlashChip
 from repro.flash.geometry import BlockAddress, WordlineAddress
 from repro.flash.ispp import ProgramMode
+from repro.flash.packing import ensure_padding, invert_words, words_per_page
 
 
 @dataclass(frozen=True)
@@ -125,13 +126,29 @@ class FlashCosmos:
         The page is ESP-programmed without randomization (the
         Flash-Cosmos storage regime).  With ``inverse`` the complement
         is stored, enabling same-block OR via De Morgan (Section 6.1).
+        ``data_bits`` may be an unpacked 0/1 page or a packed
+        ``uint64`` word row (the SSD ingest path packs once).
         """
         if name in self.directory:
             raise ValueError(f"operand {name!r} already written")
         # Coerce before allocating so a malformed input cannot leak a
         # wordline.
-        data = np.asarray(data_bits, dtype=np.uint8)
-        stored = (1 - data).astype(np.uint8) if inverse else data
+        page_bits = self.chip.geometry.page_size_bits
+        data = np.asarray(data_bits)
+        if data.dtype == np.uint64:
+            if data.shape != (words_per_page(page_bits),):
+                raise ValueError(
+                    f"packed page must have {words_per_page(page_bits)} "
+                    f"words, got shape {data.shape}"
+                )
+            stored = (
+                invert_words(data, page_bits)
+                if inverse
+                else ensure_padding(data, page_bits)
+            )
+        else:
+            data = np.asarray(data_bits, dtype=np.uint8)
+            stored = (1 - data).astype(np.uint8) if inverse else data
         # Snapshot the allocation cursors so a failed program does not
         # leak the wordline: the cursor would otherwise sit one past a
         # page that holds no registered operand.

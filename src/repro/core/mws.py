@@ -2,23 +2,48 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.planner import Plan, SenseStep, XorStep
 from repro.flash.chip import NandFlashChip
+from repro.flash.packing import pack_bits, unpack_words
 from repro.flash.timing import TimingModel
 
 
 @dataclass(frozen=True)
 class ExecutionResult:
-    """Result of one in-flash computation."""
+    """Result of one in-flash computation.
 
-    bits: np.ndarray
+    The result page is held natively packed (``uint64`` words) on the
+    packed data plane and as 0/1 bytes otherwise; either view converts
+    lazily on first access, so controller-side pipelines can stay
+    packed while direct library users keep reading ``bits``.
+    """
+
     n_senses: int
     latency_us: float
     energy_nj: float
+    n_bits: int
+    _bits: np.ndarray | None = field(default=None, repr=False)
+    _words: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def bits(self) -> np.ndarray:
+        """Unpacked 0/1 result page (uint8)."""
+        if self._bits is None:
+            object.__setattr__(
+                self, "_bits", unpack_words(self._words, self.n_bits)
+            )
+        return self._bits
+
+    @property
+    def words(self) -> np.ndarray:
+        """Packed uint64 result page."""
+        if self._words is None:
+            object.__setattr__(self, "_words", pack_bits(self._bits))
+        return self._words
 
 
 class MwsExecutor:
@@ -41,12 +66,19 @@ class MwsExecutor:
                 self.chip.xor_command(step.plane)
             else:  # pragma: no cover - plans only hold the two kinds
                 raise TypeError(f"unknown plan step {step!r}")
-        bits = self.chip.output_cache(plan.plane)
-        return ExecutionResult(
-            bits=bits,
+        n_bits = self.chip.geometry.page_size_bits
+        common = dict(
             n_senses=self.chip.counters.senses - senses_before,
             latency_us=self.chip.counters.busy_us - busy_before,
             energy_nj=self.chip.counters.energy_nj - energy_before,
+            n_bits=n_bits,
+        )
+        if self.chip.packed:
+            return ExecutionResult(
+                _words=self.chip.output_cache_words(plan.plane), **common
+            )
+        return ExecutionResult(
+            _bits=self.chip.output_cache(plan.plane), **common
         )
 
     def execute_many(self, plans: list[Plan]) -> list[ExecutionResult]:

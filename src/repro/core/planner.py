@@ -79,11 +79,16 @@ class OperandDirectory:
 
     def __init__(self) -> None:
         self._operands: dict[str, StoredOperand] = {}
+        #: Placement generation: bumped on every register/unregister
+        #: so caches of resolved physical layouts (the query engine's
+        #: bound plans) can detect that this chip's directory changed.
+        self.generation = 0
 
     def register(self, operand: StoredOperand) -> None:
         if operand.name in self._operands:
             raise ValueError(f"operand {operand.name!r} already registered")
         self._operands[operand.name] = operand
+        self.generation += 1
 
     def lookup(self, name: str) -> StoredOperand:
         try:
@@ -95,7 +100,8 @@ class OperandDirectory:
         """Drop a registration (rollback of a failed multi-chunk
         write).  The physical page stays programmed; only the name
         becomes reusable."""
-        self._operands.pop(name, None)
+        if self._operands.pop(name, None) is not None:
+            self.generation += 1
 
     def __contains__(self, name: str) -> bool:
         return name in self._operands

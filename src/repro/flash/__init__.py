@@ -9,6 +9,21 @@ The model follows the organization described in Section 2 of the
 Flash-Cosmos paper (MICRO 2022): vertically stacked cells form NAND
 strings, strings at different bitlines form sub-blocks, sub-blocks form
 blocks, blocks form planes, and planes form dies/chips.
+
+Cell state lives in **two representations** (see
+:mod:`repro.flash.array` and :mod:`repro.flash.packing`):
+
+* the *functional plane* -- each wordline's logical bits packed 64 per
+  ``uint64`` word.  Always maintained; error-free senses, the latch
+  protocol, and the controller-side query path evaluate directly on
+  these words (``np.bitwise_and.reduce`` over rows *is* the
+  string-group AND), never touching V_TH.
+* the *error plane* -- the float32 V_TH matrix the error model
+  perturbs at sense time.  Eagerly materialized and ISPP-programmed
+  when a chip injects errors (all reliability figures reproduce
+  unchanged); for noise-free chips it is materialized lazily with
+  idealized mean-valued distributions only when something asks for it
+  (read-retry VREF offsets, V_TH introspection).
 """
 
 from repro.flash.array import BlockArray, PlaneArray

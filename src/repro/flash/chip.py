@@ -1,14 +1,22 @@
 """NAND flash chip facade.
 
-``NandFlashChip`` ties the substrate together: plane arrays hold V_TH
-state, per-plane latch banks implement the sensing/cache latch
-protocol, the sensing engine evaluates string conductance, and the
-timing/power models account for every operation.
+``NandFlashChip`` ties the substrate together: plane arrays hold the
+packed functional bits and V_TH state, per-plane latch banks implement
+the sensing/cache latch protocol, the sensing engine evaluates string
+conductance, and the timing/power models account for every operation.
 
 The chip exposes the three command families the paper's Section 6.2
 defines (MWS with ISCM flags, ESP programming, latch XOR) plus the
 regular read/program/erase commands, so the Flash-Cosmos core and the
 ParaBit baseline drive it exactly like firmware drives a real chip.
+
+With the default ``packed=True`` the error-free functional data path
+stays bit-packed end to end: senses reduce ``uint64`` word rows, the
+latches accumulate words, and ``output_cache_words`` hands packed
+buffers to the controller; unpacking happens only at external result
+boundaries.  ``packed=False`` keeps the one-byte-per-bit evaluation
+for equivalence testing.  Error injection always evaluates through
+the V_TH plane, unchanged.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from repro.flash.errors import ErrorModel, OperatingCondition
 from repro.flash.geometry import BlockAddress, ChipGeometry, WordlineAddress
 from repro.flash.ispp import ProgramMode
 from repro.flash.latches import LatchBank
+from repro.flash.packing import unpack_words
 from repro.flash.power import PowerModel
 from repro.flash.randomizer import LfsrRandomizer
 from repro.flash.sensing import SensingEngine
@@ -68,10 +77,16 @@ class NandFlashChip:
         condition: OperatingCondition | None = None,
         seed: int = 0,
         inject_errors: bool = True,
+        packed: bool = True,
     ) -> None:
         self.geometry = geometry
         self.calibration = calibration or DEFAULT_CALIBRATION
         self.condition = condition or OperatingCondition()
+        #: The packed plane only pays off when senses are error-free
+        #: (word-wide conduction).  Error injection evaluates per cell
+        #: through V_TH and produces unpacked bits, so packing the
+        #: latch pipeline there would just add per-sense conversions.
+        self.packed = packed and not inject_errors
         self.error_model = ErrorModel(self.calibration)
         self.timing = TimingModel()
         self.power = PowerModel()
@@ -87,9 +102,10 @@ class NandFlashChip:
             self.error_model,
             rng=np.random.default_rng(seed + 0x5EED),
             inject_errors=inject_errors,
+            packed=self.packed,
         )
         self.latches = {
-            plane: LatchBank(geometry.page_size_bits)
+            plane: LatchBank(geometry.page_size_bits, packed=self.packed)
             for plane in range(geometry.planes_per_die)
         }
         #: Runtime-tunable parameters (the SET FEATURE command).
@@ -153,11 +169,21 @@ class NandFlashChip:
     ) -> float:
         """Program one page.  With ``randomize`` the stored cells hold
         the randomized bits (as a real SSD would); Flash-Cosmos data is
-        written with ``randomize=False`` and ``mode=ProgramMode.ESP``."""
+        written with ``randomize=False`` and ``mode=ProgramMode.ESP``.
+        ``data_bits`` may be an unpacked 0/1 page or a packed ``uint64``
+        word row (the SSD ingest path packs vectors once)."""
         address.validate(self.geometry)
-        data = np.asarray(data_bits, dtype=np.uint8)
-        if randomize:
-            data = self.randomizer.randomize(data, self.page_index(address))
+        data = np.asarray(data_bits)
+        if data.dtype == np.uint64 and randomize:
+            # The LFSR keystream operates on unpacked bits; packed
+            # writes are the Flash-Cosmos (unrandomized) regime.
+            data = unpack_words(data, self.geometry.page_size_bits)
+        if data.dtype != np.uint64:
+            data = np.asarray(data, dtype=np.uint8)
+            if randomize:
+                data = self.randomizer.randomize(
+                    data, self.page_index(address)
+                )
         block = self.plane_array.block(address.block_address)
         block.program(
             address.wordline,
@@ -417,7 +443,12 @@ class NandFlashChip:
             bank.init_cache()
         if iscm.init_sense:
             bank.init_sense()
-        bank.capture(outcome.bits, inverse=iscm.inverse)
+        # Hand the latch bank the outcome's native representation:
+        # packed words on the fast path, bits on the V_TH path.
+        bank.capture(
+            outcome.words if self.packed else outcome.bits,
+            inverse=iscm.inverse,
+        )
         if iscm.transfer:
             bank.transfer_to_cache()
 
@@ -449,13 +480,21 @@ class NandFlashChip:
 
     def load_cache(self, plane: int, data_bits: np.ndarray) -> None:
         """Load external data into the C-latch (controller-side write
-        used before an XOR against stored data)."""
-        self.latches[plane].load_cache(np.asarray(data_bits, dtype=np.uint8))
+        used before an XOR against stored data).  Accepts packed words
+        or an unpacked 0/1 page."""
+        self.latches[plane].load_cache(np.asarray(data_bits))
 
     def output_cache(self, plane: int) -> np.ndarray:
-        """Transfer the C-latch contents off-chip."""
+        """Transfer the C-latch contents off-chip (unpacked bits)."""
         self.counters.transfers_out += 1
         return self.latches[plane].cache_data
+
+    def output_cache_words(self, plane: int) -> np.ndarray:
+        """Transfer the C-latch contents off-chip as packed ``uint64``
+        words (the controller-side query path keeps results packed
+        until the external boundary)."""
+        self.counters.transfers_out += 1
+        return self.latches[plane].cache_words
 
     def output_sense(self, plane: int) -> np.ndarray:
         """Transfer the S-latch contents off-chip (diagnostics)."""

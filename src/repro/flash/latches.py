@@ -14,11 +14,26 @@ Models the latch behaviour of Figures 3, 4 and 6 at the logical level:
 * Modern chips provide XOR between latches (Section 6.1), used for
   on-chip randomization and test, which Flash-Cosmos reuses for
   bitwise XOR/XNOR.
+
+In the default *packed* mode both latches hold pages as ``uint64``
+words (64 bits per element), so ParaBit AND/OR accumulation, the
+transfer OR-merge, and the XOR command are single word-wide in-place
+operations on persistent buffers -- no per-byte arrays and no
+allocation on the steady-state sense path.  ``packed=False`` keeps the
+original one-byte-per-bit storage for equivalence testing.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.flash.packing import (
+    FULL_WORD,
+    pack_bits,
+    pad_mask,
+    unpack_words,
+    words_per_page,
+)
 
 
 class LatchStateError(RuntimeError):
@@ -28,12 +43,23 @@ class LatchStateError(RuntimeError):
 class LatchBank:
     """Logical state of one plane's latch circuitry."""
 
-    def __init__(self, page_bits: int) -> None:
+    def __init__(self, page_bits: int, *, packed: bool = True) -> None:
         if page_bits < 1:
             raise ValueError("page_bits must be >= 1")
         self.page_bits = page_bits
+        self.packed = packed
         self._sense: np.ndarray | None = None
         self._cache: np.ndarray | None = None
+        if packed:
+            self._n_words = words_per_page(page_bits)
+            self._pad = pad_mask(page_bits)
+            # Persistent latch buffers: initialization refills them in
+            # place instead of allocating fresh arrays per sense.
+            self._sense_buf = np.empty(self._n_words, dtype=np.uint64)
+            self._cache_buf = np.empty(self._n_words, dtype=np.uint64)
+        else:
+            self._sense_buf = np.empty(page_bits, dtype=np.uint8)
+            self._cache_buf = np.empty(page_bits, dtype=np.uint8)
 
     # ------------------------------------------------------------------
     # Initialization (ISCM flags)
@@ -42,12 +68,14 @@ class LatchBank:
     def init_sense(self) -> None:
         """Initialize the S-latch (activating M1: all ones, so that a
         subsequent AND-accumulating sense is an identity)."""
-        self._sense = np.ones(self.page_bits, dtype=np.uint8)
+        self._sense_buf.fill(FULL_WORD if self.packed else 1)
+        self._sense = self._sense_buf
 
     def init_cache(self) -> None:
         """Initialize the C-latch (activating M4: all zeros, so that a
         subsequent OR-merge transfer is an identity)."""
-        self._cache = np.zeros(self.page_bits, dtype=np.uint8)
+        self._cache_buf.fill(0)
+        self._cache = self._cache_buf
 
     # ------------------------------------------------------------------
     # Sensing and transfer
@@ -56,22 +84,27 @@ class LatchBank:
     def capture(self, sensed: np.ndarray, *, inverse: bool = False) -> None:
         """Latch an evaluation result into the S-latch.
 
-        With the S-latch initialized this stores ``sensed`` (or its
-        complement for an inverse sense).  Without initialization the
-        circuit AND-accumulates; inverse sensing in that state is not
-        electrically meaningful and raises.
+        ``sensed`` may be a packed ``uint64`` word array or an
+        unpacked 0/1 page.  With the S-latch initialized this stores
+        the result (or its complement for an inverse sense).  Without
+        initialization the circuit AND-accumulates; inverse sensing in
+        that state is not electrically meaningful and raises.
         """
-        data = self._check_page(sensed)
+        data = self._coerce(sensed)
         if inverse:
-            if self._sense is None or not bool(self._sense.all()):
+            if self._sense is None or not self._sense_is_fresh():
                 raise LatchStateError(
                     "inverse sensing requires a freshly initialized S-latch"
                 )
-            self._sense = (1 - data).astype(np.uint8)
+            if self.packed:
+                np.bitwise_not(data, out=self._sense)
+                self._sense |= self._pad
+            else:
+                np.subtract(1, data, out=self._sense)
             return
         if self._sense is None:
             raise LatchStateError("S-latch used before initialization")
-        self._sense = self._sense & data
+        self._sense &= data
 
     def transfer_to_cache(self) -> None:
         """Move S-latch data to the C-latch (enable M3): OR-merge onto
@@ -80,13 +113,20 @@ class LatchBank:
             raise LatchStateError("transfer with empty S-latch")
         if self._cache is None:
             raise LatchStateError("transfer with uninitialized C-latch")
-        self._cache = self._cache | self._sense
+        self._cache |= self._sense
 
     def xor_into_cache(self) -> None:
         """C-latch := S-latch XOR C-latch (the on-chip XOR feature)."""
         if self._sense is None or self._cache is None:
             raise LatchStateError("XOR requires both latches to hold data")
-        self._cache = self._cache ^ self._sense
+        self._cache ^= self._sense
+
+    def _sense_is_fresh(self) -> bool:
+        """Whether the S-latch still holds the all-ones init pattern
+        (padding bits excluded in packed mode)."""
+        if self.packed:
+            return bool(((self._sense | self._pad) == FULL_WORD).all())
+        return bool(self._sense.all())
 
     # ------------------------------------------------------------------
     # Reading out
@@ -94,20 +134,63 @@ class LatchBank:
 
     @property
     def sense_data(self) -> np.ndarray:
+        """Unpacked S-latch contents (uint8 0/1 page)."""
         if self._sense is None:
             raise LatchStateError("S-latch holds no data")
+        if self.packed:
+            return unpack_words(self._sense, self.page_bits)
         return self._sense.copy()
 
     @property
     def cache_data(self) -> np.ndarray:
+        """Unpacked C-latch contents (uint8 0/1 page)."""
         if self._cache is None:
             raise LatchStateError("C-latch holds no data")
+        if self.packed:
+            return unpack_words(self._cache, self.page_bits)
         return self._cache.copy()
+
+    @property
+    def sense_words(self) -> np.ndarray:
+        """Packed S-latch contents (uint64 words, ones-padded copy)."""
+        if self._sense is None:
+            raise LatchStateError("S-latch holds no data")
+        if self.packed:
+            return self._sense | self._pad
+        return pack_bits(self._sense)
+
+    @property
+    def cache_words(self) -> np.ndarray:
+        """Packed C-latch contents (uint64 words, ones-padded copy)."""
+        if self._cache is None:
+            raise LatchStateError("C-latch holds no data")
+        if self.packed:
+            return self._cache | self._pad
+        return pack_bits(self._cache)
 
     def load_cache(self, data: np.ndarray) -> None:
         """Directly load the C-latch (used when the controller writes
-        data into the chip for a subsequent XOR)."""
-        self._cache = self._check_page(data).copy()
+        data into the chip for a subsequent XOR).  Accepts packed
+        words or an unpacked 0/1 page."""
+        np.copyto(self._cache_buf, self._coerce(data))
+        self._cache = self._cache_buf
+
+    def _coerce(self, data: np.ndarray) -> np.ndarray:
+        """Bring caller data into this bank's native representation."""
+        arr = np.asarray(data)
+        if arr.dtype == np.uint64:
+            if arr.shape != (words_per_page(self.page_bits),):
+                raise ValueError(
+                    f"packed latch page must have "
+                    f"{words_per_page(self.page_bits)} words, got {arr.shape}"
+                )
+            if self.packed:
+                return arr
+            return unpack_words(arr, self.page_bits)
+        checked = self._check_page(arr)
+        if self.packed:
+            return pack_bits(checked)
+        return checked
 
     def _check_page(self, data: np.ndarray) -> np.ndarray:
         arr = np.asarray(data, dtype=np.uint8)

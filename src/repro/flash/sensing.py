@@ -16,18 +16,32 @@ cells always conduct because they receive VPASS.  Consequences
 Sensing is where bit errors happen: the engine perturbs the stored
 V_TH with the stress condition before comparing against VREF, so MWS
 results carry realistic errors unless the data was ESP-programmed.
+
+Two evaluation paths implement the same semantics:
+
+* the **packed fast path** (``packed=True``, error injection off, no
+  VREF offset): error-free conduction of a cell equals its stored bit,
+  so the string-group AND is a single ``np.bitwise_and.reduce`` over
+  the block's packed ``uint64`` word rows -- 64 cells per machine
+  word, no V_TH materialization at all;
+* the **V_TH path**: slices the block's float32 V_TH matrix, applies
+  the stress perturbation (when injecting errors) and compares against
+  the read reference cell by cell.  Error injection, read-retry VREF
+  offsets, and the ``packed=False`` compatibility mode all take this
+  path, so every reliability figure reproduces unchanged.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.flash.array import BlockArray
 from repro.flash.errors import ErrorModel, OperatingCondition
 from repro.flash.geometry import StringGroup
+from repro.flash.packing import pack_bits, unpack_words
 
 
 class SenseMode(enum.Enum):
@@ -39,11 +53,58 @@ class SenseMode(enum.Enum):
 
 @dataclass(frozen=True)
 class SenseOutcome:
-    """Raw evaluation result of one sensing operation (pre-latch)."""
+    """Raw evaluation result of one sensing operation (pre-latch).
 
-    bits: np.ndarray
+    The result is held natively in whichever representation the
+    engine produced -- packed ``uint64`` words or unpacked 0/1 bits --
+    and converted lazily (then cached) when the other view is asked
+    for, so the packed pipeline never round-trips through bytes.
+    """
+
     wordlines_sensed: int
     blocks_sensed: int
+    n_bits: int
+    _bits: np.ndarray | None = field(default=None, repr=False)
+    _words: np.ndarray | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_words(
+        cls, words: np.ndarray, n_bits: int, *, wordlines: int, blocks: int
+    ) -> "SenseOutcome":
+        return cls(
+            wordlines_sensed=wordlines,
+            blocks_sensed=blocks,
+            n_bits=n_bits,
+            _words=words,
+        )
+
+    @classmethod
+    def from_bits(
+        cls, bits: np.ndarray, *, wordlines: int, blocks: int
+    ) -> "SenseOutcome":
+        bits = np.asarray(bits, dtype=np.uint8)
+        return cls(
+            wordlines_sensed=wordlines,
+            blocks_sensed=blocks,
+            n_bits=bits.size,
+            _bits=bits,
+        )
+
+    @property
+    def bits(self) -> np.ndarray:
+        """Unpacked 0/1 result (uint8)."""
+        if self._bits is None:
+            object.__setattr__(
+                self, "_bits", unpack_words(self._words, self.n_bits)
+            )
+        return self._bits
+
+    @property
+    def words(self) -> np.ndarray:
+        """Packed uint64 result (ones-padded)."""
+        if self._words is None:
+            object.__setattr__(self, "_words", pack_bits(self._bits))
+        return self._words
 
 
 class SensingEngine:
@@ -55,18 +116,36 @@ class SensingEngine:
         *,
         rng: np.random.Generator | None = None,
         inject_errors: bool = True,
+        packed: bool = True,
     ) -> None:
         self.error_model = error_model
         self.rng = rng or np.random.default_rng(0)
         self.inject_errors = inject_errors
+        #: Use the packed word fast path for error-free senses.  With
+        #: ``packed=False`` even error-free senses evaluate through the
+        #: V_TH matrix -- the pre-packing behaviour, kept as an oracle
+        #: for equivalence tests and benchmarks.
+        self.packed = packed
         # Error-free sensing resolves the read reference from a
         # pristine condition whose only live input is the ESP effort;
         # cache it per effort to keep the per-sense hot path lean.
         self._pristine_read_ref: dict[float, float] = {}
+        #: wordline tuple -> sorted row-index array (reused across
+        #: senses instead of re-sorting/re-allocating per call).
+        self._rows_cache: dict[tuple[int, ...], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Cell-level conductance
     # ------------------------------------------------------------------
+
+    def _rows(self, wordlines: tuple[int, ...]) -> np.ndarray:
+        rows = self._rows_cache.get(wordlines)
+        if rows is None:
+            if len(self._rows_cache) >= 4096:
+                self._rows_cache.clear()
+            rows = np.array(sorted(wordlines))
+            self._rows_cache[wordlines] = rows
+        return rows
 
     def _conduction(
         self,
@@ -78,6 +157,10 @@ class SensingEngine:
     ) -> np.ndarray:
         """Per-bitline conduction of one string group: AND over the
         targeted wordlines' cell conduction.
+
+        Returns packed ``uint64`` words on the error-free fast path,
+        a boolean per-bitline array on the V_TH path (callers wrap
+        either into a :class:`SenseOutcome`).
 
         ``vref_offset`` shifts the read-reference voltage -- the
         read-retry mechanism real chips expose to recover data whose
@@ -102,16 +185,29 @@ class SensingEngine:
                     has_mlc = True
             if meta.esp_extra != esp_extra:
                 raise ValueError(
-                    "all wordlines of one MWS must share a programming "
-                    "mode (got ESP extras "
+                    "all wordlines of one MWS must share an ESP "
+                    "programming effort -- the sense applies a single "
+                    "read reference (got ESP extras "
                     f"{sorted({block.wordline_esp_extra(w) for w in wordlines})})"
                 )
         if has_mlc and mixed_modes:
             raise ValueError(
                 "MWS cannot mix MLC and SLC-family wordlines in one sense"
             )
+        rows = self._rows(wordlines)
+        if (
+            self.packed
+            and not self.inject_errors
+            and vref_offset == 0.0
+        ):
+            # Error-free conduction of a cell equals its stored bit
+            # (the calibrated states are fully separated at zero
+            # offset), so the string-group AND is a word-wide reduce
+            # over the packed functional plane -- no V_TH touched.
+            words = np.bitwise_and.reduce(block.packed_rows(rows), axis=0)
+            block.note_read(len(wordlines))
+            return words
         modes = {ProgramMode.MLC} if has_mlc else {mode}
-        rows = np.array(sorted(wordlines))
         vth = block.vth[rows]
         if self.inject_errors:
             cond = replace(
@@ -131,7 +227,7 @@ class SensingEngine:
                     vth, block.mlc_states(rows), cond, self.rng
                 )
         elif self.inject_errors:
-            programmed = block.programmed_mask()[rows]
+            programmed = block.programmed_rows(rows)
             vth = self.error_model.perturb(vth, programmed, cond, self.rng)
             read_ref = self.error_model.slc_shifts(cond).read_ref
         else:
@@ -148,6 +244,22 @@ class SensingEngine:
         block.note_read(len(wordlines))
         return conducting.all(axis=0)
 
+    def _outcome(
+        self,
+        payload: np.ndarray,
+        *,
+        n_bits: int,
+        wordlines: int,
+        blocks: int,
+    ) -> SenseOutcome:
+        if payload.dtype == np.uint64:
+            return SenseOutcome.from_words(
+                payload, n_bits, wordlines=wordlines, blocks=blocks
+            )
+        return SenseOutcome.from_bits(
+            payload.astype(np.uint8), wordlines=wordlines, blocks=blocks
+        )
+
     # ------------------------------------------------------------------
     # Public sensing operations
     # ------------------------------------------------------------------
@@ -162,11 +274,14 @@ class SensingEngine:
     ) -> SenseOutcome:
         """Regular page read: VREF on exactly one wordline.  For MLC
         wordlines this is the LSB-page read (single reference)."""
-        bits = self._conduction(
+        payload = self._conduction(
             block, (wordline,), condition, vref_offset=vref_offset
         )
-        return SenseOutcome(
-            bits=bits.astype(np.uint8), wordlines_sensed=1, blocks_sensed=1
+        return self._outcome(
+            payload,
+            n_bits=block.geometry.page_size_bits,
+            wordlines=1,
+            blocks=1,
         )
 
     def read_msb_wordline(
@@ -183,7 +298,7 @@ class SensingEngine:
             raise ValueError("MSB read requires an MLC wordline")
         window = self.error_model.mlc_window()
         ref1, _, ref3 = window.read_refs
-        rows = np.array([wordline])
+        rows = self._rows((wordline,))
         vth = block.vth[rows]
         cond = condition
         if self.inject_errors:
@@ -193,10 +308,10 @@ class SensingEngine:
         below_ref1 = vth[0] <= ref1
         above_ref3 = vth[0] > ref3
         block.note_read(2)
-        return SenseOutcome(
-            bits=(below_ref1 | above_ref3).astype(np.uint8),
-            wordlines_sensed=1,
-            blocks_sensed=1,
+        return SenseOutcome.from_bits(
+            (below_ref1 | above_ref3).astype(np.uint8),
+            wordlines=1,
+            blocks=1,
         )
 
     def intra_block_mws(
@@ -208,13 +323,14 @@ class SensingEngine:
         vref_offset: float = 0.0,
     ) -> SenseOutcome:
         """Intra-block MWS: bitwise AND of the targeted wordlines."""
-        bits = self._conduction(
+        payload = self._conduction(
             block, tuple(wordlines), condition, vref_offset=vref_offset
         )
-        return SenseOutcome(
-            bits=bits.astype(np.uint8),
-            wordlines_sensed=len(wordlines),
-            blocks_sensed=1,
+        return self._outcome(
+            payload,
+            n_bits=block.geometry.page_size_bits,
+            wordlines=len(wordlines),
+            blocks=1,
         )
 
     def inter_block_mws(
@@ -238,10 +354,11 @@ class SensingEngine:
             total_wordlines += len(wordlines)
             acc = conduction if acc is None else (acc | conduction)
         assert acc is not None
-        return SenseOutcome(
-            bits=acc.astype(np.uint8),
-            wordlines_sensed=total_wordlines,
-            blocks_sensed=len(targets),
+        return self._outcome(
+            acc,
+            n_bits=targets[0][0].geometry.page_size_bits,
+            wordlines=total_wordlines,
+            blocks=len(targets),
         )
 
     def sense_string_groups(

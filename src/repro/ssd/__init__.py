@@ -19,6 +19,16 @@ Query execution is layered on three pieces:
   (die sense -> channel DMA -> external link) through the exact
   timeline simulator, so functional queries also report pipelined
   makespans, unifying the functional and performance paths.
+
+The functional data path is **bit-packed end to end** (the default
+``SmallSsd(packed=True)``): ``write_vector`` packs each vector into
+``uint64`` words once at ingest, chips sense and latch packed words
+(:mod:`repro.flash.packing`), chunk results move packed through the
+query engine's replay, and the single unpack happens at the external
+result boundary (``QueryResult.bits`` / ``read_vector``).  The V_TH
+error plane is only materialized for error-injecting configurations,
+which evaluate exactly as before; ``packed=False`` keeps the
+one-byte-per-bit plane alive as the equivalence/benchmark oracle.
 """
 
 from repro.ssd.config import SsdConfig, fig7_config, table1_config

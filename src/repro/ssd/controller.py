@@ -28,6 +28,7 @@ from repro.core.expressions import Expression
 from repro.flash.chip import NandFlashChip
 from repro.flash.errors import OperatingCondition
 from repro.flash.geometry import ChipGeometry
+from repro.flash.packing import pack_rows
 from repro.ssd.ftl import FlashTranslationLayer
 
 
@@ -62,6 +63,7 @@ class SmallSsd:
         inject_errors: bool = False,
         esp_extra: float = 0.9,
         seed: int = 0,
+        packed: bool = True,
     ) -> None:
         self.geometry = geometry or ChipGeometry(
             planes_per_die=1,
@@ -71,9 +73,19 @@ class SmallSsd:
             page_size_bits=1024,
         )
         self.esp_extra = esp_extra
+        #: With ``packed`` (the default) vectors are bit-packed once at
+        #: ingest and the whole functional query path moves uint64
+        #: words; ``packed=False`` keeps the one-byte-per-bit
+        #: evaluation for equivalence testing and benchmarking.
+        #: Error-injecting SSDs sense per cell through V_TH and
+        #: produce unpacked bits, so they keep the byte path outright.
+        self.packed = packed and not inject_errors
         self.chips = [
             NandFlashChip(
-                self.geometry, inject_errors=inject_errors, seed=seed + i
+                self.geometry,
+                inject_errors=inject_errors,
+                seed=seed + i,
+                packed=packed,
             )
             for i in range(n_chips)
         ]
@@ -129,21 +141,32 @@ class SmallSsd:
             esp_extra=self.esp_extra,
         )
         page = self.page_bits
+        chunk_words: np.ndarray | None = None
+        if self.packed and record.n_chunks:
+            # Pack the whole vector once at ingest (zero-padding the
+            # final chunk); every chunk write below hands packed words
+            # straight down to the chip.
+            padded = np.zeros(record.n_chunks * page, dtype=np.uint8)
+            padded[: data.size] = data
+            chunk_words = pack_rows(padded.reshape(record.n_chunks, page))
         written: list[tuple[int, str]] = []
         try:
             for placement in record.placements:
-                chunk_bits = data[
-                    placement.chunk * page : (placement.chunk + 1) * page
-                ]
-                if chunk_bits.size < page:
-                    chunk_bits = np.concatenate(
-                        [
-                            chunk_bits,
-                            np.zeros(
-                                page - chunk_bits.size, dtype=np.uint8
-                            ),
-                        ]
-                    )
+                if chunk_words is not None:
+                    chunk_bits: np.ndarray = chunk_words[placement.chunk]
+                else:
+                    chunk_bits = data[
+                        placement.chunk * page : (placement.chunk + 1) * page
+                    ]
+                    if chunk_bits.size < page:
+                        chunk_bits = np.concatenate(
+                            [
+                                chunk_bits,
+                                np.zeros(
+                                    page - chunk_bits.size, dtype=np.uint8
+                                ),
+                            ]
+                        )
                 controller = self.controllers[placement.chip]
                 # Only the *same* chunk offset of different vectors must
                 # share a string group (they are combined bit-by-bit);
@@ -185,7 +208,13 @@ class SmallSsd:
         return self.engine.query(expr)
 
     def read_vector(self, name: str) -> np.ndarray:
-        """Read a stored vector back through regular page reads."""
+        """Read a stored vector back through regular page reads.
+
+        On the packed plane each chunk stays packed through the sense
+        and latch pipeline inside ``read_page``; the single unpack per
+        chunk happens at its off-chip transfer, i.e. this result
+        boundary.
+        """
         record = self.ftl.lookup(name)
         pieces = []
         for placement in record.placements:

@@ -64,6 +64,11 @@ class FlashTranslationLayer:
         self.n_chips = n_chips
         self.page_bits = page_bits
         self._vectors: dict[str, VectorRecord] = {}
+        #: Layout generation: bumped on every register/unregister so
+        #: caches of resolved physical layouts (e.g. the query
+        #: engine's bound per-chunk plans) can cheaply detect that the
+        #: placement world may have changed and must re-bind.
+        self.generation = 0
 
     def register_vector(
         self,
@@ -97,6 +102,7 @@ class FlashTranslationLayer:
                 )
             )
         self._vectors[name] = record
+        self.generation += 1
         return record
 
     def chip_of_chunk(self, chunk: int) -> int:
@@ -114,7 +120,8 @@ class FlashTranslationLayer:
     def unregister(self, name: str) -> None:
         """Drop a vector's record (rollback of a failed striped write
         so the SSD is never left half-registered)."""
-        self._vectors.pop(name, None)
+        if self._vectors.pop(name, None) is not None:
+            self.generation += 1
 
     def __contains__(self, name: str) -> bool:
         return name in self._vectors

@@ -25,7 +25,13 @@ it:
 3. **Per-chip queues** -- bound plans are grouped by chip and drained
    through each chip's :class:`~repro.core.mws.MwsExecutor` queue;
    chips are independent in a real SSD, so functional latency
-   aggregates as the per-chip maximum.
+   aggregates as the per-chip maximum.  Bound queues are themselves
+   LRU-cached against the FTL *layout generation* (operand addresses
+   are immutable once registered), so a repeat query re-binds nothing;
+   any vector registration/unregistration bumps the generation and
+   forces a re-bind.  Chunk results stay bit-packed (``uint64`` words,
+   :mod:`repro.flash.packing`) through the replay and are unpacked
+   once at the result boundary.
 4. **Event-simulated makespan** -- every executed chunk also becomes a
    :class:`~repro.ssd.events.StageJob` (die sense -> channel DMA ->
    external link) fed through the exact timeline simulator, so the
@@ -52,6 +58,7 @@ from repro.core.planner import (
     StoredOperand,
     TemplateBindError,
 )
+from repro.flash.packing import unpack_rows
 from repro.ssd.config import SsdConfig, table1_config
 from repro.ssd.events import StageJob, simulate_stages
 
@@ -124,6 +131,15 @@ class QueryEngine:
         #: their measured sense times with configured bus bandwidths.
         self.config = config or table1_config()
         self._templates: OrderedDict[object, PlanTemplate] = OrderedDict()
+        #: (template key, n_chunks) -> (layout generation, bound
+        #: queues).  Operand addresses are immutable once registered,
+        #: so bound plans stay valid until the layout generation moves
+        #: -- any FTL vector *or* per-chip directory operand being
+        #: registered/unregistered (the latter catches controller-level
+        #: hand-placement drift); then they re-bind.
+        self._bound: OrderedDict[
+            object, tuple[tuple, dict[int, list[tuple[int, Plan]]]]
+        ] = OrderedDict()
         self._planner_invocations = 0
         self._template_hits = 0
         self._template_misses = 0
@@ -187,12 +203,42 @@ class QueryEngine:
     # Execution
     # ------------------------------------------------------------------
 
+    def _layout_generation(self) -> tuple:
+        """Current placement world: the FTL's vector generation plus
+        every chip directory's operand generation.  Any registration
+        or unregistration anywhere moves it, invalidating cached bound
+        plans."""
+        return (
+            self.ssd.ftl.generation,
+            tuple(
+                controller.directory.generation
+                for controller in self.ssd.controllers
+            ),
+        )
+
     def _bound_queues(
-        self, expr: Expression, template: PlanTemplate, n_chunks: int
+        self,
+        expr: Expression,
+        template: PlanTemplate,
+        n_chunks: int,
+        names: list[str] | None = None,
     ) -> dict[int, list[tuple[int, Plan]]]:
         """Bind the template for every chunk and queue the plans per
         chip, falling back to a replan when a chunk's layout drifted
-        from the template's."""
+        from the template's.
+
+        Bound queues are LRU-cached against the FTL layout generation:
+        a repeat query whose placement world has not changed reuses its
+        resolved per-chunk plans without touching the directories.
+        """
+        if names is None:
+            names = sorted(operand_names(expr))
+        key = (expr, self._layout_signature(names), n_chunks)
+        generation = self._layout_generation()
+        cached = self._bound.get(key)
+        if cached is not None and cached[0] == generation:
+            self._bound.move_to_end(key)
+            return cached[1]
         queues: dict[int, list[tuple[int, Plan]]] = {}
         for chunk in range(n_chunks):
             chip = self.ssd.ftl.chip_of_chunk(chunk)
@@ -208,6 +254,9 @@ class QueryEngine:
                 self._planner_invocations += 1
                 self._bind_fallbacks += 1
             queues.setdefault(chip, []).append((chunk, plan))
+        self._bound[key] = (generation, queues)
+        while len(self._bound) > self.cache_size:
+            self._bound.popitem(last=False)
         return queues
 
     def _execute(
@@ -224,10 +273,13 @@ class QueryEngine:
         record = self.ssd.ftl.lookup(names[0])
         plans_before = self._planner_invocations
         template = self.template_for(expr, names)
-        queues = self._bound_queues(expr, template, record.n_chunks)
+        queues = self._bound_queues(
+            expr, template, record.n_chunks, names=names
+        )
 
         c = self.config
         chunk_bytes = self.ssd.page_bits / 8
+        packed = self.ssd.packed
         pieces: list[np.ndarray | None] = [None] * record.n_chunks
         chip_busy: dict[int, float] = {}
         n_senses = 0
@@ -236,7 +288,9 @@ class QueryEngine:
             executor = self.ssd.controllers[chip].executor
             results = executor.execute_many([plan for _, plan in queue])
             for (chunk, _), result in zip(queue, results):
-                pieces[chunk] = result.bits
+                # Chunk results stay packed through the replay; the
+                # single unpack happens at the result boundary below.
+                pieces[chunk] = result.words if packed else result.bits
                 n_senses += result.n_senses
                 energy_nj += result.energy_nj
                 chip_busy[chip] = (
@@ -257,11 +311,15 @@ class QueryEngine:
                         ),
                     )
                 )
-        bits = (
-            np.concatenate([p for p in pieces if p is not None])
-            if record.n_chunks
-            else np.empty(0, np.uint8)
-        )
+        present = [p for p in pieces if p is not None]
+        if not present:
+            bits = np.empty(0, np.uint8)
+        elif packed:
+            bits = unpack_rows(
+                np.vstack(present), self.ssd.page_bits
+            ).ravel()
+        else:
+            bits = np.concatenate(present)
         return QueryResult(
             bits=bits[: record.n_bits],
             n_senses=n_senses,

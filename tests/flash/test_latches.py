@@ -153,3 +153,68 @@ class TestXor:
         bank.xor_into_cache()
         expected = 1 - (a ^ b)
         np.testing.assert_array_equal(bank.cache_data, expected)
+
+
+class TestPackedWords:
+    """The packed uint64 word path: word-array capture, packed
+    readout, and parity with the unpacked (legacy) bank."""
+
+    def test_capture_words_roundtrip(self):
+        from repro.flash.packing import pack_bits
+
+        bank = LatchBank(4)
+        bank.init_cache()
+        bank.init_sense()
+        bank.capture(pack_bits(bits(1, 0, 1, 0)))
+        bank.transfer_to_cache()
+        np.testing.assert_array_equal(bank.cache_data, bits(1, 0, 1, 0))
+        np.testing.assert_array_equal(
+            bank.cache_words, pack_bits(bits(1, 0, 1, 0))
+        )
+
+    def test_word_shape_validated(self):
+        bank = LatchBank(4)
+        bank.init_sense()
+        with pytest.raises(ValueError, match="words"):
+            bank.capture(np.zeros(2, dtype=np.uint64))
+
+    def test_inverse_freshness_ignores_padding(self):
+        """A 4-bit page packs into one word with 60 padding bits; the
+        freshness check must consider only the data bits."""
+        bank = LatchBank(4)
+        bank.init_sense()
+        bank.capture(bits(1, 0, 1, 0), inverse=True)
+        np.testing.assert_array_equal(bank.sense_data, bits(0, 1, 0, 1))
+
+    @given(pages=st.lists(page_strategy(), min_size=1, max_size=6))
+    def test_packed_and_unpacked_banks_agree(self, pages):
+        """Drive a packed and a legacy bank through the same ParaBit
+        AND/OR + XOR protocol and require identical latch contents."""
+        packed = LatchBank(4, packed=True)
+        legacy = LatchBank(4, packed=False)
+        for bank in (packed, legacy):
+            bank.init_cache()
+            for i, page in enumerate(pages):
+                bank.init_sense()
+                bank.capture(page)
+                bank.transfer_to_cache()
+        np.testing.assert_array_equal(packed.cache_data, legacy.cache_data)
+        for bank in (packed, legacy):
+            bank.xor_into_cache()
+        np.testing.assert_array_equal(packed.cache_data, legacy.cache_data)
+        np.testing.assert_array_equal(packed.cache_words, legacy.cache_words)
+
+    def test_load_cache_accepts_words(self):
+        from repro.flash.packing import pack_bits
+
+        bank = LatchBank(4)
+        bank.load_cache(pack_bits(bits(0, 1, 1, 0)))
+        np.testing.assert_array_equal(bank.cache_data, bits(0, 1, 1, 0))
+
+    def test_legacy_bank_accepts_words(self):
+        from repro.flash.packing import pack_bits
+
+        bank = LatchBank(4, packed=False)
+        bank.init_sense()
+        bank.capture(pack_bits(bits(1, 1, 0, 0)))
+        np.testing.assert_array_equal(bank.sense_data, bits(1, 1, 0, 0))

@@ -118,15 +118,41 @@ class TestIntraBlockMws:
         with pytest.raises(ValueError, match="at least one wordline"):
             engine.intra_block_mws(make_block(), (), PRISTINE)
 
-    def test_mixed_programming_modes_rejected(self):
-        """MWS senses at one read reference; mixing ESP and regular
-        pages in one sense is not electrically meaningful."""
+    def test_esp_effort_mismatch_rejected(self):
+        """MWS senses at one read reference; wordlines programmed with
+        different ESP efforts need different references, so the sense
+        is rejected -- with a message that names the actual problem
+        (the efforts), not a 'programming mode' mismatch."""
         engine = clean_engine()
         block = make_block(seed=4)
         pages = random_pages(2, seed=4)
         block.program(0, pages[0], mode=ProgramMode.SLC)
         block.program(1, pages[1], mode=ProgramMode.ESP, esp_extra=0.9)
-        with pytest.raises(ValueError, match="programming mode"):
+        with pytest.raises(ValueError, match="ESP programming effort"):
+            engine.intra_block_mws(block, (0, 1), PRISTINE)
+
+    def test_esp_effort_mismatch_between_esp_pages_rejected(self):
+        """Two ESP pages with different extra efforts are just as
+        unreadable at a single reference as SLC-vs-ESP."""
+        engine = clean_engine()
+        block = make_block(seed=5)
+        pages = random_pages(2, seed=5)
+        block.program(0, pages[0], mode=ProgramMode.ESP, esp_extra=0.5)
+        block.program(1, pages[1], mode=ProgramMode.ESP, esp_extra=0.9)
+        with pytest.raises(ValueError) as excinfo:
+            engine.intra_block_mws(block, (0, 1), PRISTINE)
+        assert "ESP programming effort" in str(excinfo.value)
+        assert "0.5" in str(excinfo.value) and "0.9" in str(excinfo.value)
+
+    def test_mlc_slc_mix_rejected_with_mode_message(self):
+        """Mixing MLC and SLC-family wordlines in one sense raises the
+        *mode* error (distinct from the ESP-effort mismatch)."""
+        engine = clean_engine()
+        block = make_block(seed=6)
+        pages = random_pages(3, seed=6)
+        block.program(0, pages[0], mode=ProgramMode.SLC)
+        block.program_mlc(1, pages[1], pages[2])
+        with pytest.raises(ValueError, match="cannot mix MLC"):
             engine.intra_block_mws(block, (0, 1), PRISTINE)
 
     @settings(max_examples=20, deadline=None)

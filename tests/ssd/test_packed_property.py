@@ -1,0 +1,139 @@
+"""Randomized equivalence: packed uint64 backend vs the uint8/float
+path vs the NumPy oracle.
+
+Every scenario is executed twice -- on a default (packed) SSD and on a
+``packed=False`` SSD whose senses evaluate through the V_TH matrix and
+whose latches hold one byte per bit, exactly the pre-packing data
+plane.  Results must be bit-identical to each other and to the NumPy
+oracle, across expression shapes (AND groups, inverse-stored ORs,
+inter-block ORs, mixed OR-of-AND, XOR commands), inverse senses
+(``Not`` plans), and unaligned vector lengths that exercise the
+zero-padded final chunk.  Cost accounting (sense counts, latency) must
+also agree: packing changes the representation, never the commands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.expressions import (
+    And,
+    Not,
+    Operand,
+    Xor,
+    and_all,
+    evaluate,
+    or_all,
+)
+from repro.flash.geometry import ChipGeometry
+from repro.ssd.controller import SmallSsd
+
+#: Page of 80 bits: not a multiple of 64, so every packed page carries
+#: padding bits -- the representation's trickiest configuration.
+GEOMETRY = ChipGeometry(
+    planes_per_die=1,
+    blocks_per_plane=16,
+    subblocks_per_block=2,
+    wordlines_per_string=8,
+    page_size_bits=80,
+)
+
+PATTERNS = ("and_group", "or_inverse_group", "or_blocks", "mixed", "xor")
+
+
+def build_pair(rng):
+    """One random scenario materialized on a packed and an unpacked
+    SSD with identical data, plus the oracle environment."""
+    n_chips = int(rng.integers(1, 4))
+    n_chunks = int(rng.integers(1, 6))
+    n_bits = n_chunks * GEOMETRY.page_size_bits - int(
+        rng.integers(0, GEOMETRY.page_size_bits - 1)
+    )
+    seed = int(rng.integers(1 << 16))
+    ssds = [
+        SmallSsd(
+            n_chips=n_chips, geometry=GEOMETRY, seed=seed, packed=packed
+        )
+        for packed in (True, False)
+    ]
+    pattern = PATTERNS[int(rng.integers(len(PATTERNS)))]
+    n_ops = int(rng.integers(2, 5))
+    names = [f"v{i}" for i in range(n_ops)]
+    env = {
+        name: rng.integers(0, 2, n_bits, dtype=np.uint8) for name in names
+    }
+    ops = [Operand(n) for n in names]
+
+    def write(name, **kwargs):
+        for ssd in ssds:
+            ssd.write_vector(name, env[name], **kwargs)
+
+    if pattern == "and_group":
+        for name in names:
+            write(name, group="g")
+        expr = and_all(ops)
+    elif pattern == "or_inverse_group":
+        for name in names:
+            write(name, group="g", inverse=True)
+        expr = or_all(ops)
+    elif pattern == "or_blocks":
+        for name in names:
+            write(name)
+        expr = or_all(ops)
+    elif pattern == "mixed":
+        write(names[0], group="g")
+        write(names[1], group="g")
+        for name in names[2:]:
+            write(name)
+        expr = or_all([And(ops[0], ops[1])] + ops[2:])
+    else:  # xor -- exercises the latch XOR command
+        for name in names:
+            write(name)
+        expr = Xor(ops[0], ops[1])
+
+    # A Not on top forces an inverse sense (or an inverted final
+    # plan), covering the inverse-capture path.
+    if pattern != "xor" and rng.random() < 0.4:
+        expr = Not(expr)
+    return ssds, env, expr
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_packed_backend_matches_uint8_path(seed):
+    rng = np.random.default_rng(7000 + seed)
+    (packed_ssd, plain_ssd), env, expr = build_pair(rng)
+    expected = evaluate(expr, env)
+
+    packed_result = packed_ssd.query(expr)
+    plain_result = plain_ssd.query(expr)
+
+    np.testing.assert_array_equal(packed_result.bits, expected)
+    np.testing.assert_array_equal(plain_result.bits, expected)
+    np.testing.assert_array_equal(packed_result.bits, plain_result.bits)
+
+    # Packing changes the representation, not the command stream: both
+    # planes issue identical senses at identical modeled cost.
+    assert packed_result.n_senses == plain_result.n_senses
+    assert packed_result.latency_us == pytest.approx(
+        plain_result.latency_us
+    )
+    assert packed_result.energy_nj == pytest.approx(plain_result.energy_nj)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_packed_read_vector_matches_uint8_path(seed):
+    rng = np.random.default_rng(8000 + seed)
+    (packed_ssd, plain_ssd), env, _ = build_pair(rng)
+    for name, bits in env.items():
+        np.testing.assert_array_equal(packed_ssd.read_vector(name), bits)
+        np.testing.assert_array_equal(plain_ssd.read_vector(name), bits)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_packed_batch_matches_uint8_path(seed):
+    rng = np.random.default_rng(9000 + seed)
+    (packed_ssd, plain_ssd), env, expr = build_pair(rng)
+    expected = evaluate(expr, env)
+    for ssd in (packed_ssd, plain_ssd):
+        batch = ssd.engine.query_batch([expr, expr])
+        for result in batch.results:
+            np.testing.assert_array_equal(result.bits, expected)

@@ -118,12 +118,40 @@ class TestBindFallback:
         stats = ssd.engine.stats
         assert stats.bind_fallbacks == 1
         assert stats.planner_invocations == 2  # template + one fallback
-        # A repeat finds the template cached but still replans the
-        # drifted chunk -- that is not a planning-free query.
+        # A repeat reuses the cached bound queues -- including the
+        # fallback-replanned plan for the drifted chunk (operand
+        # addresses are immutable once written, so the bound plans
+        # stay valid until the FTL layout generation moves).  That
+        # makes the repeat a genuinely planning-free query.
         repeat = ssd.query(expr)
         np.testing.assert_array_equal(repeat.bits, evaluate(expr, env))
-        assert not repeat.template_hit
-        assert ssd.engine.stats.template_hits == 1
+        assert repeat.template_hit
+        assert ssd.engine.stats.planner_invocations == 2
+        assert ssd.engine.stats.bind_fallbacks == 1
+
+    def test_layout_generation_invalidates_bound_plans(self):
+        """Bound per-chunk plans are cached against the layout
+        generation (FTL vectors + every chip directory).  Rewriting an
+        operand at the *controller* level -- no FTL involvement at all
+        -- must still invalidate the cache, so the next query re-binds
+        and re-discovers the drift instead of serving stale cells."""
+        ssd = SmallSsd(n_chips=2, seed=20)
+        page = ssd.page_bits
+        env = vectors("ab", page * 2, seed=21)
+        for name in "ab":
+            ssd.write_vector(name, env[name], group="g")
+        expr = And(Operand("a"), Operand("b"))
+        ssd.query(expr)
+        assert ssd.engine.stats.bind_fallbacks == 0
+        # Drift chunk 1 of "b" behind the FTL's back: new data at a
+        # new physical address, registered only in the chip directory.
+        env["b"][page:] = 1 - env["b"][page:]
+        controller = ssd.controllers[ssd.ftl.chip_of_chunk(1)]
+        controller.directory.unregister("b@1")
+        controller.fc_write("b@1", env["b"][page : 2 * page])
+        result = ssd.query(expr)
+        np.testing.assert_array_equal(result.bits, evaluate(expr, env))
+        assert ssd.engine.stats.bind_fallbacks == 1
 
 
 class TestBatchExecution:

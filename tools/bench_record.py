@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Record / check the repository's kernel performance trajectory.
+
+``record`` runs the library's own kernel benchmarks
+(``benchmarks/bench_simulator_kernels.py`` via pytest-benchmark) plus
+the packed-backend measurements
+(``benchmarks/bench_packed_backend.py``) and writes a condensed
+``BENCH_kernels.json`` snapshot -- the checked-in baseline of the
+perf trajectory.
+
+``check`` re-measures and compares against the committed baseline
+with a multiplicative tolerance: kernel means may not exceed
+``baseline * tolerance`` and the packed-backend speedups may not fall
+below ``baseline / tolerance``.  Exit status 1 reports a regression
+(CI runs this as a *soft* guard -- shared runners are noisy, so the
+step is non-blocking there; the tolerance is what keeps it useful).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_record.py record
+    PYTHONPATH=src python tools/bench_record.py check --tolerance 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SNAPSHOT = REPO_ROOT / "BENCH_kernels.json"
+KERNEL_BENCH = REPO_ROOT / "benchmarks" / "bench_simulator_kernels.py"
+
+
+def _run_kernel_bench() -> dict[str, dict[str, float]]:
+    """Run the pytest-benchmark kernel suite, return name -> stats."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                str(KERNEL_BENCH),
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=REPO_ROOT,
+            check=True,
+        )
+        raw = json.loads(json_path.read_text())
+    kernels = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        kernels[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return kernels
+
+
+def _run_packed_backend() -> dict[str, float]:
+    """Run the packed-backend measurements in-process."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_packed_backend import (
+        measure_memory,
+        measure_query,
+        measure_sense,
+    )
+
+    sense = measure_sense()
+    query = measure_query()
+    memory = measure_memory()
+    return {
+        "sense_packed_s": sense["packed_s"],
+        "sense_unpacked_s": sense["unpacked_s"],
+        "sense_speedup": sense["speedup"],
+        "query_packed_s": query["packed_s"],
+        "query_unpacked_s": query["unpacked_s"],
+        "query_speedup": query["speedup"],
+        "memory_ratio": memory["ratio"],
+    }
+
+
+def measure() -> dict:
+    import numpy
+
+    return {
+        "schema": 1,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+        },
+        "kernels": _run_kernel_bench(),
+        "packed_backend": _run_packed_backend(),
+    }
+
+
+def record(output: Path) -> None:
+    snapshot = measure()
+    output.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+
+
+def check(baseline_path: Path, tolerance: float) -> int:
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run 'record' first")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    fresh = measure()
+    failures: list[str] = []
+
+    for name, base in baseline.get("kernels", {}).items():
+        now = fresh["kernels"].get(name)
+        if now is None:
+            failures.append(f"kernel {name} missing from fresh run")
+            continue
+        limit = base["mean_s"] * tolerance
+        if now["mean_s"] > limit:
+            failures.append(
+                f"kernel {name}: {now['mean_s']:.6f}s > "
+                f"{tolerance:.1f}x baseline {base['mean_s']:.6f}s"
+            )
+
+    base_pb = baseline.get("packed_backend", {})
+    fresh_pb = fresh["packed_backend"]
+    for key in ("sense_speedup", "query_speedup", "memory_ratio"):
+        if key not in base_pb:
+            continue
+        floor = base_pb[key] / tolerance
+        if fresh_pb[key] < floor:
+            failures.append(
+                f"packed_backend {key}: {fresh_pb[key]:.2f} < "
+                f"baseline {base_pb[key]:.2f} / {tolerance:.1f}"
+            )
+
+    if failures:
+        print("perf regression(s) vs baseline:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels "
+        f"and packed-backend metrics within {tolerance:.1f}x of baseline"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "command", choices=("record", "check"), nargs="?", default="record"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_SNAPSHOT,
+        help="snapshot path for 'record'",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_SNAPSHOT,
+        help="baseline path for 'check'",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=3.0,
+        help="multiplicative slack for 'check' (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        record(args.output)
+        return 0
+    return check(args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
