@@ -1,0 +1,116 @@
+"""Query service layer: admission windows, multi-query chip
+scheduling, and cross-query sense sharing.
+
+This package is the layer above the plan-template
+:class:`~repro.ssd.query_engine.QueryEngine`: where the engine serves
+one caller's query (or an explicit batch) synchronously, the service
+accepts *concurrent submissions from many simulated clients on a
+virtual clock* and turns them into scheduled, deduplicated window
+executions -- the system-scale execution-engine move of the in-DRAM
+bulk-bitwise line, applied to Flash-Cosmos's in-flash queries.
+
+Design
+======
+
+**Virtual clock and clients** (:mod:`~repro.service.clock`,
+:mod:`~repro.service.clients`).  Traffic is simulated-async: client
+generators wrap the paper's workloads (bitmap-index point queries,
+k-clique star scans, YUV segmentation) and stamp their query streams
+with arrival times from configurable arrival processes (Poisson,
+uniform, bursty).  Nothing runs on threads; the whole trace is
+deterministic, which lets the property suite compare every served
+query bit-for-bit against the synchronous oracle.
+
+**Admission windows** (:mod:`~repro.service.admission`).  Submissions
+are grouped on a fixed ``window_us`` grid (with an optional
+``max_queries`` early close).  A window is the service's unit of
+optimization: queries inside one window may be reordered and share
+work; the window close time is when its pipeline jobs become ready.
+
+**Multi-query scheduling** (:mod:`~repro.service.scheduler`).  All
+bound per-chunk plans of a window's queries are merged into per-chip
+schedules.  Chunk placement is fixed by the FTL striping, so the
+scheduler orders rather than places: share groups stay adjacent,
+each chip drains longest-sense-first (LPT), and chips emit
+longest-remaining-work-first -- minimizing window makespan instead of
+any single query's latency.  The event simulator breaks FCFS ties by
+submission order, so the emitted order *is* the schedule.
+
+**Cross-query sense sharing**
+(:meth:`~repro.ssd.query_engine.QueryEngine.execute_tasks`).  Bound
+plans are frozen value objects, so identical bound commands -- same
+chip, same MWS command/address sequence -- are detected by value and
+executed once; the packed result words fan out to every subscribing
+query at zero flash cost.  This extends MWS's one-sense-many-operands
+reuse across the *queries* of a window.
+
+**Metrics** (:mod:`~repro.service.metrics`).
+:class:`~repro.service.metrics.ServiceStats` reports per-query
+p50/p99 latency on the virtual clock, sustained queries/sec over the
+traffic span, shared-sense counts and the dedup ratio, and the
+bottleneck pipeline resource from the event simulation.
+
+All windows' chunk jobs enter *one* event simulation with
+``ready_at`` equal to their window close, so cross-window contention
+(a bursty window queuing behind the previous one's stragglers) is
+exact rather than approximated window by window.
+"""
+
+from repro.service.admission import (
+    AdmissionQueue,
+    AdmissionWindow,
+    Submission,
+)
+from repro.service.clients import (
+    BitmapIndexClient,
+    ClientTraffic,
+    KCliqueClient,
+    SegmentationClient,
+    TrafficClient,
+    generate_traffic,
+    populate_all,
+)
+from repro.service.clock import (
+    ArrivalProcess,
+    BurstArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+    VirtualClock,
+)
+from repro.service.metrics import LatencySummary, ServiceStats
+from repro.service.scheduler import (
+    POLICIES,
+    estimated_chip_work_us,
+    schedule_window,
+)
+from repro.service.service import (
+    QueryService,
+    ServedQuery,
+    ServiceReport,
+)
+
+__all__ = [
+    "POLICIES",
+    "AdmissionQueue",
+    "AdmissionWindow",
+    "ArrivalProcess",
+    "BitmapIndexClient",
+    "BurstArrivals",
+    "ClientTraffic",
+    "KCliqueClient",
+    "LatencySummary",
+    "PoissonArrivals",
+    "QueryService",
+    "SegmentationClient",
+    "ServedQuery",
+    "ServiceReport",
+    "ServiceStats",
+    "Submission",
+    "TrafficClient",
+    "UniformArrivals",
+    "VirtualClock",
+    "estimated_chip_work_us",
+    "generate_traffic",
+    "populate_all",
+    "schedule_window",
+]

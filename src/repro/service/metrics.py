@@ -1,0 +1,96 @@
+"""Service-level metrics: latency percentiles, throughput, sharing.
+
+``EngineStats`` counts what the query engine amortized (templates,
+binds, shared senses) over its lifetime; ``ServiceStats`` reports what
+one service run *delivered*: per-query latency percentiles on the
+virtual clock, sustained queries per second over the traffic span,
+and how much of the window's sensing work cross-query sharing
+eliminated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution of per-query service latencies (microseconds,
+    submission to last chunk delivered)."""
+
+    n: int
+    mean_us: float
+    p50_us: float
+    p99_us: float
+    max_us: float
+
+    @classmethod
+    def from_latencies(cls, latencies_us: Sequence[float]) -> "LatencySummary":
+        if not len(latencies_us):
+            return cls(n=0, mean_us=0.0, p50_us=0.0, p99_us=0.0, max_us=0.0)
+        arr = np.asarray(latencies_us, dtype=np.float64)
+        return cls(
+            n=int(arr.size),
+            mean_us=float(arr.mean()),
+            p50_us=float(np.percentile(arr, 50)),
+            p99_us=float(np.percentile(arr, 99)),
+            max_us=float(arr.max()),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate outcome of one :meth:`QueryService.run`."""
+
+    n_queries: int
+    n_windows: int
+    #: Bound per-chunk plans the windows contained in total.
+    n_chunk_tasks: int
+    #: Sensing operations that actually ran on the chips.
+    n_senses: int
+    #: Chunk tasks served by fanning out another task's identical
+    #: sense, and the sensing operations that saved.
+    shared_plans: int
+    shared_senses: int
+    #: Queries served without any planning (template + bound-plan
+    #: cache hits threaded explicitly through ``prepare``).
+    template_hits: int
+    latency: LatencySummary
+    #: Sustained rate over the span from first submission to last
+    #: completed transfer.
+    throughput_qps: float
+    span_us: float
+    #: Completion time of the last window on the virtual clock.
+    makespan_us: float
+    #: Busiest pipeline resource across the whole run.
+    bottleneck: str
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of chunk tasks served by a shared sense."""
+        if self.n_chunk_tasks == 0:
+            return 0.0
+        return self.shared_plans / self.n_chunk_tasks
+
+    @property
+    def sense_savings(self) -> float:
+        """Fraction of sensing work sharing eliminated."""
+        total = self.n_senses + self.shared_senses
+        if total == 0:
+            return 0.0
+        return self.shared_senses / total
+
+    def describe(self) -> str:
+        lat = self.latency
+        return (
+            f"{self.n_queries} queries / {self.n_windows} windows: "
+            f"{self.throughput_qps:.0f} q/s sustained, "
+            f"p50 {lat.p50_us:.0f} us, p99 {lat.p99_us:.0f} us, "
+            f"{self.n_senses} senses "
+            f"({self.shared_senses} shared away, "
+            f"dedup {self.dedup_ratio:.0%}), "
+            f"bottleneck {self.bottleneck}"
+        )

@@ -1,0 +1,120 @@
+"""Multi-query chip scheduler for one admission window.
+
+Chunk placement is fixed by the FTL's striping (chunk ``c`` lives on
+chip ``c mod n_chips``), so the scheduler cannot move work between
+chips -- what it controls is the *order* in which each chip's queue
+drains and how the chips' emissions interleave on the shared
+downstream resources (channel buses, external link).  Within one
+ready time the event simulation serves FCFS ties in submission order,
+so the emitted task order *is* the schedule.
+
+The ``balanced`` policy reorders across queries to minimize window
+makespan rather than any single query's latency:
+
+1. **Share groups first** -- tasks with identical ``(chip, plan)``
+   identity are bucketed together so a shared sense's subscribers
+   drain immediately behind their primary (their results leave the
+   chip as soon as the one real sense finishes, instead of waiting in
+   program order).
+2. **Longest sense first per chip** -- each chip's unique buckets are
+   ordered by descending estimated sense latency (LPT): a long sense
+   scheduled last would stick out of the window's tail, while
+   scheduled first it overlaps every shorter sense and the transfers
+   behind them.
+3. **Longest-remaining-work interleave across chips** -- buckets are
+   emitted by repeatedly picking the chip with the most estimated
+   work left, keeping the per-chip queue depths balanced and the
+   shared external link fed from the start of the window.
+
+``fifo`` preserves submission order exactly -- the naive baseline the
+benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.core.planner import Plan
+from repro.ssd.query_engine import ChunkTask
+
+#: Latency estimator: (task) -> estimated sense microseconds.  The
+#: service wires this to ``MwsExecutor.estimate_latency_us`` so the
+#: schedule is chosen from the physically derived tMWS model without
+#: executing anything.
+LatencyEstimator = Callable[[ChunkTask], float]
+
+POLICIES = ("fifo", "balanced")
+
+
+def schedule_window(
+    tasks: Sequence[ChunkTask],
+    estimate: LatencyEstimator,
+    *,
+    policy: str = "balanced",
+    share: bool = True,
+) -> list[ChunkTask]:
+    """Order one window's chunk tasks into the global emission order.
+
+    ``share`` mirrors the engine's sense-sharing switch: with it on,
+    duplicate tasks of a share group cost nothing, which changes the
+    LPT weights and the cross-chip balance.
+    """
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; choose from {POLICIES}"
+        )
+    if policy == "fifo":
+        return list(tasks)
+
+    # 1. Bucket per chip by plan identity, preserving first-seen order.
+    per_chip: dict[int, dict[Plan, list[ChunkTask]]] = {}
+    for task in tasks:
+        per_chip.setdefault(task.chip, {}).setdefault(
+            task.plan, []
+        ).append(task)
+
+    # 2. LPT-order each chip's unique buckets.  A bucket's cost is one
+    #    sense when sharing (subscribers are free) and one per task
+    #    otherwise.
+    chip_queues: dict[int, list[tuple[float, list[ChunkTask]]]] = {}
+    chip_work: dict[int, float] = {}
+    for chip, buckets in per_chip.items():
+        weighted = []
+        for plan, group in buckets.items():
+            unit = estimate(group[0])
+            cost = unit if share else unit * len(group)
+            weighted.append((cost, group))
+        weighted.sort(key=lambda item: -item[0])
+        chip_queues[chip] = weighted
+        chip_work[chip] = sum(cost for cost, _ in weighted)
+
+    # 3. Emit buckets from the chip with the most remaining work.
+    ordered: list[ChunkTask] = []
+    while chip_queues:
+        chip = max(chip_queues, key=lambda c: (chip_work[c], -c))
+        cost, group = chip_queues[chip].pop(0)
+        chip_work[chip] -= cost
+        ordered.extend(group)
+        if not chip_queues[chip]:
+            del chip_queues[chip]
+    return ordered
+
+
+def estimated_chip_work_us(
+    tasks: Iterable[ChunkTask],
+    estimate: LatencyEstimator,
+    *,
+    share: bool = True,
+) -> dict[int, float]:
+    """Estimated sense microseconds per chip for one window -- the
+    scheduler's own view of the load balance, exposed for metrics and
+    tests."""
+    seen: set[tuple[int, Plan]] = set()
+    work: dict[int, float] = {}
+    for task in tasks:
+        if share:
+            if task.share_key in seen:
+                continue
+            seen.add(task.share_key)
+        work[task.chip] = work.get(task.chip, 0.0) + estimate(task)
+    return work

@@ -1,0 +1,293 @@
+"""The query service: windows in, scheduled shared execution out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.expressions import Expression
+from repro.service.admission import AdmissionQueue, Submission
+from repro.service.metrics import LatencySummary, ServiceStats
+from repro.service.scheduler import POLICIES, schedule_window
+from repro.ssd.controller import QueryResult, SmallSsd
+from repro.ssd.events import StageJob, simulate_stages
+from repro.ssd.query_engine import ChunkTask
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """One query's journey through the service."""
+
+    query_id: int
+    client: str
+    expr: Expression
+    submitted_us: float
+    #: When the query's admission window closed (execution eligible).
+    admitted_us: float
+    #: When its last chunk left the external link.
+    completed_us: float
+    #: Functional result; ``n_senses``/``latency_us`` count only the
+    #: flash work actually spent on this query (shared senses are
+    #: billed to the query that executed them).
+    result: QueryResult
+    #: Chunk tasks of this query served by another query's sense.
+    shared_chunks: int
+
+    @property
+    def wait_us(self) -> float:
+        """Time spent queued before the window closed."""
+        return self.admitted_us - self.submitted_us
+
+    @property
+    def latency_us(self) -> float:
+        """Submission-to-delivery service latency."""
+        return self.completed_us - self.submitted_us
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Everything one :meth:`QueryService.run` produced."""
+
+    queries: tuple[ServedQuery, ...]
+    stats: ServiceStats
+
+    def latencies_us(self, client: str | None = None) -> list[float]:
+        return [
+            q.latency_us
+            for q in self.queries
+            if client is None or q.client == client
+        ]
+
+    def client_latency(self, client: str) -> LatencySummary:
+        return LatencySummary.from_latencies(self.latencies_us(client))
+
+
+class _QueryState:
+    """Mutable per-query accumulator while a run executes."""
+
+    __slots__ = (
+        "submission", "prepared", "pieces", "n_senses", "energy_nj",
+        "chip_busy", "shared_chunks", "admitted_us", "completed_us",
+    )
+
+    def __init__(self, submission, prepared) -> None:
+        self.submission = submission
+        self.prepared = prepared
+        self.pieces: list[np.ndarray | None] = [None] * prepared.n_chunks
+        self.n_senses = 0
+        self.energy_nj = 0.0
+        self.chip_busy: dict[int, float] = {}
+        self.shared_chunks = 0
+        self.admitted_us = 0.0
+        self.completed_us = 0.0
+
+
+class QueryService:
+    """Accepts timed query submissions, serves them in scheduled,
+    sense-shared admission windows (see the package docstring)."""
+
+    def __init__(
+        self,
+        ssd: SmallSsd,
+        *,
+        window_us: float = 200.0,
+        max_window_queries: int | None = None,
+        policy: str = "balanced",
+        share_senses: bool = True,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {POLICIES}"
+            )
+        self.ssd = ssd
+        self.engine = ssd.engine
+        self.policy = policy
+        self.share_senses = share_senses
+        self.admission = AdmissionQueue(
+            window_us=window_us, max_queries=max_window_queries
+        )
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Submission side
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, expr: Expression, *, at_us: float, client: str = "client"
+    ) -> int:
+        """Enqueue one query arriving at virtual time ``at_us``;
+        returns its query id."""
+        query_id = self._next_id
+        self._next_id += 1
+        self.admission.submit(
+            Submission(
+                query_id=query_id,
+                client=client,
+                expr=expr,
+                submitted_us=at_us,
+            )
+        )
+        return query_id
+
+    def submit_traffic(self, submissions) -> list[int]:
+        """Enqueue ``(at_us, client, expr)`` triples (the client
+        generators' output, :func:`repro.service.clients.generate_traffic`)."""
+        return [
+            self.submit(expr, at_us=at_us, client=client)
+            for at_us, client, expr in submissions
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution side
+    # ------------------------------------------------------------------
+
+    def _estimate(self, task: ChunkTask) -> float:
+        executor = self.ssd.controllers[task.chip].executor
+        return executor.estimate_latency_us(task.plan)
+
+    def run(self) -> ServiceReport:
+        """Serve every pending submission and drain the queue.
+
+        Windows execute in close order; every window's chunk jobs
+        enter one shared event simulation with ``ready_at`` equal to
+        the window close time, so cross-window contention (a window
+        queuing behind the previous one's stragglers) is exact.
+        """
+        windows = self.admission.windows()
+        states: dict[int, _QueryState] = {}
+        jobs: list[StageJob] = []
+        job_owner: list[int] = []
+        n_chunk_tasks = 0
+        shared_plans = 0
+        shared_senses = 0
+        total_senses = 0
+
+        for window in windows:
+            tasks: list[ChunkTask] = []
+            for submission in window.submissions:
+                prepared = self.engine.prepare(submission.expr)
+                state = _QueryState(submission, prepared)
+                state.admitted_us = window.close_us
+                states[submission.query_id] = state
+                tasks.extend(prepared.tasks(query=submission.query_id))
+            ordered = schedule_window(
+                tasks,
+                self._estimate,
+                policy=self.policy,
+                share=self.share_senses,
+            )
+            outcomes = self.engine.execute_tasks(
+                ordered, share=self.share_senses
+            )
+            n_chunk_tasks += len(ordered)
+            ready_s = window.close_us * 1e-6
+            for outcome in outcomes:
+                task = outcome.task
+                state = states[task.query]
+                state.pieces[task.chunk] = outcome.data
+                state.n_senses += outcome.n_senses
+                state.energy_nj += outcome.energy_nj
+                state.chip_busy[task.chip] = (
+                    state.chip_busy.get(task.chip, 0.0)
+                    + outcome.latency_us
+                )
+                total_senses += outcome.n_senses
+                if outcome.shared:
+                    state.shared_chunks += 1
+                    shared_plans += 1
+                    shared_senses += task.plan.n_senses
+                jobs.append(
+                    self.engine.stage_job(
+                        task.chip, outcome.latency_us, ready_at_s=ready_s
+                    )
+                )
+                job_owner.append(task.query)
+
+        # Every window executed: only now drain the admission queue,
+        # so an exception above (e.g. a query over non-co-located
+        # vectors) leaves the pending submissions intact for a retry.
+        self.admission = AdmissionQueue(
+            window_us=self.admission.window_us,
+            max_queries=self.admission.max_queries,
+        )
+
+        report = simulate_stages(jobs)
+        for completion_s, owner in zip(report.completion_times, job_owner):
+            state = states[owner]
+            state.completed_us = max(state.completed_us, completion_s * 1e6)
+
+        served = tuple(
+            self._served(state) for state in sorted(
+                states.values(), key=lambda s: s.submission.query_id
+            )
+        )
+        stats = self._stats(
+            served,
+            n_windows=len(windows),
+            n_chunk_tasks=n_chunk_tasks,
+            n_senses=total_senses,
+            shared_plans=shared_plans,
+            shared_senses=shared_senses,
+            makespan_us=report.makespan * 1e6,
+            bottleneck=report.bottleneck,
+        )
+        return ServiceReport(queries=served, stats=stats)
+
+    def _served(self, state: _QueryState) -> ServedQuery:
+        submission = state.submission
+        result = QueryResult(
+            bits=self.engine.assemble_bits(state.prepared, state.pieces),
+            n_senses=state.n_senses,
+            latency_us=max(state.chip_busy.values(), default=0.0),
+            energy_nj=state.energy_nj,
+            makespan_us=state.completed_us - state.admitted_us,
+            template_hit=state.prepared.template_hit,
+        )
+        return ServedQuery(
+            query_id=submission.query_id,
+            client=submission.client,
+            expr=submission.expr,
+            submitted_us=submission.submitted_us,
+            admitted_us=state.admitted_us,
+            completed_us=state.completed_us,
+            result=result,
+            shared_chunks=state.shared_chunks,
+        )
+
+    @staticmethod
+    def _stats(
+        served: tuple[ServedQuery, ...],
+        *,
+        n_windows: int,
+        n_chunk_tasks: int,
+        n_senses: int,
+        shared_plans: int,
+        shared_senses: int,
+        makespan_us: float,
+        bottleneck: str,
+    ) -> ServiceStats:
+        latency = LatencySummary.from_latencies(
+            [q.latency_us for q in served]
+        )
+        if served:
+            span_us = max(q.completed_us for q in served) - min(
+                q.submitted_us for q in served
+            )
+        else:
+            span_us = 0.0
+        throughput = len(served) / (span_us * 1e-6) if span_us > 0 else 0.0
+        return ServiceStats(
+            n_queries=len(served),
+            n_windows=n_windows,
+            n_chunk_tasks=n_chunk_tasks,
+            n_senses=n_senses,
+            shared_plans=shared_plans,
+            shared_senses=shared_senses,
+            template_hits=sum(q.result.template_hit for q in served),
+            latency=latency,
+            throughput_qps=throughput,
+            span_us=span_us,
+            makespan_us=makespan_us,
+            bottleneck=bottleneck,
+        )

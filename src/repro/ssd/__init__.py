@@ -20,6 +20,12 @@ Query execution is layered on three pieces:
   timeline simulator, so functional queries also report pipelined
   makespans, unifying the functional and performance paths.
 
+Above this sits the query *service* layer (:mod:`repro.service`,
+reachable via ``SmallSsd.service()``): timed submissions from many
+clients are batched into admission windows, scheduled across chips,
+and executed with cross-query sense sharing through
+``QueryEngine.prepare``/``execute_tasks``.
+
 The functional data path is **bit-packed end to end** (the default
 ``SmallSsd(packed=True)``): ``write_vector`` packs each vector into
 ``uint64`` words once at ingest, chips sense and latch packed words
@@ -36,11 +42,21 @@ from repro.ssd.controller import QueryResult, SmallSsd
 from repro.ssd.events import SerialResource, StageJob, simulate_stages
 from repro.ssd.ftl import FlashTranslationLayer, PagePlacement
 from repro.ssd.pipeline import PipelineModel, PlatformTiming
-from repro.ssd.query_engine import BatchResult, EngineStats, QueryEngine
+from repro.ssd.query_engine import (
+    BatchResult,
+    ChunkOutcome,
+    ChunkTask,
+    EngineStats,
+    PreparedQuery,
+    QueryEngine,
+)
 
 __all__ = [
     "BatchResult",
+    "ChunkOutcome",
+    "ChunkTask",
     "EngineStats",
+    "PreparedQuery",
     "FlashTranslationLayer",
     "PagePlacement",
     "PipelineModel",

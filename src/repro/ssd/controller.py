@@ -194,6 +194,20 @@ class SmallSsd:
         # equal bit offsets of different vectors share chip + group.
         return f"{name}@{chunk}"
 
+    def service(self, **kwargs) -> "QueryService":
+        """Open a query service front-end over this SSD.
+
+        The service (:mod:`repro.service`) accepts timed submissions
+        from many clients, batches them into admission windows, and
+        executes each window with multi-query scheduling and
+        cross-query sense sharing -- ``kwargs`` forward to
+        :class:`~repro.service.service.QueryService` (``window_us``,
+        ``max_window_queries``, ``policy``, ``share_senses``).
+        """
+        from repro.service.service import QueryService
+
+        return QueryService(self, **kwargs)
+
     def query(self, expr: Expression) -> QueryResult:
         """Evaluate a bulk bitwise expression over stored vectors.
 

@@ -11,6 +11,15 @@ The simulation is event-accurate for feed-forward pipelines (each
 job's stage N+1 becomes ready when its stage N finishes) -- sufficient
 to reproduce the 471/431/335-us timelines of Figure 7 exactly, which
 the tests pin.
+
+Jobs need not all be ready at t=0: the query service layer
+(:mod:`repro.service`) emits *window-level job streams* whose
+``ready_at`` times are the admission-window close times on its
+virtual clock, and one simulation over the whole trace yields exact
+cross-window contention (a window's jobs queue behind the previous
+window's stragglers on shared chips, channels, and the external
+link).  Within one ready time, FCFS ties break by submission order --
+which is precisely the knob the multi-query scheduler turns.
 """
 
 from __future__ import annotations
@@ -78,6 +87,8 @@ class StageReport:
 
     @property
     def bottleneck(self) -> str:
+        if not self.resource_busy:
+            return "idle"
         return max(self.resource_busy, key=self.resource_busy.get)
 
     def utilization(self, name: str) -> float:
@@ -96,7 +107,9 @@ def simulate_stages(jobs: list[StageJob]) -> StageReport:
     heaps per resource to stay exact when streams interleave.
     """
     if not jobs:
-        raise ValueError("no jobs to simulate")
+        # An empty stream (e.g. an admission window that admitted no
+        # queries) simulates to an idle, zero-makespan report.
+        return StageReport(makespan=0.0, completion_times=[])
     resources: dict[str, SerialResource] = {}
     for job in jobs:
         for name in job.resources:

@@ -37,9 +37,22 @@ it:
    external link) fed through the exact timeline simulator, so the
    *functional* result carries the *pipelined* makespan the
    performance model would predict -- one code path for both.
+5. **Shared-sense execution** -- :meth:`QueryEngine.prepare` exposes a
+   query's bound per-chunk plans as :class:`ChunkTask`\\ s, and
+   :meth:`QueryEngine.execute_tasks` drains an arbitrary multi-query
+   task list with *cross-query sense sharing*: bound plans are
+   identical-by-value (frozen dataclasses down to the MWS command
+   bytes), so per chip a dict keyed on the plan detects that two
+   queries ask for the same sensing operation; the sense runs once
+   and its packed result words fan out to every subscribing task
+   (MWS already serves many operands in one sense -- this extends the
+   reuse across *queries* of one admission window).  The service
+   layer (:mod:`repro.service`) builds windows and schedules on top
+   of this path.
 
 Query cost becomes ``O(plan + chunks x (bind + sense))``, with the
-plan term amortized to zero across a stream by the template cache.
+plan term amortized to zero across a stream by the template cache and
+the sense term deduplicated across identical queries of a window.
 """
 
 from __future__ import annotations
@@ -93,13 +106,19 @@ class _ChunkDirectory:
 
 @dataclass(frozen=True)
 class EngineStats:
-    """Counters exposing how much planning the cache amortized."""
+    """Counters exposing how much planning the cache amortized and how
+    many sensing operations cross-query sharing avoided."""
 
     planner_invocations: int
     template_hits: int
     template_misses: int
     bind_fallbacks: int
     cached_templates: int
+    #: Chunk tasks served from another task's identical sense (no
+    #: flash operation ran for them).
+    shared_plans: int = 0
+    #: Sensing operations those shared tasks would have cost.
+    shared_senses: int = 0
 
 
 @dataclass(frozen=True)
@@ -109,6 +128,75 @@ class BatchResult:
     results: tuple["QueryResult", ...]
     makespan_us: float
     bottleneck: str
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One bound per-chunk plan, attributed to a caller-scoped query.
+
+    The identity that matters for cross-query sense sharing is
+    ``(chip, plan)``: :class:`~repro.core.planner.Plan` is a frozen
+    value object down to the MWS command targets, so two tasks whose
+    plans compare equal ask the chip for the *same* sensing operation.
+    """
+
+    query: int
+    chunk: int
+    chip: int
+    plan: Plan
+
+    @property
+    def share_key(self) -> tuple[int, Plan]:
+        return (self.chip, self.plan)
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """What executing (or sharing) one :class:`ChunkTask` produced.
+
+    ``data`` is the chunk's result page -- packed ``uint64`` words on
+    the packed plane, 0/1 bytes otherwise.  A ``shared`` outcome spent
+    no flash time: its sense already ran for an identical earlier task
+    of the same chip, and ``n_senses``/``latency_us``/``energy_nj``
+    are zero accordingly (the window-level counters thus sum to the
+    *actual* hardware cost).
+    """
+
+    task: ChunkTask
+    data: np.ndarray
+    n_senses: int
+    latency_us: float
+    energy_nj: float
+    shared: bool
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A query planned and bound, ready for (shared) execution.
+
+    ``planned`` is threaded explicitly from the template/bind steps --
+    it is *not* inferred from global planner counters, so preparing
+    many queries back to back (exactly what a service admission window
+    does) attributes cache hits to the right query.
+    """
+
+    expr: Expression
+    n_bits: int
+    n_chunks: int
+    queues: dict[int, list[tuple[int, Plan]]]
+    planned: bool
+
+    @property
+    def template_hit(self) -> bool:
+        return not self.planned
+
+    def tasks(self, query: int) -> list[ChunkTask]:
+        """Flatten the per-chip queues into attributed chunk tasks."""
+        return [
+            ChunkTask(query=query, chunk=chunk, chip=chip, plan=plan)
+            for chip, queue in sorted(self.queues.items())
+            for chunk, plan in queue
+        ]
 
 
 class QueryEngine:
@@ -144,6 +232,8 @@ class QueryEngine:
         self._template_hits = 0
         self._template_misses = 0
         self._bind_fallbacks = 0
+        self._shared_plans = 0
+        self._shared_senses = 0
 
     # ------------------------------------------------------------------
     # Template cache
@@ -166,6 +256,16 @@ class QueryEngine:
 
         ``names`` may pass the pre-sorted operand names when the caller
         already extracted them (per-query hot path)."""
+        return self._template_for(expr, names)[0]
+
+    def _template_for(
+        self, expr: Expression, names: list[str] | None = None
+    ) -> tuple[PlanTemplate, bool]:
+        """Like :meth:`template_for`, but additionally reports whether
+        fetching the template *planned* (cache miss).  The flag is
+        threaded explicitly to the caller instead of being inferred
+        from counter deltas, so interleaved query preparation (the
+        service window path) attributes hits correctly."""
         if names is None:
             names = sorted(operand_names(expr))
         if not names:
@@ -175,7 +275,7 @@ class QueryEngine:
         if cached is not None:
             self._templates.move_to_end(key)
             self._template_hits += 1
-            return cached
+            return cached, False
         self._template_misses += 1
         controller = self.ssd.controllers[self.ssd.ftl.chip_of_chunk(0)]
         planner = Planner(
@@ -187,7 +287,7 @@ class QueryEngine:
         self._templates[key] = template
         while len(self._templates) > self.cache_size:
             self._templates.popitem(last=False)
-        return template
+        return template, True
 
     @property
     def stats(self) -> EngineStats:
@@ -197,6 +297,8 @@ class QueryEngine:
             template_misses=self._template_misses,
             bind_fallbacks=self._bind_fallbacks,
             cached_templates=len(self._templates),
+            shared_plans=self._shared_plans,
+            shared_senses=self._shared_senses,
         )
 
     # ------------------------------------------------------------------
@@ -222,10 +324,12 @@ class QueryEngine:
         template: PlanTemplate,
         n_chunks: int,
         names: list[str] | None = None,
-    ) -> dict[int, list[tuple[int, Plan]]]:
+    ) -> tuple[dict[int, list[tuple[int, Plan]]], bool]:
         """Bind the template for every chunk and queue the plans per
         chip, falling back to a replan when a chunk's layout drifted
-        from the template's.
+        from the template's.  Returns ``(queues, planned)`` where
+        ``planned`` reports whether any bind-failure replan ran --
+        threaded explicitly so callers never infer it from counters.
 
         Bound queues are LRU-cached against the FTL layout generation:
         a repeat query whose placement world has not changed reuses its
@@ -238,7 +342,8 @@ class QueryEngine:
         cached = self._bound.get(key)
         if cached is not None and cached[0] == generation:
             self._bound.move_to_end(key)
-            return cached[1]
+            return cached[1], False
+        planned = False
         queues: dict[int, list[tuple[int, Plan]]] = {}
         for chunk in range(n_chunks):
             chip = self.ssd.ftl.chip_of_chunk(chunk)
@@ -253,11 +358,129 @@ class QueryEngine:
                 plan = planner.plan(expr)
                 self._planner_invocations += 1
                 self._bind_fallbacks += 1
+                planned = True
             queues.setdefault(chip, []).append((chunk, plan))
         self._bound[key] = (generation, queues)
         while len(self._bound) > self.cache_size:
             self._bound.popitem(last=False)
-        return queues
+        return queues, planned
+
+    def prepare(self, expr: Expression) -> PreparedQuery:
+        """Plan (or fetch) and bind ``expr`` without executing it.
+
+        The returned :class:`PreparedQuery` carries the bound per-chunk
+        plans and an explicit ``planned`` flag (template build or any
+        bind-failure replan), so callers preparing many queries before
+        executing any -- the service admission-window path -- still
+        attribute cache hits to the right query.
+        """
+        names = sorted(operand_names(expr))
+        if not names:
+            raise ValueError("expression references no operands")
+        self.ssd.ftl.validate_co_located(names)
+        record = self.ssd.ftl.lookup(names[0])
+        template, template_planned = self._template_for(expr, names)
+        queues, bind_planned = self._bound_queues(
+            expr, template, record.n_chunks, names=names
+        )
+        return PreparedQuery(
+            expr=expr,
+            n_bits=record.n_bits,
+            n_chunks=record.n_chunks,
+            queues=queues,
+            planned=template_planned or bind_planned,
+        )
+
+    def stage_job(
+        self, chip: int, latency_us: float, *, ready_at_s: float = 0.0
+    ) -> StageJob:
+        """Pipeline job for one chunk result: die sense -> channel DMA
+        -> external link (durations in seconds, the event simulator's
+        unit).  ``ready_at_s`` lets window streams arrive on the
+        virtual clock instead of all at t=0."""
+        c = self.config
+        chunk_bytes = self.ssd.page_bits / 8
+        return StageJob(
+            ready_at=ready_at_s,
+            durations=(
+                latency_us * 1e-6,
+                chunk_bytes / c.channel_bw_bytes_per_s,
+                chunk_bytes / c.external_bw_bytes_per_s,
+            ),
+            resources=(
+                f"chip{chip}",
+                f"chan{chip % c.n_channels}",
+                "ext",
+            ),
+        )
+
+    def execute_tasks(
+        self, tasks: Iterable[ChunkTask], *, share: bool = True
+    ) -> list[ChunkOutcome]:
+        """Drain a multi-query chunk-task list with cross-query sense
+        sharing.
+
+        Tasks are grouped per chip preserving the given order (the
+        scheduler's per-chip schedule).  With ``share`` on, a task
+        whose ``(chip, plan)`` identity matches an earlier task of the
+        same call executes nothing: the earlier sense's packed result
+        words fan out to it at zero flash cost.  ``share=False`` is
+        the unshared oracle the benchmarks compare against.
+        """
+        packed = self.ssd.packed
+        per_chip: dict[int, list[tuple[int, ChunkTask]]] = {}
+        order: list[ChunkTask] = []
+        for position, task in enumerate(tasks):
+            per_chip.setdefault(task.chip, []).append((position, task))
+            order.append(task)
+        outcomes: dict[int, ChunkOutcome] = {}
+        for chip, chip_tasks in per_chip.items():
+            executor = self.ssd.controllers[chip].executor
+            seen: dict[Plan, ChunkOutcome] = {}
+            for position, task in chip_tasks:
+                prior = seen.get(task.plan) if share else None
+                if prior is not None:
+                    self._shared_plans += 1
+                    self._shared_senses += prior.task.plan.n_senses
+                    outcome = ChunkOutcome(
+                        task=task,
+                        data=prior.data,
+                        n_senses=0,
+                        latency_us=0.0,
+                        energy_nj=0.0,
+                        shared=True,
+                    )
+                else:
+                    result = executor.execute(task.plan)
+                    outcome = ChunkOutcome(
+                        task=task,
+                        data=result.words if packed else result.bits,
+                        n_senses=result.n_senses,
+                        latency_us=result.latency_us,
+                        energy_nj=result.energy_nj,
+                        shared=False,
+                    )
+                    if share:
+                        seen[task.plan] = outcome
+                outcomes[position] = outcome
+        return [outcomes[position] for position in range(len(order))]
+
+    def assemble_bits(
+        self, prepared: PreparedQuery, pieces: list[np.ndarray | None]
+    ) -> np.ndarray:
+        """Concatenate per-chunk result pages (packed words or bytes)
+        into the query's result bit vector, truncated to its true
+        length -- the single unpack at the result boundary."""
+        present = [p for p in pieces if p is not None]
+        if not present:
+            return np.empty(0, np.uint8)
+        if self.ssd.packed:
+            bits = unpack_rows(
+                np.vstack(present), self.ssd.page_bits
+            ).ravel()
+        else:
+            bits = np.concatenate(present)
+        return bits[: prepared.n_bits]
 
     def _execute(
         self, expr: Expression, job_sink: list[StageJob]
@@ -266,68 +489,34 @@ class QueryEngine:
         per chunk) to ``job_sink`` for event simulation."""
         from repro.ssd.controller import QueryResult
 
-        names = sorted(operand_names(expr))
-        if not names:
-            raise ValueError("expression references no operands")
-        self.ssd.ftl.validate_co_located(names)
-        record = self.ssd.ftl.lookup(names[0])
-        plans_before = self._planner_invocations
-        template = self.template_for(expr, names)
-        queues = self._bound_queues(
-            expr, template, record.n_chunks, names=names
-        )
-
-        c = self.config
-        chunk_bytes = self.ssd.page_bits / 8
-        packed = self.ssd.packed
-        pieces: list[np.ndarray | None] = [None] * record.n_chunks
+        prepared = self.prepare(expr)
+        pieces: list[np.ndarray | None] = [None] * prepared.n_chunks
         chip_busy: dict[int, float] = {}
         n_senses = 0
         energy_nj = 0.0
-        for chip, queue in sorted(queues.items()):
-            executor = self.ssd.controllers[chip].executor
-            results = executor.execute_many([plan for _, plan in queue])
-            for (chunk, _), result in zip(queue, results):
-                # Chunk results stay packed through the replay; the
-                # single unpack happens at the result boundary below.
-                pieces[chunk] = result.words if packed else result.bits
-                n_senses += result.n_senses
-                energy_nj += result.energy_nj
-                chip_busy[chip] = (
-                    chip_busy.get(chip, 0.0) + result.latency_us
-                )
-                job_sink.append(
-                    StageJob(
-                        ready_at=0.0,
-                        durations=(
-                            result.latency_us * 1e-6,
-                            chunk_bytes / c.channel_bw_bytes_per_s,
-                            chunk_bytes / c.external_bw_bytes_per_s,
-                        ),
-                        resources=(
-                            f"chip{chip}",
-                            f"chan{chip % c.n_channels}",
-                            "ext",
-                        ),
-                    )
-                )
-        present = [p for p in pieces if p is not None]
-        if not present:
-            bits = np.empty(0, np.uint8)
-        elif packed:
-            bits = unpack_rows(
-                np.vstack(present), self.ssd.page_bits
-            ).ravel()
-        else:
-            bits = np.concatenate(present)
+        for outcome in self.execute_tasks(
+            prepared.tasks(query=0), share=False
+        ):
+            task = outcome.task
+            # Chunk results stay packed through the replay; the single
+            # unpack happens at the result boundary in assemble_bits.
+            pieces[task.chunk] = outcome.data
+            n_senses += outcome.n_senses
+            energy_nj += outcome.energy_nj
+            chip_busy[task.chip] = (
+                chip_busy.get(task.chip, 0.0) + outcome.latency_us
+            )
+            job_sink.append(self.stage_job(task.chip, outcome.latency_us))
         return QueryResult(
-            bits=bits[: record.n_bits],
+            bits=self.assemble_bits(prepared, pieces),
             n_senses=n_senses,
             latency_us=max(chip_busy.values(), default=0.0),
             energy_nj=energy_nj,
             # Served without any planning: neither a template build nor
-            # a bind-failure replan ran for this query.
-            template_hit=self._planner_invocations == plans_before,
+            # a bind-failure replan ran for this query (threaded
+            # explicitly from prepare -- not a counter delta, which
+            # would misattribute hits when queries interleave).
+            template_hit=prepared.template_hit,
         )
 
     def query(self, expr: Expression) -> "QueryResult":
@@ -354,8 +543,9 @@ class QueryEngine:
             start = len(jobs)
             results.append(self._execute(expr, jobs))
             spans.append((start, len(jobs)))
-        if not jobs:
-            raise ValueError("query batch is empty")
+        # An empty stream is a valid (if boring) batch: service
+        # admission windows with no admitted queries push one through
+        # without special-casing.
         report = simulate_stages(jobs)
         finished = [
             replace(

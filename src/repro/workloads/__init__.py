@@ -8,28 +8,34 @@ actual bit vectors for the end-to-end examples and integration tests.
 
 from repro.workloads.base import WorkloadPoint
 from repro.workloads.bitmap_index import (
+    bmi_point_queries,
     bmi_sweep,
     generate_login_bitmaps,
     run_bmi_query_reference,
 )
 from repro.workloads.image_segmentation import (
     generate_segmentation_masks,
+    ims_segment_queries,
     ims_sweep,
 )
 from repro.workloads.kclique import (
     generate_kclique_graph,
     kclique_star_reference,
+    kcs_star_queries,
     kcs_sweep,
 )
 
 __all__ = [
     "WorkloadPoint",
+    "bmi_point_queries",
     "bmi_sweep",
     "generate_kclique_graph",
     "generate_login_bitmaps",
     "generate_segmentation_masks",
+    "ims_segment_queries",
     "ims_sweep",
     "kclique_star_reference",
+    "kcs_star_queries",
     "kcs_sweep",
     "run_bmi_query_reference",
 ]

@@ -78,3 +78,41 @@ def run_bmi_query_reference(day_bitmaps: list[np.ndarray]) -> tuple[np.ndarray, 
         raise ValueError("no day bitmaps")
     result = np.bitwise_and.reduce(np.stack(day_bitmaps), axis=0)
     return result, int(result.sum())
+
+
+def bmi_point_queries(
+    day_names: list[str],
+    rng: np.random.Generator,
+    n_queries: int,
+    *,
+    min_days: int = 2,
+    shape_pool: int = 4,
+):
+    """A stream of analytical point queries over stored day bitmaps:
+    each is an AND over a contiguous day window ("active every day of
+    range [i, j)").
+
+    Real dashboards re-issue a handful of canonical ranges (last week,
+    last month, ...), so windows are drawn from a pool of
+    ``shape_pool`` pre-chosen ranges -- the repeated query shapes that
+    template caching and cross-query sense sharing exploit.
+    """
+    from repro.core.expressions import Operand, and_all
+
+    if min_days < 1 or min_days > len(day_names):
+        raise ValueError("min_days out of range for the day set")
+    if shape_pool < 1:
+        raise ValueError("shape_pool must be >= 1")
+    windows = []
+    for _ in range(shape_pool):
+        span = int(rng.integers(min_days, len(day_names) + 1))
+        start = int(rng.integers(0, len(day_names) - span + 1))
+        windows.append((start, start + span))
+    return [
+        and_all(
+            [Operand(day_names[d]) for d in range(*windows[
+                int(rng.integers(len(windows)))
+            ])]
+        )
+        for _ in range(n_queries)
+    ]

@@ -67,3 +67,26 @@ def segment_reference(
 ) -> np.ndarray:
     """Host-side oracle: the segmented region is Y . U . V."""
     return (y & u & v).astype(np.uint8)
+
+
+def ims_segment_queries(
+    color_planes: list[tuple[str, str, str]],
+    rng: np.random.Generator,
+    n_queries: int,
+):
+    """A stream of segmentation queries: each ANDs one color's stored
+    (Y, U, V) membership vectors.  With only ``N_COLORS`` distinct
+    shapes the stream is naturally repeat-heavy -- the best case for
+    cross-query sense sharing."""
+    from repro.core.expressions import Operand, and_all
+
+    if not color_planes:
+        raise ValueError("need at least one color plane triple")
+    return [
+        and_all(
+            [Operand(n) for n in color_planes[
+                int(rng.integers(len(color_planes)))
+            ]]
+        )
+        for _ in range(n_queries)
+    ]

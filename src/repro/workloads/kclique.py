@@ -94,6 +94,50 @@ def clique_membership_vector(n_vertices: int, clique: list[int]) -> np.ndarray:
     return vector
 
 
+def kcs_star_queries(
+    member_names: list[str],
+    clique_names: list[str],
+    rng: np.random.Generator,
+    n_queries: int,
+    *,
+    k: int | None = None,
+):
+    """A scan stream of k-clique star queries over stored adjacency
+    rows: each query ANDs ``k`` member adjacency vectors and ORs in
+    one clique-membership vector (Section 7's formulation; the OR
+    rides the last sense via combined intra+inter MWS when the
+    membership vector sits in its own block).
+
+    A scan revisits the same cliques with the same member sets, so
+    member subsets are sampled per clique deterministically -- the
+    repeated shapes an admission window dedups.
+    """
+    from repro.core.expressions import Operand, Or, and_all
+
+    if k is None:
+        k = min(3, len(member_names))
+    if not 1 <= k <= len(member_names):
+        raise ValueError("k out of range for the member set")
+    if not clique_names:
+        raise ValueError("need at least one clique-membership vector")
+    # One fixed member subset per clique: queries against the same
+    # clique are identical, as in a repeated scan.
+    subsets = {
+        clique: sorted(
+            rng.choice(len(member_names), size=k, replace=False).tolist()
+        )
+        for clique in clique_names
+    }
+    out = []
+    for _ in range(n_queries):
+        clique = clique_names[int(rng.integers(len(clique_names)))]
+        members = and_all(
+            [Operand(member_names[i]) for i in subsets[clique]]
+        )
+        out.append(Or(members, Operand(clique)))
+    return out
+
+
 def kclique_star_reference(
     adjacency: np.ndarray, clique: list[int]
 ) -> np.ndarray:

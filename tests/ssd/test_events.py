@@ -37,9 +37,14 @@ class TestStageJob:
 
 
 class TestSimulateStages:
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            simulate_stages([])
+    def test_empty_stream_is_idle(self):
+        """An empty job stream (e.g. an admission window that admitted
+        nothing) simulates to a zero-makespan idle report."""
+        report = simulate_stages([])
+        assert report.makespan == 0.0
+        assert report.completion_times == []
+        assert report.bottleneck == "idle"
+        assert report.utilization("anything") == 0.0
 
     def test_single_job(self):
         report = simulate_stages(

@@ -184,10 +184,38 @@ class TestBatchExecution:
         assert calls["n"] == 1
         assert sum(r.template_hit for r in batch.results) == 4
 
-    def test_empty_batch_rejected(self):
+    def test_empty_batch_is_valid(self):
+        """A windowed service may close an admission window with no
+        queries; the batch path serves it as an empty result."""
         ssd = SmallSsd(n_chips=2, seed=16)
-        with pytest.raises(ValueError, match="empty"):
-            ssd.engine.query_batch([])
+        batch = ssd.engine.query_batch([])
+        assert batch.results == ()
+        assert batch.makespan_us == 0.0
+        assert batch.bottleneck == "idle"
+
+
+class TestPrepare:
+    def test_prepare_threads_planning_explicitly(self):
+        """``prepare`` reports whether *this* query planned even when
+        other queries plan in between -- the flag travels in the
+        return value, not a global counter delta."""
+        ssd = SmallSsd(n_chips=2, seed=30)
+        env = vectors("abcd", ssd.page_bits * 2, seed=31)
+        for name in "abcd":
+            ssd.write_vector(name, env[name], group="g")
+        e1 = And(Operand("a"), Operand("b"))
+        e2 = And(Operand("c"), Operand("d"))
+        first = ssd.engine.prepare(e1)
+        interloper = ssd.engine.prepare(e2)  # plans between e1's uses
+        repeat = ssd.engine.prepare(e1)
+        assert first.planned and interloper.planned
+        assert not repeat.planned
+        assert repeat.template_hit
+        assert repeat.n_chunks == 2
+        # The prepared tasks cover every chunk exactly once.
+        tasks = repeat.tasks(query=7)
+        assert sorted(t.chunk for t in tasks) == [0, 1]
+        assert all(t.query == 7 for t in tasks)
 
 
 class TestEngineValidation:

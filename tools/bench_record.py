@@ -2,15 +2,17 @@
 """Record / check the repository's kernel performance trajectory.
 
 ``record`` runs the library's own kernel benchmarks
-(``benchmarks/bench_simulator_kernels.py`` via pytest-benchmark) plus
-the packed-backend measurements
-(``benchmarks/bench_packed_backend.py``) and writes a condensed
-``BENCH_kernels.json`` snapshot -- the checked-in baseline of the
-perf trajectory.
+(``benchmarks/bench_simulator_kernels.py`` via pytest-benchmark), the
+packed-backend measurements
+(``benchmarks/bench_packed_backend.py``), and the query-service
+throughput kernel (``benchmarks/bench_service.py``), then writes a
+condensed ``BENCH_kernels.json`` snapshot -- the checked-in baseline
+of the perf trajectory.
 
 ``check`` re-measures and compares against the committed baseline
 with a multiplicative tolerance: kernel means may not exceed
-``baseline * tolerance`` and the packed-backend speedups may not fall
+``baseline * tolerance``, and the packed-backend speedups and the
+service's scheduling/sharing gains may not fall
 below ``baseline / tolerance``.  Exit status 1 reports a regression
 (CI runs this as a *soft* guard -- shared runners are noisy, so the
 step is non-blocking there; the tolerance is what keeps it useful).
@@ -88,6 +90,28 @@ def _run_packed_backend() -> dict[str, float]:
     }
 
 
+def _run_service_bench() -> dict[str, float]:
+    """Run the service-throughput kernel in-process.
+
+    The makespans are event-simulated (deterministic), so the
+    scheduling gain and dedup ratio are exact; only
+    ``throughput_qps`` reflects simulated (virtual-clock) time.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_service import measure_service
+
+    m = measure_service()
+    return {
+        "fifo_makespan_us": m["fifo_makespan_us"],
+        "service_makespan_us": m["service_makespan_us"],
+        "makespan_gain": m["makespan_gain"],
+        "sense_reduction": m["sense_reduction"],
+        "dedup_ratio": m["dedup_ratio"],
+        "throughput_qps": m["throughput_qps"],
+    }
+
+
 def measure() -> dict:
     import numpy
 
@@ -100,6 +124,7 @@ def measure() -> dict:
         },
         "kernels": _run_kernel_bench(),
         "packed_backend": _run_packed_backend(),
+        "service": _run_service_bench(),
     }
 
 
@@ -141,14 +166,27 @@ def check(baseline_path: Path, tolerance: float) -> int:
                 f"baseline {base_pb[key]:.2f} / {tolerance:.1f}"
             )
 
+    base_svc = baseline.get("service", {})
+    fresh_svc = fresh["service"]
+    for key in ("makespan_gain", "sense_reduction", "dedup_ratio"):
+        if key not in base_svc:
+            continue
+        floor = base_svc[key] / tolerance
+        if fresh_svc[key] < floor:
+            failures.append(
+                f"service {key}: {fresh_svc[key]:.2f} < "
+                f"baseline {base_svc[key]:.2f} / {tolerance:.1f}"
+            )
+
     if failures:
         print("perf regression(s) vs baseline:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
     print(
-        f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels "
-        f"and packed-backend metrics within {tolerance:.1f}x of baseline"
+        f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels, "
+        f"packed-backend and service metrics within {tolerance:.1f}x "
+        "of baseline"
     )
     return 0
 
