@@ -105,6 +105,10 @@ def main() -> None:
         f"results verified against the NumPy oracle "
         f"({mismatches} mismatches)"
     )
+    if mismatches:
+        # CI runs this example as a verification step: wrong results
+        # must fail the job, not just print.
+        raise SystemExit(f"{mismatches} oracle mismatches")
 
 
 if __name__ == "__main__":

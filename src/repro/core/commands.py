@@ -72,6 +72,15 @@ class MwsCommand:
             if not wordlines:
                 raise ValueError("MWS target with empty wordline set")
 
+    def __hash__(self) -> int:
+        # Commands serve as dict keys on the chip's batched-resolution
+        # cache; memoize the recursive hash (value objects, immutable).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.iscm, self.targets))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @property
     def n_blocks(self) -> int:
         return len(self.targets)

@@ -1,4 +1,21 @@
-"""Plan executor: runs MWS command plans on the functional chip."""
+"""Plan executor: runs MWS command plans on the functional chip.
+
+Two execution strategies share one cost model:
+
+* :meth:`MwsExecutor.execute` drives the chip scalar-fashion, one
+  sense at a time -- the reference semantics, and the only route for
+  error-injecting or ``packed=False`` chips (the V_TH oracle).
+* :meth:`MwsExecutor.execute_batch` drains a whole queue of plans
+  *batch-first* on the packed error-free plane: every sense of every
+  plan is evaluated in one vectorized
+  :meth:`~repro.flash.chip.NandFlashChip.execute_sense_batch` pass,
+  the latch protocol replays per ISCM-signature group through
+  :meth:`~repro.flash.latches.LatchBank.capture_batch`, and the
+  timing/energy counters are charged plan-by-plan in the exact scalar
+  order -- so results, latch end-state, and every counter are
+  bit-for-bit identical to ``execute_many`` while Python dispatch
+  drops from O(senses) to O(signature groups).
+"""
 
 from __future__ import annotations
 
@@ -46,14 +63,73 @@ class ExecutionResult:
         return self._words
 
 
+def _batch_info(plan: Plan) -> tuple | None:
+    """Memoized batch-execution metadata of one plan.
+
+    Returns ``(group_key, capture_steps, charges, commands)`` where
+    ``group_key`` is the hash-cheap ``(plane, ISCM-code tuple)`` lane
+    grouping key, ``capture_steps`` the flag sequence
+    :meth:`~repro.flash.latches.LatchBank.capture_batch` consumes,
+    ``charges`` the per-step ``(n_wordlines, n_blocks)`` cost profile
+    (``None`` marking a latch XOR), and ``commands`` the plan's sense
+    commands in step order -- or ``None`` when the plan has no batched
+    equivalent (a rogue cross-plane XOR, left to the scalar protocol).
+    Plans are immutable value objects the engine's bound-plan cache
+    reuses across windows, so the derivation runs once per plan.
+    """
+    cached = plan.__dict__.get("_batch_info", False)
+    if cached is not False:
+        return cached
+    codes: list[int] = []
+    capture_steps: list = []
+    charges: list[tuple[int, int] | None] = []
+    commands: list = []
+    info: tuple | None
+    for step in plan.steps:
+        if isinstance(step, SenseStep):
+            iscm = step.command.iscm
+            codes.append(
+                (iscm.inverse << 3)
+                | (iscm.init_sense << 2)
+                | (iscm.init_cache << 1)
+                | iscm.transfer
+            )
+            capture_steps.append(iscm)
+            charges.append((step.n_wordlines, step.n_blocks))
+            commands.append(step.command)
+        elif isinstance(step, XorStep):
+            if step.plane != plan.plane:
+                object.__setattr__(plan, "_batch_info", None)
+                return None
+            codes.append(-1)
+            capture_steps.append(None)
+            charges.append(None)
+        else:  # pragma: no cover - plans only hold the two kinds
+            raise TypeError(f"unknown plan step {step!r}")
+    info = (
+        (plan.plane, tuple(codes)),
+        tuple(capture_steps),
+        tuple(charges),
+        tuple(commands),
+    )
+    object.__setattr__(plan, "_batch_info", info)
+    return info
+
+
 class MwsExecutor:
     """Drives a :class:`NandFlashChip` through a command plan."""
 
     def __init__(self, chip: NandFlashChip) -> None:
         self.chip = chip
         self.timing = TimingModel()
+        #: Python-level dispatches this executor performed: +1 per
+        #: scalar ``execute`` call, +1 per batched queue.  The query
+        #: engine reads deltas of this, so the count stays truthful
+        #: even when ``execute_batch`` falls back to the scalar loop.
+        self.dispatches = 0
 
     def execute(self, plan: Plan) -> ExecutionResult:
+        self.dispatches += 1
         busy_before = self.chip.counters.busy_us
         energy_before = self.chip.counters.energy_nj
         senses_before = self.chip.counters.senses
@@ -82,13 +158,130 @@ class MwsExecutor:
         )
 
     def execute_many(self, plans: list[Plan]) -> list[ExecutionResult]:
-        """Drain a queue of plans on this chip in order.
-
-        The query engine dispatches each chip's bound per-chunk plans
-        as one queue; executing them back to back here keeps the
-        per-chip counter deltas attributable to the queue as a whole.
-        """
+        """Drain a queue of plans on this chip in order, one sense at
+        a time (the scalar reference loop the batched path is measured
+        against)."""
         return [self.execute(plan) for plan in plans]
+
+    def execute_batch(self, plans: list[Plan]) -> list[ExecutionResult]:
+        """Drain a queue of plans batch-first (see module docstring).
+
+        Falls back to the scalar loop off the packed error-free plane
+        (error injection, ``packed=False``) and for degenerate queues,
+        so callers can always route through this entry point.  On the
+        batch path:
+
+        1. every plan's sense commands are flattened plan-major and
+           evaluated in one :meth:`NandFlashChip.execute_sense_batch`
+           call;
+        2. plans sharing a ``(plane, ISCM step signature)`` replay the
+           latch protocol together as one ``capture_batch`` lane
+           group, and the queue's last plan per plane lands its final
+           latch state in the bank exactly as scalar execution would;
+        3. counters are charged plan-by-plan in scalar step order, so
+           per-plan latency/energy deltas -- and the chip counters
+           themselves -- are float-identical to ``execute_many``.
+        """
+        chip = self.chip
+        if not chip.packed or not plans:
+            return self.execute_many(plans)
+        # ------------------------------------------------------------
+        # 1. Flatten senses plan-major; group lanes by step signature
+        #    (memoized per plan -- bound plans recur across windows).
+        # ------------------------------------------------------------
+        infos = []
+        for plan in plans:
+            info = plan.__dict__.get("_batch_info", False)
+            if info is False:
+                info = _batch_info(plan)
+            if info is None:
+                # A rogue cross-plane XOR has no batched equivalent;
+                # let the scalar protocol judge the whole queue.
+                return self.execute_many(plans)
+            infos.append(info)
+        self.dispatches += 1
+        commands: list = []
+        sense_base: list[int] = []
+        lane_groups: dict[tuple, list[int]] = {}
+        for index, (key, _, _, plan_commands) in enumerate(infos):
+            sense_base.append(len(commands))
+            commands.extend(plan_commands)
+            lane_groups.setdefault(key, []).append(index)
+        words = chip.execute_sense_batch(commands)
+        # ------------------------------------------------------------
+        # 2. Latch replay per (plane, signature) lane group.
+        # ------------------------------------------------------------
+        last_on_plane: dict[int, int] = {}
+        for index, plan in enumerate(plans):
+            last_on_plane[plan.plane] = index
+        plan_words: list[np.ndarray] = [None] * len(plans)  # type: ignore[list-item]
+        for (plane, _), members in lane_groups.items():
+            capture_steps = infos[members[0]][1]
+            matrices = []
+            ordinal = 0
+            for step in capture_steps:
+                if step is None:
+                    continue
+                rows = np.asarray(
+                    [sense_base[i] + ordinal for i in members]
+                )
+                matrices.append(words[rows])
+                ordinal += 1
+            landing = last_on_plane[plane]
+            cache_rows = chip.latches[plane].capture_batch(
+                capture_steps,
+                matrices,
+                land_lane=(
+                    members.index(landing) if landing in members else None
+                ),
+            )
+            for lane, i in enumerate(members):
+                plan_words[i] = cache_rows[lane]
+        # ------------------------------------------------------------
+        # 3. Cost accounting, plan-by-plan in scalar step order: the
+        #    same sequence of counter additions execute_many performs,
+        #    so per-plan deltas and the chip counters themselves stay
+        #    float-identical (charge_sense/charge_xor inlined with the
+        #    memoized cost cache -- queue hot loop).
+        # ------------------------------------------------------------
+        counters = chip.counters
+        cost_cache = chip._mws_cost_cache
+        charge_sense = chip.charge_sense
+        xor_cost = chip.power.read_energy_nj(1.0)
+        n_bits = chip.geometry.page_size_bits
+        result = ExecutionResult
+        results = []
+        for index, (_, _, charges, _) in enumerate(infos):
+            busy_before = counters.busy_us
+            energy_before = counters.energy_nj
+            senses_before = counters.senses
+            for charge in charges:
+                if charge is None:  # latch XOR
+                    counters.busy_us += 1.0
+                    counters.energy_nj += xor_cost
+                    continue
+                cost = cost_cache.get(charge)
+                if cost is None:
+                    charge_sense(charge[0], charge[1])
+                    continue
+                counters.senses += 1
+                counters.wordlines_sensed += charge[0]
+                counters.busy_us += cost[0]
+                counters.energy_nj += cost[1]
+            # The plan's result leaves the chip exactly once, as in
+            # the scalar path's output_cache_words call.
+            counters.transfers_out += 1
+            results.append(
+                result(
+                    counters.senses - senses_before,
+                    counters.busy_us - busy_before,
+                    counters.energy_nj - energy_before,
+                    n_bits,
+                    None,
+                    plan_words[index],
+                )
+            )
+        return results
 
     def estimate_latency_us(self, plan: Plan) -> float:
         """Latency of a plan from the physically derived tMWS model,

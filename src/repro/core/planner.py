@@ -142,14 +142,34 @@ class XorStep:
 
 @dataclass(frozen=True)
 class Plan:
-    """Ordered command sequence computing one expression on one plane."""
+    """Ordered command sequence computing one expression on one plane.
+
+    Plans are deeply nested value objects that the query engine uses
+    as dict keys on hot paths (cross-query sense dedup, batched queue
+    grouping), so the recursive hash and the derived step views are
+    memoized on the instance -- cheap insurance that equality-by-value
+    identity stays O(1) after the first use.
+    """
 
     plane: int
     steps: tuple[SenseStep | XorStep, ...]
 
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.plane, self.steps))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @property
     def sense_steps(self) -> tuple[SenseStep, ...]:
-        return tuple(s for s in self.steps if isinstance(s, SenseStep))
+        cached = self.__dict__.get("_sense_steps")
+        if cached is None:
+            cached = tuple(
+                s for s in self.steps if isinstance(s, SenseStep)
+            )
+            object.__setattr__(self, "_sense_steps", cached)
+        return cached
 
     @property
     def n_senses(self) -> int:

@@ -24,6 +24,19 @@ Cell state lives in **two representations** (see
   unchanged); for noise-free chips it is materialized lazily with
   idealized mean-valued distributions only when something asks for it
   (read-retry VREF offsets, V_TH introspection).
+
+On top of the per-sense fast path sits a *batched* execution plane
+(:meth:`~repro.flash.sensing.SensingEngine.sense_batch`,
+:meth:`~repro.flash.latches.LatchBank.capture_batch`,
+:meth:`~repro.flash.chip.NandFlashChip.execute_sense_batch`): a whole
+queue of MWS commands stacks its packed operand rows into 3-D
+``uint64`` tensors (grouped by per-block wordline-count profile) and
+evaluates every string-group AND / inter-block OR -- and the latch
+protocol of every plan -- with a handful of word-wide NumPy calls.
+The batch plane engages only where the packed fast path does (error
+injection off, no VREF offset); error-injecting senses stay strictly
+per sense on the V_TH oracle, and batch results are bit-identical to
+the scalar protocol with float-identical timing/energy accounting.
 """
 
 from repro.flash.array import BlockArray, PlaneArray

@@ -92,6 +92,10 @@ class BlockArray:
         self.pe_cycles = 0
         self.reads_since_erase = 0
         self.sigma_multiplier = 1.0
+        #: Bumped on every program/erase; consumers that memoize
+        #: per-wordline metadata scans (the chip's batched-sense
+        #: resolution cache) revalidate when it moves.
+        self.layout_version = 0
         n_wl = geometry.wordlines_per_string
         n_bl = geometry.page_size_bits
         self._n_words = words_per_page(n_bl)
@@ -145,6 +149,7 @@ class BlockArray:
         """Erase the whole sub-block, incrementing its P/E count."""
         self.pe_cycles += 1
         self.reads_since_erase = 0
+        self.layout_version += 1
         self._fill_erased()
 
     def program(
@@ -214,6 +219,7 @@ class BlockArray:
         meta.mode = mode
         meta.esp_extra = extra
         meta.randomized = randomized
+        self.layout_version += 1
         return result
 
     def program_mlc(
@@ -276,6 +282,7 @@ class BlockArray:
         meta.mode = ProgramMode.MLC
         meta.esp_extra = 0.0
         meta.randomized = randomized
+        self.layout_version += 1
         # Write the V_TH row last: for noise-free blocks the property
         # access materializes the idealized plane first.
         self.vth[wordline] = vth

@@ -17,6 +17,13 @@ buffers to the controller; unpacking happens only at external result
 boundaries.  ``packed=False`` keeps the one-byte-per-bit evaluation
 for equivalence testing.  Error injection always evaluates through
 the V_TH plane, unchanged.
+
+``execute_sense_batch`` is the chip half of the batched data plane:
+it resolves and validates many MWS commands at once (memoized per
+command, revalidated via block ``layout_version``) and evaluates all
+their senses in one vectorized pass, leaving the latch protocol and
+cost accounting to the batched executor so scalar and batched queues
+stay step-for-step identical.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.flash.array import PlaneArray
+from repro.flash.array import BlockArray, PlaneArray
 from repro.flash.calibration import DEFAULT_CALIBRATION, FlashCalibration
 from repro.flash.errors import ErrorModel, OperatingCondition
 from repro.flash.geometry import BlockAddress, ChipGeometry, WordlineAddress
@@ -116,6 +123,17 @@ class NandFlashChip:
         #: (n_wordlines, n_blocks) -> (duration_us, energy_nj) for MWS
         #: senses; the models are pure in these counts -- hot path.
         self._mws_cost_cache: dict[tuple[int, int], tuple[float, float]] = {}
+        #: MwsCommand -> (stacked operand-row snapshot, group-size
+        #: profile, (block, n_wordlines) read-accounting pairs,
+        #: per-block layout versions) for the batched path.  Commands
+        #: are immutable value objects the engine's bound-plan cache
+        #: reuses across windows and block objects are stable once
+        #: materialized, so resolution (address validation, plane
+        #: check, block lookup), the metadata scan, and the row gather
+        #: run once per distinct command -- revalidated only when a
+        #: target block's ``layout_version`` moves (program/erase,
+        #: which are the only writers of the packed plane).
+        self._resolved_targets: dict[object, tuple] = {}
 
     # ------------------------------------------------------------------
     # Environment control (test-mode features)
@@ -174,11 +192,17 @@ class NandFlashChip:
         word row (the SSD ingest path packs vectors once)."""
         address.validate(self.geometry)
         data = np.asarray(data_bits)
-        if data.dtype == np.uint64 and randomize:
-            # The LFSR keystream operates on unpacked bits; packed
-            # writes are the Flash-Cosmos (unrandomized) regime.
-            data = unpack_words(data, self.geometry.page_size_bits)
-        if data.dtype != np.uint64:
+        if data.dtype == np.uint64:
+            if randomize:
+                # The keystream is cached as zero-padded uint64 words,
+                # so packed writes randomize word-wide in place of the
+                # old unpack round-trip (padding ones survive the XOR).
+                data = self.randomizer.randomize(
+                    data,
+                    self.page_index(address),
+                    n_bits=self.geometry.page_size_bits,
+                )
+        else:
             data = np.asarray(data, dtype=np.uint8)
             if randomize:
                 data = self.randomizer.randomize(
@@ -213,20 +237,31 @@ class NandFlashChip:
             [(address.block_address, (address.wordline,))],
             IscmFlags(inverse=inverse),
         )
-        raw = self.output_cache(address.plane)
         block = self.plane_array.block(address.block_address)
         meta = block.metadata[address.wordline]
-        if meta.programmed and meta.randomized:
-            # De-randomization XORs the same keystream; for an inverse
-            # read the complement survives (NOT(a^k) ^ k == NOT a).
-            # Copyback destinations keep the source's keystream index.
-            index = (
-                meta.randomizer_page_index
-                if meta.randomizer_page_index is not None
-                else self.page_index(address)
+        if not (meta.programmed and meta.randomized):
+            return self.output_cache(address.plane)
+        # De-randomization XORs the same keystream; for an inverse
+        # read the complement survives (NOT(a^k) ^ k == NOT a).
+        # Copyback destinations keep the source's keystream index.
+        index = (
+            meta.randomizer_page_index
+            if meta.randomizer_page_index is not None
+            else self.page_index(address)
+        )
+        page_bits = self.geometry.page_size_bits
+        if self.packed:
+            # Word-wise de-randomization on the packed C-latch output:
+            # the single unpack stays at this external boundary.
+            words = self.randomizer.derandomize(
+                self.output_cache_words(address.plane),
+                index,
+                n_bits=page_bits,
             )
-            raw = self.randomizer.derandomize(raw, index)
-        return raw
+            return unpack_words(words, page_bits)
+        return self.randomizer.derandomize(
+            self.output_cache(address.plane), index
+        )
 
     def program_page_mlc(
         self,
@@ -383,19 +418,26 @@ class NandFlashChip:
         validates."""
         block = self.plane_array.block(address.block_address)
         meta = block.metadata[address.wordline]
+        # Everything offset-independent is resolved once: the sense
+        # target list, the ISCM flags, the feature-configured base
+        # offset, and the randomizer keystream index.
+        targets = [(address.block_address, (address.wordline,))]
+        iscm = IscmFlags()
+        base_offset = self._features.get("vref_offset", 0.0)
+        derandomize = meta.programmed and meta.randomized
+        index = 0
+        if derandomize:
+            index = (
+                meta.randomizer_page_index
+                if meta.randomizer_page_index is not None
+                else self.page_index(address)
+            )
         for retries, offset in enumerate(vref_offsets):
             self.execute_sense(
-                [(address.block_address, (address.wordline,))],
-                IscmFlags(),
-                vref_offset=offset + self._features.get("vref_offset", 0.0),
+                targets, iscm, vref_offset=offset + base_offset
             )
             raw = self.output_cache(address.plane)
-            if meta.programmed and meta.randomized:
-                index = (
-                    meta.randomizer_page_index
-                    if meta.randomizer_page_index is not None
-                    else self.page_index(address)
-                )
+            if derandomize:
                 raw = self.randomizer.derandomize(raw, index)
             if validate(raw):
                 return raw, retries
@@ -418,22 +460,8 @@ class NandFlashChip:
         single operation and drive the latch protocol per the ISCM
         flags.  A regular read is the one-block/one-wordline case.
         ``vref_offset`` shifts VREF (read-retry support)."""
-        if not targets:
-            raise ValueError("sense requires at least one target")
-        planes = {block.plane for block, _ in targets}
-        if len(planes) != 1:
-            raise ValueError("one sense operation targets a single plane")
-        plane = planes.pop()
+        plane, blocks = self._resolve_targets(targets)
         bank = self.latches[plane]
-
-        blocks = []
-        for block_addr, wordlines in targets:
-            block_addr.validate(self.geometry)
-            if not wordlines:
-                raise ValueError("empty wordline set for a target block")
-            block = self.plane_array.block(block_addr)
-            blocks.append((block, tuple(wordlines)))
-
         condition = self._effective_condition(blocks)
         outcome = self.sensing.inter_block_mws(
             blocks, condition, vref_offset=vref_offset
@@ -452,31 +480,97 @@ class NandFlashChip:
         if iscm.transfer:
             bank.transfer_to_cache()
 
-        n_wordlines = outcome.wordlines_sensed
-        n_blocks = outcome.blocks_sensed
-        cost = self._mws_cost_cache.get((n_wordlines, n_blocks))
+        self.charge_sense(outcome.wordlines_sensed, outcome.blocks_sensed)
+
+    def execute_sense_batch(
+        self, commands: list["MwsCommand"]
+    ) -> np.ndarray:
+        """Evaluate many MWS commands' sensing in one vectorized pass.
+
+        Validates each command exactly as :meth:`execute_sense` (block
+        addresses, non-empty wordline sets, single plane per sense) and
+        returns one packed ``uint64`` result row per command.  Latch
+        protocol and cost counters are deliberately *not* driven here:
+        the batched executor (:class:`repro.core.mws.MwsExecutor`)
+        replays both per plan -- latches via
+        :meth:`~repro.flash.latches.LatchBank.capture_batch`, counters
+        via :meth:`charge_sense`/:meth:`charge_xor` in scalar order --
+        so a batched queue stays step-for-step identical to scalar
+        execution.  Requires the packed error-free plane
+        (``self.packed``); error injection keeps the per-sense V_TH
+        path.
+        """
+        if not self.packed:
+            raise RuntimeError(
+                "execute_sense_batch requires the packed error-free "
+                "plane; use execute_sense per command instead"
+            )
+        resolved = self._resolved_targets
+        stacks: list[np.ndarray] = []
+        profiles: list[tuple[int, ...]] = []
+        for command in commands:
+            cached = resolved.get(command)
+            if cached is not None:
+                stack, profile, reads, versions = cached
+                for (block, _), version in zip(reads, versions):
+                    if block.layout_version != version:
+                        break
+                else:
+                    for block, n_wordlines in reads:
+                        block.note_read(n_wordlines)
+                    stacks.append(stack)
+                    profiles.append(profile)
+                    continue
+            _, blocks = self._resolve_targets(command.targets)
+            stack, profile, reads = self.sensing.gather_sense(blocks)
+            for block, n_wordlines in reads:
+                block.note_read(n_wordlines)
+            if len(resolved) >= 4096:
+                resolved.clear()
+            resolved[command] = (
+                stack,
+                profile,
+                reads,
+                tuple(block.layout_version for block, _ in reads),
+            )
+            stacks.append(stack)
+            profiles.append(profile)
+        return self.sensing.sense_batch_stacks(stacks, profiles)
+
+    def charge_sense(self, n_wordlines: int, n_blocks: int) -> None:
+        """Account one MWS sense: operation counters plus the modeled
+        duration/energy (memoized per ``(wordlines, blocks)`` shape --
+        the timing/power models are pure in these counts).  Shared by
+        the scalar path and the batched executor so both produce the
+        identical charge sequence."""
+        key = (n_wordlines, n_blocks)
+        cost = self._mws_cost_cache.get(key)
         if cost is None:
+            # Bounded like the sensing row cache: varied-shape service
+            # traffic must not grow the memo without limit.
+            if len(self._mws_cost_cache) >= 4096:
+                self._mws_cost_cache.clear()
             duration = self.timing.t_mws_us(n_wordlines, n_blocks)
             energy = self.power.mws_energy_nj(
                 n_wordlines, n_blocks, duration
             )
-            self._mws_cost_cache[(n_wordlines, n_blocks)] = (
-                duration,
-                energy,
-            )
+            self._mws_cost_cache[key] = (duration, energy)
         else:
             duration, energy = cost
         self.counters.senses += 1
         self.counters.wordlines_sensed += n_wordlines
         self.counters.charge(duration, energy)
 
+    def charge_xor(self) -> None:
+        """Account one latch XOR: fast relative to sensing; charge a
+        token 1 us at read power."""
+        self.counters.charge(1.0, self.power.read_energy_nj(1.0))
+
     def xor_command(self, plane: int) -> None:
         """XOR command (Figure 15(c)): C-latch := S-latch XOR C-latch."""
         bank = self.latches[plane]
         bank.xor_into_cache()
-        # Latch-to-latch logic is fast relative to sensing; charge a
-        # token 1 us at read power.
-        self.counters.charge(1.0, self.power.read_energy_nj(1.0))
+        self.charge_xor()
 
     def load_cache(self, plane: int, data_bits: np.ndarray) -> None:
         """Load external data into the C-latch (controller-side write
@@ -503,6 +597,29 @@ class NandFlashChip:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    def _resolve_targets(
+        self, targets
+    ) -> tuple[int, list[tuple[BlockArray, tuple[int, ...]]]]:
+        """Validate one MWS command's target list (non-empty, single
+        plane, valid addresses, non-empty wordline sets) and resolve
+        block addresses to live arrays.  Shared by the scalar and
+        batched sense paths so both reject exactly the same commands.
+        """
+        if not targets:
+            raise ValueError("sense requires at least one target")
+        planes = {block.plane for block, _ in targets}
+        if len(planes) != 1:
+            raise ValueError("one sense operation targets a single plane")
+        blocks = []
+        for block_addr, wordlines in targets:
+            block_addr.validate(self.geometry)
+            if not wordlines:
+                raise ValueError("empty wordline set for a target block")
+            blocks.append(
+                (self.plane_array.block(block_addr), tuple(wordlines))
+            )
+        return planes.pop(), blocks
 
     def _effective_condition(self, blocks) -> OperatingCondition:
         """Ambient condition refined with per-wordline metadata: data

@@ -21,6 +21,15 @@ transfer OR-merge, and the XOR command are single word-wide in-place
 operations on persistent buffers -- no per-byte arrays and no
 allocation on the steady-state sense path.  ``packed=False`` keeps the
 original one-byte-per-bit storage for equivalence testing.
+
+:meth:`LatchBank.capture_batch` additionally replays the *whole latch
+protocol of many independent command sequences at once*: plans that
+share an ISCM step signature evolve their S/C latches as 2-D
+``(lanes, words)`` matrices, so inverse capture, ParaBit AND/OR
+accumulation, transfer merges, and latch XOR land word-wide for every
+lane in one NumPy call per step instead of one call per sense.  The
+batched executor (:class:`repro.core.mws.MwsExecutor`) is its only
+intended caller; the scalar protocol stays the reference semantics.
 """
 
 from __future__ import annotations
@@ -120,6 +129,109 @@ class LatchBank:
         if self._sense is None or self._cache is None:
             raise LatchStateError("XOR requires both latches to hold data")
         self._cache ^= self._sense
+
+    def capture_batch(
+        self,
+        steps,
+        sensed: list[np.ndarray],
+        *,
+        land_lane: int | None = None,
+    ) -> np.ndarray:
+        """Replay the latch protocol of many independent plans at once.
+
+        ``steps`` is the *uniform* per-plan step sequence: each element
+        is either an ISCM flag object (a sense step, duck-typed with
+        ``inverse``/``init_sense``/``init_cache``/``transfer``
+        attributes, so :class:`repro.flash.chip.IscmFlags` fits without
+        an import cycle) or ``None`` for the latch XOR command.
+        ``sensed`` holds one packed ``(n_lanes, n_words)`` matrix per
+        sense step -- the rows :meth:`SensingEngine.sense_batch`
+        produced for every lane's sense at that step.  Lanes are
+        independent: lane ``k`` evolves exactly as if its commands had
+        driven the scalar protocol (init cache, init sense, capture,
+        transfer -- the chip's ISCM ordering) on a private bank.
+
+        Returns the final C-latch contents of every lane as
+        ones-padded packed words.  With ``land_lane`` set, that lane's
+        final S/C state is copied into this bank's persistent buffers,
+        leaving the bank exactly as if the lane's plan had executed
+        through the scalar path most recently (the batched executor
+        lands the queue's last plan per plane).
+
+        Protocol violations raise :class:`LatchStateError` with the
+        scalar path's messages.  One deliberate tightening: inverse
+        capture demands a *freshly initialized* S-latch in every lane;
+        the scalar path accepts an S-latch whose data merely happens
+        to be all ones, a coincidence no planner-generated sequence
+        relies on.  Batching requires the packed plane (the unpacked
+        byte plane stays the per-sense oracle).
+        """
+        if not self.packed:
+            raise LatchStateError(
+                "capture_batch requires the packed latch plane"
+            )
+        matrices = list(sensed)
+        n_lanes = matrices[0].shape[0] if matrices else 0
+        shape = (n_lanes, self._n_words)
+        sense: np.ndarray | None = None
+        cache: np.ndarray | None = None
+        sense_fresh = False
+        next_matrix = 0
+        for step in steps:
+            if step is None:  # the latch XOR command
+                if sense is None or cache is None:
+                    raise LatchStateError(
+                        "XOR requires both latches to hold data"
+                    )
+                cache ^= sense
+                continue
+            data = matrices[next_matrix]
+            next_matrix += 1
+            if data.shape != shape:
+                raise ValueError(
+                    f"batched sense matrix must have shape {shape}, "
+                    f"got {data.shape}"
+                )
+            if step.init_cache:
+                if cache is None:
+                    cache = np.zeros(shape, dtype=np.uint64)
+                else:
+                    cache.fill(0)
+            if step.init_sense:
+                if sense is None:
+                    sense = np.empty(shape, dtype=np.uint64)
+                sense.fill(FULL_WORD)
+                sense_fresh = True
+            if step.inverse:
+                if sense is None or not sense_fresh:
+                    raise LatchStateError(
+                        "inverse sensing requires a freshly initialized "
+                        "S-latch"
+                    )
+                np.bitwise_not(data, out=sense)
+                sense |= self._pad
+            else:
+                if sense is None:
+                    raise LatchStateError(
+                        "S-latch used before initialization"
+                    )
+                sense &= data
+            sense_fresh = False
+            if step.transfer:
+                if cache is None:
+                    raise LatchStateError(
+                        "transfer with uninitialized C-latch"
+                    )
+                cache |= sense
+        if cache is None:
+            raise LatchStateError("C-latch holds no data")
+        if land_lane is not None:
+            np.copyto(self._cache_buf, cache[land_lane])
+            self._cache = self._cache_buf
+            if sense is not None:
+                np.copyto(self._sense_buf, sense[land_lane])
+                self._sense = self._sense_buf
+        return cache | self._pad
 
     def _sense_is_fresh(self) -> bool:
         """Whether the S-latch still holds the all-ones init pattern

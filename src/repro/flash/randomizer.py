@@ -7,11 +7,22 @@ does **not** commute with AND/OR performed on the raw cells -- the
 reason ParaBit cannot be used on randomized data and one of the two
 motivations for ESP.  tests/flash/test_randomizer.py demonstrates the
 non-commutativity explicitly.
+
+The keystream is generated word-wise: the LFSR emits 32-bit halves
+that pair little-endian into packed ``uint64`` words -- the same
+layout :mod:`repro.flash.packing` uses for pages -- so randomizing a
+packed page is a single word-wide XOR.  Keystream words are cached
+per page index with their padding bit positions forced to zero, which
+keeps the stored-page ones-padding convention intact through the XOR;
+the bit-level view (:func:`keystream_bits`) is derived from the same
+words, so both representations randomize identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.flash.packing import pad_mask, words_per_page
 
 #: Fibonacci LFSR taps for a 32-bit maximal-length sequence
 #: (polynomial x^32 + x^22 + x^2 + x + 1).
@@ -19,30 +30,34 @@ _TAPS = (31, 21, 1, 0)
 
 
 def _keystream_words(seed: int, n_words: int) -> np.ndarray:
-    """Generate ``n_words`` 32-bit keystream words from ``seed``.
+    """Generate ``n_words`` packed 64-bit keystream words from
+    ``seed``.
 
-    A pure-Python LFSR is adequate here: functional tests use small
-    pages and the system-level models never materialize keystreams.
+    The LFSR advances 32 steps per emitted half; two consecutive
+    32-bit halves view as one little-endian ``uint64`` word, matching
+    the packed-page layout.  A pure-Python LFSR is adequate here:
+    functional tests use small pages, keystreams are cached per page
+    index, and the system-level models never materialize them.
     """
     state = seed & 0xFFFFFFFF
     if state == 0:
         state = 0xDEADBEEF
-    words = np.empty(n_words, dtype=np.uint32)
-    for i in range(n_words):
-        # Advance 32 steps to emit one word.
+    halves = np.empty(2 * n_words, dtype=np.uint32)
+    for i in range(2 * n_words):
+        # Advance 32 steps to emit one half-word.
         for _ in range(32):
             bit = 0
             for tap in _TAPS:
                 bit ^= (state >> tap) & 1
             state = ((state << 1) | bit) & 0xFFFFFFFF
-        words[i] = state
-    return words
+        halves[i] = state
+    return halves.view(np.uint64)
 
 
 def keystream_bits(seed: int, n_bits: int) -> np.ndarray:
-    """Keystream as a uint8 bit array of length ``n_bits``."""
-    n_words = (n_bits + 31) // 32
-    words = _keystream_words(seed, n_words)
+    """Keystream as a uint8 bit array of length ``n_bits`` (the
+    unpacked view of :func:`_keystream_words`)."""
+    words = _keystream_words(seed, words_per_page(n_bits))
     bits = np.unpackbits(words.view(np.uint8), bitorder="little")
     return bits[:n_bits].astype(np.uint8)
 
@@ -53,11 +68,20 @@ class LfsrRandomizer:
     The seed mixes a device seed with the page address so neighbouring
     pages get uncorrelated keystreams (the property that breaks up
     worst-case vertical patterns along a NAND string).
+
+    ``randomize``/``derandomize`` accept either an unpacked 0/1 page
+    or a packed ``uint64`` word row (pass ``n_bits`` for packed pages
+    whose bit count is not a word multiple, so the cached keystream
+    carries zeros at the padding positions and the page's ones-padding
+    survives the XOR).
     """
 
     def __init__(self, device_seed: int = 0x5A5A5A5A) -> None:
         self.device_seed = device_seed & 0xFFFFFFFF
         self._cache: dict[tuple[int, int], np.ndarray] = {}
+        #: (page_index, n_bits) -> packed keystream words with padding
+        #: bits zeroed; shared read-only entries (hot read path).
+        self._word_cache: dict[tuple[int, int], np.ndarray] = {}
 
     def page_seed(self, page_index: int) -> int:
         # Multiplicative hashing (Knuth) keeps seeds well spread.
@@ -65,15 +89,55 @@ class LfsrRandomizer:
 
     def _stream(self, page_index: int, n_bits: int) -> np.ndarray:
         key = (page_index, n_bits)
-        if key not in self._cache:
-            self._cache[key] = keystream_bits(self.page_seed(page_index), n_bits)
-        return self._cache[key]
+        stream = self._cache.get(key)
+        if stream is None:
+            if len(self._cache) >= 4096:
+                self._cache.clear()
+            stream = keystream_bits(self.page_seed(page_index), n_bits)
+            self._cache[key] = stream
+        return stream
 
-    def randomize(self, data_bits: np.ndarray, page_index: int) -> np.ndarray:
-        bits = np.asarray(data_bits, dtype=np.uint8)
-        stream = self._stream(page_index, bits.size)
-        return (bits ^ stream).astype(np.uint8)
+    def _stream_words(self, page_index: int, n_bits: int) -> np.ndarray:
+        """Packed keystream words for one page, padding bits zeroed."""
+        key = (page_index, n_bits)
+        words = self._word_cache.get(key)
+        if words is None:
+            # Bounded like the chip's hot-path memos: traffic touching
+            # many distinct pages must not grow the cache forever.
+            if len(self._word_cache) >= 4096:
+                self._word_cache.clear()
+            words = _keystream_words(
+                self.page_seed(page_index), words_per_page(n_bits)
+            )
+            words &= ~pad_mask(n_bits)
+            words.setflags(write=False)
+            self._word_cache[key] = words
+        return words
 
-    def derandomize(self, data_bits: np.ndarray, page_index: int) -> np.ndarray:
+    def randomize(
+        self,
+        data_bits: np.ndarray,
+        page_index: int,
+        *,
+        n_bits: int | None = None,
+    ) -> np.ndarray:
+        arr = np.asarray(data_bits)
+        if arr.dtype == np.uint64:
+            # Packed page: one word-wide XOR against the cached,
+            # zero-padded keystream words (padding bits unchanged).
+            stream = self._stream_words(
+                page_index, arr.size * 64 if n_bits is None else n_bits
+            )
+            return arr ^ stream
+        bits = np.asarray(arr, dtype=np.uint8)
+        return (bits ^ self._stream(page_index, bits.size)).astype(np.uint8)
+
+    def derandomize(
+        self,
+        data_bits: np.ndarray,
+        page_index: int,
+        *,
+        n_bits: int | None = None,
+    ) -> np.ndarray:
         # XOR is an involution; de-randomizing is the same operation.
-        return self.randomize(data_bits, page_index)
+        return self.randomize(data_bits, page_index, n_bits=n_bits)

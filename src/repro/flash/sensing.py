@@ -29,6 +29,18 @@ Two evaluation paths implement the same semantics:
   the read reference cell by cell.  Error injection, read-retry VREF
   offsets, and the ``packed=False`` compatibility mode all take this
   path, so every reliability figure reproduces unchanged.
+
+On top of the per-sense fast path, :meth:`SensingEngine.sense_batch`
+evaluates a whole *queue* of MWS operations at once: the packed
+operand rows of every sense are gathered into one 3-D ``uint64``
+tensor per group-size profile and the string-group ANDs / inter-block
+ORs of the entire batch collapse into a handful of
+``np.bitwise_and.reduce`` / ``bitwise_or`` calls -- O(profiles)
+NumPy dispatches for O(senses) sensing operations.  Row ``i`` of the
+result is bit-identical to ``inter_block_mws(senses[i], ...).words``.
+The V_TH path stays strictly per sense (error injection is the
+per-cell oracle), which is why the batch entry point refuses to run
+off the packed error-free plane.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ import numpy as np
 from repro.flash.array import BlockArray
 from repro.flash.errors import ErrorModel, OperatingCondition
 from repro.flash.geometry import StringGroup
+from repro.flash.ispp import ProgramMode
 from repro.flash.packing import pack_bits, unpack_words
 
 
@@ -147,30 +160,17 @@ class SensingEngine:
             self._rows_cache[wordlines] = rows
         return rows
 
-    def _conduction(
-        self,
-        block: BlockArray,
-        wordlines: tuple[int, ...],
-        condition: OperatingCondition,
-        *,
-        vref_offset: float = 0.0,
-    ) -> np.ndarray:
-        """Per-bitline conduction of one string group: AND over the
-        targeted wordlines' cell conduction.
-
-        Returns packed ``uint64`` words on the error-free fast path,
-        a boolean per-bitline array on the V_TH path (callers wrap
-        either into a :class:`SenseOutcome`).
-
-        ``vref_offset`` shifts the read-reference voltage -- the
-        read-retry mechanism real chips expose to recover data whose
-        V_TH distribution has drifted.
-        """
+    @staticmethod
+    def _scan_metadata(
+        block: BlockArray, wordlines: tuple[int, ...]
+    ) -> tuple[bool, "ProgramMode", float]:
+        """Single pass over the wordline metadata (per-sense hot path),
+        shared by the scalar and batched evaluation: returns
+        ``(has_mlc, mode, esp_extra)`` and raises the protocol errors
+        (ESP-effort mismatch, MLC/SLC mixing) both paths must report
+        identically."""
         if not wordlines:
             raise ValueError("MWS requires at least one wordline")
-        from repro.flash.ispp import ProgramMode
-
-        # Single pass over the wordline metadata (per-sense hot path).
         metadata = block.metadata
         first = metadata[wordlines[0]]
         mode = first.mode
@@ -194,6 +194,28 @@ class SensingEngine:
             raise ValueError(
                 "MWS cannot mix MLC and SLC-family wordlines in one sense"
             )
+        return has_mlc, mode, esp_extra
+
+    def _conduction(
+        self,
+        block: BlockArray,
+        wordlines: tuple[int, ...],
+        condition: OperatingCondition,
+        *,
+        vref_offset: float = 0.0,
+    ) -> np.ndarray:
+        """Per-bitline conduction of one string group: AND over the
+        targeted wordlines' cell conduction.
+
+        Returns packed ``uint64`` words on the error-free fast path,
+        a boolean per-bitline array on the V_TH path (callers wrap
+        either into a :class:`SenseOutcome`).
+
+        ``vref_offset`` shifts the read-reference voltage -- the
+        read-retry mechanism real chips expose to recover data whose
+        V_TH distribution has drifted.
+        """
+        has_mlc, mode, esp_extra = self._scan_metadata(block, wordlines)
         rows = self._rows(wordlines)
         if (
             self.packed
@@ -370,3 +392,138 @@ class SensingEngine:
         MWS form used by the command executor)."""
         targets = [(block, group.wordlines) for block, group in groups]
         return self.inter_block_mws(targets, condition)
+
+    # ------------------------------------------------------------------
+    # Batched sensing (window-at-a-time data plane)
+    # ------------------------------------------------------------------
+
+    def sense_batch(
+        self,
+        senses: list[list[tuple[BlockArray, tuple[int, ...]]]],
+    ) -> np.ndarray:
+        """Evaluate many MWS operations in one vectorized pass.
+
+        ``senses[i]`` is the target list of one inter-block MWS (the
+        same shape :meth:`inter_block_mws` takes); the returned
+        ``(n_senses, n_words)`` ``uint64`` array holds one packed,
+        ones-padded result row per sense, bit-identical to
+        ``inter_block_mws(senses[i], ...).words``.
+
+        Only the packed error-free plane can batch: error injection
+        and VREF offsets evaluate per cell through V_TH and stay on
+        the scalar path, so this raises off that plane rather than
+        silently approximating.  Senses are grouped by their
+        *group-size profile* (the tuple of per-block wordline counts);
+        each profile group stacks its operand rows into one 3-D
+        tensor and computes every string-group AND and inter-block OR
+        of the group with one reduce per segment -- O(profiles) NumPy
+        dispatches for the whole batch.  Metadata validation and
+        per-block read-disturb accounting match the scalar path
+        exactly.
+        """
+        stacks: list[np.ndarray] = []
+        profiles: list[tuple[int, ...]] = []
+        for targets in senses:
+            stack, profile, reads = self.gather_sense(targets)
+            for block, n_wordlines in reads:
+                block.note_read(n_wordlines)
+            stacks.append(stack)
+            profiles.append(profile)
+        return self.sense_batch_stacks(stacks, profiles)
+
+    def gather_sense(
+        self,
+        targets: list[tuple[BlockArray, tuple[int, ...]]],
+    ) -> tuple[
+        np.ndarray,
+        tuple[int, ...],
+        tuple[tuple[BlockArray, int], ...],
+    ]:
+        """Validate one MWS operation's targets and gather its packed
+        operand rows: returns ``(stack, profile, reads)`` -- the
+        ``(total_rows, n_words)`` row stack, the per-block wordline
+        counts, and the ``(block, n_wordlines)`` read-disturb pairs.
+        Deliberately does *not* account the read disturb: callers do
+        (via ``note_read``), so a memoizing caller -- the chip's
+        batched command cache -- can re-account cache hits without
+        re-gathering.  Shared by :meth:`sense_batch` and
+        :meth:`~repro.flash.chip.NandFlashChip.execute_sense_batch`
+        so validation and gathering cannot drift between them."""
+        if not targets:
+            raise ValueError("inter-block MWS requires at least one target")
+        profile: list[int] = []
+        reads: list[tuple[BlockArray, int]] = []
+        rows_list: list[np.ndarray] = []
+        for block, wordlines in targets:
+            wordlines = tuple(wordlines)
+            self._scan_metadata(block, wordlines)
+            rows_list.append(block.packed_rows(self._rows(wordlines)))
+            n_wordlines = len(wordlines)
+            profile.append(n_wordlines)
+            reads.append((block, n_wordlines))
+        stack = (
+            rows_list[0]
+            if len(rows_list) == 1
+            else np.concatenate(rows_list, axis=0)
+        )
+        return stack, tuple(profile), tuple(reads)
+
+    def sense_batch_stacks(
+        self,
+        stacks: list[np.ndarray],
+        profiles: list[tuple[int, ...]],
+    ) -> np.ndarray:
+        """:meth:`sense_batch` minus validation and gathering:
+        ``stacks[i]`` is one sense's operand rows already stacked into
+        a ``(total_rows, n_words)`` array and ``profiles[i]`` its
+        per-block wordline counts.  The chip's batched entry point
+        memoizes gather/validation per command (revalidated via block
+        ``layout_version``) and calls this directly, so steady-state
+        windows pay only the per-profile tensor reduces."""
+        if not (self.packed and not self.inject_errors):
+            raise RuntimeError(
+                "sense_batch requires the packed error-free plane; "
+                "error injection and packed=False evaluate per sense"
+            )
+        n = len(stacks)
+        if n == 0:
+            raise ValueError("sense_batch requires at least one sense")
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for i, profile in enumerate(profiles):
+            group = groups.get(profile)
+            if group is None:
+                groups[profile] = [i]
+            else:
+                group.append(i)
+        n_words = stacks[0].shape[1]
+        out = np.empty((n, n_words), dtype=np.uint64)
+        for profile, members in groups.items():
+            total_rows = sum(profile)
+            tensor = np.concatenate(
+                [stacks[i] for i in members], axis=0
+            ).reshape(len(members), total_rows, n_words)
+            if len(profile) == 1:
+                # Pure intra-block AND (one string group per sense).
+                result = np.bitwise_and.reduce(tensor, axis=1)
+            elif total_rows == len(profile):
+                # One wordline per block: plain inter-block OR.
+                result = np.bitwise_or.reduce(tensor, axis=1)
+            else:
+                # General OR-of-ANDs (Equation 1): AND each group
+                # segment, OR the segment results.
+                result = None
+                lo = 0
+                for size in profile:
+                    segment = (
+                        tensor[:, lo]
+                        if size == 1
+                        else np.bitwise_and.reduce(
+                            tensor[:, lo : lo + size], axis=1
+                        )
+                    )
+                    result = (
+                        segment if result is None else result | segment
+                    )
+                    lo += size
+            out[np.asarray(members)] = result
+        return out

@@ -35,6 +35,19 @@ result boundary (``QueryResult.bits`` / ``read_vector``).  The V_TH
 error plane is only materialized for error-injecting configurations,
 which evaluate exactly as before; ``packed=False`` keeps the
 one-byte-per-bit plane alive as the equivalence/benchmark oracle.
+
+Execution is additionally **batched window-at-a-time**:
+``QueryEngine.execute_tasks`` dedups an admission window's tasks
+first, then drains each chip's surviving unique plan queue through
+``MwsExecutor.execute_batch`` -- every sense of the queue evaluated
+as one stacked ``uint64`` tensor pass, the latch protocol replayed
+lane-parallel -- so Python dispatch per window is O(chips) rather
+than O(senses) and wall-clock window throughput tracks chip count.
+The batch plane engages exactly where the packed plane does: error
+injection (and ``packed=False``) falls back to the per-sense scalar
+loop, which doubles as the equivalence oracle; results are
+bit-identical and cost counters float-identical either way
+(``tests/ssd/test_batch_property.py``).
 """
 
 from repro.ssd.config import SsdConfig, fig7_config, table1_config

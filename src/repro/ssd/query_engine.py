@@ -49,17 +49,30 @@ it:
    reuse across *queries* of one admission window).  The service
    layer (:mod:`repro.service`) builds windows and schedules on top
    of this path.
+6. **Window-at-a-time batched execution** -- ``execute_tasks`` dedups
+   first, then runs each chip's surviving unique queue through
+   :meth:`~repro.core.mws.MwsExecutor.execute_batch`: the whole
+   queue's packed operand rows collapse into a few tensor reduces
+   (:meth:`~repro.flash.sensing.SensingEngine.sense_batch`) and the
+   latch protocol replays lane-parallel
+   (:meth:`~repro.flash.latches.LatchBank.capture_batch`), so Python
+   dispatch per window is O(chips), not O(senses) -- wall-clock
+   window throughput finally tracks chip count the way simulated
+   throughput does.  Error injection and ``packed=False`` fall back
+   to the per-sense scalar loop (the V_TH oracle), and
+   ``batch=False`` forces it for benchmarking.
 
 Query cost becomes ``O(plan + chunks x (bind + sense))``, with the
-plan term amortized to zero across a stream by the template cache and
-the sense term deduplicated across identical queries of a window.
+plan term amortized to zero across a stream by the template cache,
+the sense term deduplicated across identical queries of a window, and
+the surviving senses executed as per-chip vectorized batches.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 import numpy as np
 
@@ -119,6 +132,11 @@ class EngineStats:
     shared_plans: int = 0
     #: Sensing operations those shared tasks would have cost.
     shared_senses: int = 0
+    #: Python-level executor dispatches ``execute_tasks`` issued: one
+    #: per chip queue on the batched path, one per unique plan on the
+    #: per-sense loop -- the quantity window batching collapses from
+    #: O(senses) to O(chips).
+    executor_dispatches: int = 0
 
 
 @dataclass(frozen=True)
@@ -150,8 +168,7 @@ class ChunkTask:
         return (self.chip, self.plan)
 
 
-@dataclass(frozen=True)
-class ChunkOutcome:
+class ChunkOutcome(NamedTuple):
     """What executing (or sharing) one :class:`ChunkTask` produced.
 
     ``data`` is the chunk's result page -- packed ``uint64`` words on
@@ -160,6 +177,10 @@ class ChunkOutcome:
     of the same chip, and ``n_senses``/``latency_us``/``energy_nj``
     are zero accordingly (the window-level counters thus sum to the
     *actual* hardware cost).
+
+    A ``NamedTuple`` rather than a dataclass: one outcome is built per
+    chunk task per window (thousands per service run), and tuple
+    construction is the cheapest immutable record Python offers.
     """
 
     task: ChunkTask
@@ -234,6 +255,7 @@ class QueryEngine:
         self._bind_fallbacks = 0
         self._shared_plans = 0
         self._shared_senses = 0
+        self._executor_dispatches = 0
 
     # ------------------------------------------------------------------
     # Template cache
@@ -299,6 +321,7 @@ class QueryEngine:
             cached_templates=len(self._templates),
             shared_plans=self._shared_plans,
             shared_senses=self._shared_senses,
+            executor_dispatches=self._executor_dispatches,
         )
 
     # ------------------------------------------------------------------
@@ -415,55 +438,99 @@ class QueryEngine:
         )
 
     def execute_tasks(
-        self, tasks: Iterable[ChunkTask], *, share: bool = True
+        self,
+        tasks: Iterable[ChunkTask],
+        *,
+        share: bool = True,
+        batch: bool = True,
     ) -> list[ChunkOutcome]:
         """Drain a multi-query chunk-task list with cross-query sense
-        sharing.
+        sharing and window-at-a-time batched execution.
 
         Tasks are grouped per chip preserving the given order (the
-        scheduler's per-chip schedule).  With ``share`` on, a task
-        whose ``(chip, plan)`` identity matches an earlier task of the
-        same call executes nothing: the earlier sense's packed result
-        words fan out to it at zero flash cost.  ``share=False`` is
-        the unshared oracle the benchmarks compare against.
+        scheduler's per-chip schedule).  The drain is dedup-first:
+        with ``share`` on, a task whose ``(chip, plan)`` identity
+        matches an earlier task of the same call executes nothing --
+        only the surviving *unique* plans form the chip's queue, in
+        first-appearance order (exactly the sequence the flash would
+        have sensed), and each executed sense's packed result words
+        fan out to every subscribing task at zero flash cost.
+
+        With ``batch`` on (the default) each chip's queue runs through
+        :meth:`~repro.core.mws.MwsExecutor.execute_batch` -- one
+        vectorized dispatch per chip instead of one per sense --
+        falling back to the scalar loop automatically off the packed
+        error-free plane.  ``batch=False`` forces the per-sense loop
+        (the wall-clock baseline the batch benchmarks compare
+        against); ``share=False`` is the unshared oracle.  Results and
+        modeled cost counters are identical across all four
+        combinations.
         """
         packed = self.ssd.packed
-        per_chip: dict[int, list[tuple[int, ChunkTask]]] = {}
-        order: list[ChunkTask] = []
-        for position, task in enumerate(tasks):
-            per_chip.setdefault(task.chip, []).append((position, task))
-            order.append(task)
-        outcomes: dict[int, ChunkOutcome] = {}
-        for chip, chip_tasks in per_chip.items():
+        order: list[ChunkTask] = (
+            tasks if isinstance(tasks, list) else list(tasks)
+        )
+        per_chip: dict[int, list[int]] = {}
+        for position, task in enumerate(order):
+            queue = per_chip.get(task.chip)
+            if queue is None:
+                per_chip[task.chip] = [position]
+            else:
+                queue.append(position)
+        outcomes: list[ChunkOutcome | None] = [None] * len(order)
+        outcome = ChunkOutcome  # local binding: window hot loop
+        for chip, positions in per_chip.items():
             executor = self.ssd.controllers[chip].executor
-            seen: dict[Plan, ChunkOutcome] = {}
-            for position, task in chip_tasks:
-                prior = seen.get(task.plan) if share else None
-                if prior is not None:
-                    self._shared_plans += 1
-                    self._shared_senses += prior.task.plan.n_senses
-                    outcome = ChunkOutcome(
-                        task=task,
-                        data=prior.data,
-                        n_senses=0,
-                        latency_us=0.0,
-                        energy_nj=0.0,
-                        shared=True,
-                    )
-                else:
-                    result = executor.execute(task.plan)
-                    outcome = ChunkOutcome(
-                        task=task,
-                        data=result.words if packed else result.bits,
-                        n_senses=result.n_senses,
-                        latency_us=result.latency_us,
-                        energy_nj=result.energy_nj,
-                        shared=False,
-                    )
-                    if share:
-                        seen[task.plan] = outcome
-                outcomes[position] = outcome
-        return [outcomes[position] for position in range(len(order))]
+            # Dedup first: unique plans in first-appearance order,
+            # subscribers remembered by their executing position.
+            unique: list[int] = []
+            followers: list[tuple[int, int]] = []
+            first_at: dict[Plan, int] = {}
+            if share:
+                for position in positions:
+                    plan = order[position].plan
+                    first = first_at.get(plan)
+                    if first is not None:
+                        followers.append((position, first))
+                    else:
+                        first_at[plan] = position
+                        unique.append(position)
+            else:
+                unique = positions
+            queue = [order[position].plan for position in unique]
+            dispatched_before = executor.dispatches
+            if batch:
+                results = executor.execute_batch(queue)
+            else:
+                results = [executor.execute(plan) for plan in queue]
+            # The executor reports its own dispatch count, so the stat
+            # stays truthful when execute_batch falls back to the
+            # per-sense loop (unpacked plane, error injection).
+            self._executor_dispatches += (
+                executor.dispatches - dispatched_before
+            )
+            for position, result in zip(unique, results):
+                outcomes[position] = outcome(
+                    order[position],
+                    result.words if packed else result.bits,
+                    result.n_senses,
+                    result.latency_us,
+                    result.energy_nj,
+                    False,
+                )
+            self._shared_plans += len(followers)
+            for position, first in followers:
+                prior = outcomes[first]
+                self._shared_senses += prior.n_senses
+                outcomes[position] = outcome(
+                    order[position],
+                    prior.data,
+                    0,
+                    0.0,
+                    0.0,
+                    True,
+                )
+        return outcomes
 
     def assemble_bits(
         self, prepared: PreparedQuery, pieces: list[np.ndarray | None]

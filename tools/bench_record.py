@@ -4,18 +4,21 @@
 ``record`` runs the library's own kernel benchmarks
 (``benchmarks/bench_simulator_kernels.py`` via pytest-benchmark), the
 packed-backend measurements
-(``benchmarks/bench_packed_backend.py``), and the query-service
-throughput kernel (``benchmarks/bench_service.py``), then writes a
-condensed ``BENCH_kernels.json`` snapshot -- the checked-in baseline
-of the perf trajectory.
+(``benchmarks/bench_packed_backend.py``), the query-service
+throughput kernel (``benchmarks/bench_service.py``), and the batched
+window-execution kernel (``benchmarks/bench_batch_sense.py``), then
+writes a condensed ``BENCH_kernels.json`` snapshot -- the checked-in
+baseline of the perf trajectory.
 
 ``check`` re-measures and compares against the committed baseline
 with a multiplicative tolerance: kernel means may not exceed
-``baseline * tolerance``, and the packed-backend speedups and the
-service's scheduling/sharing gains may not fall
-below ``baseline / tolerance``.  Exit status 1 reports a regression
-(CI runs this as a *soft* guard -- shared runners are noisy, so the
-step is non-blocking there; the tolerance is what keeps it useful).
+``baseline * tolerance``, and the packed-backend speedups, the
+service's scheduling/sharing gains, and the batched-window speedup
+may not fall below ``baseline / tolerance`` (``dispatches_per_window``
+is exact -- a count, not a timing).  Exit status 1 reports a
+regression (CI runs this as a *soft* guard -- shared runners are
+noisy, so the step is non-blocking there; the tolerance is what keeps
+it useful).
 
 Usage::
 
@@ -112,6 +115,27 @@ def _run_service_bench() -> dict[str, float]:
     }
 
 
+def _run_batch_bench() -> dict[str, float]:
+    """Run the batched window-execution kernel in-process.
+
+    ``dispatches_per_window`` counts Python executor dispatches for
+    one admission window (one per chip on the batched path) and is
+    deterministic; ``batch_speedup`` is wall-clock.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_batch_sense import measure_batch
+
+    m = measure_batch()
+    return {
+        "batch_s": m["batch_s"],
+        "per_sense_s": m["per_sense_s"],
+        "batch_speedup": m["batch_speedup"],
+        "dispatches_per_window": m["dispatches_per_window"],
+        "dispatches_per_window_loop": m["dispatches_per_window_loop"],
+    }
+
+
 def measure() -> dict:
     import numpy
 
@@ -125,6 +149,7 @@ def measure() -> dict:
         "kernels": _run_kernel_bench(),
         "packed_backend": _run_packed_backend(),
         "service": _run_service_bench(),
+        "batch_sense": _run_batch_bench(),
     }
 
 
@@ -178,6 +203,29 @@ def check(baseline_path: Path, tolerance: float) -> int:
                 f"baseline {base_svc[key]:.2f} / {tolerance:.1f}"
             )
 
+    base_batch = baseline.get("batch_sense", {})
+    fresh_batch = fresh["batch_sense"]
+    if "batch_speedup" in base_batch:
+        floor = base_batch["batch_speedup"] / tolerance
+        if fresh_batch["batch_speedup"] < floor:
+            failures.append(
+                f"batch_sense batch_speedup: "
+                f"{fresh_batch['batch_speedup']:.2f} < "
+                f"baseline {base_batch['batch_speedup']:.2f} / "
+                f"{tolerance:.1f}"
+            )
+    if "dispatches_per_window" in base_batch:
+        # A dispatch count, not a timing: exact, no tolerance.
+        if (
+            fresh_batch["dispatches_per_window"]
+            > base_batch["dispatches_per_window"]
+        ):
+            failures.append(
+                f"batch_sense dispatches_per_window: "
+                f"{fresh_batch['dispatches_per_window']} > "
+                f"baseline {base_batch['dispatches_per_window']}"
+            )
+
     if failures:
         print("perf regression(s) vs baseline:")
         for failure in failures:
@@ -185,8 +233,8 @@ def check(baseline_path: Path, tolerance: float) -> int:
         return 1
     print(
         f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels, "
-        f"packed-backend and service metrics within {tolerance:.1f}x "
-        "of baseline"
+        f"packed-backend, service, and batch-sense metrics within "
+        f"{tolerance:.1f}x of baseline"
     )
     return 0
 
