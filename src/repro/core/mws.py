@@ -285,8 +285,23 @@ class MwsExecutor:
 
     def estimate_latency_us(self, plan: Plan) -> float:
         """Latency of a plan from the physically derived tMWS model,
-        without executing it."""
+        without executing it.
+
+        Memoized on the plan object: plans are frozen value objects
+        the engine's bound-plan cache reuses across windows, and the
+        service scheduler estimates every window's buckets from this
+        -- the model walk runs once per plan, not once per window.
+        The memo is keyed on this executor's ``timing`` instance, so
+        swapping in a differently parameterized ``TimingModel`` (or
+        estimating one plan through two executors) recomputes instead
+        of serving a stale value; bound plans belong to one chip, so
+        in the steady state the key never changes.
+        """
+        cached = plan.__dict__.get("_est_latency_us")
+        if cached is not None and cached[0] is self.timing:
+            return cached[1]
         total = 0.0
         for wordlines, blocks in plan.sense_profile():
             total += self.timing.t_mws_us(wordlines, blocks)
+        object.__setattr__(plan, "_est_latency_us", (self.timing, total))
         return total

@@ -436,5 +436,24 @@ class PlaneArray:
     def materialized(self) -> tuple[BlockAddress, ...]:
         return tuple(sorted(self._blocks))
 
+    def content_version(self) -> tuple[int, int]:
+        """Aggregate content stamp of every materialized block.
+
+        Returns ``(n_blocks, sum of block layout_versions)``.  Both
+        components are monotonic -- blocks are only ever added, and
+        each block's ``layout_version`` only ever grows (bumped on
+        every program/erase) -- so any mutation anywhere in the plane
+        strictly changes the stamp.  Caches of *sensed data* (the
+        query engine's cross-window :class:`ResultCache`) compare this
+        stamp to detect that cell contents may have moved underneath
+        them; it is the plane-level face of the per-block
+        ``layout_version`` contract that the chip's batch gather cache
+        already revalidates against.
+        """
+        return (
+            len(self._blocks),
+            sum(block.layout_version for block in self._blocks.values()),
+        )
+
     def __contains__(self, address: BlockAddress) -> bool:
         return address in self._blocks

@@ -23,9 +23,12 @@ query bit-for-bit against the synchronous oracle.
 
 **Admission windows** (:mod:`~repro.service.admission`).  Submissions
 are grouped on a fixed ``window_us`` grid (with an optional
-``max_queries`` early close).  A window is the service's unit of
-optimization: queries inside one window may be reordered and share
-work; the window close time is when its pipeline jobs become ready.
+``max_queries`` early close), or -- with ``adaptive_window`` -- on
+windows whose length the admission controller retunes to the observed
+arrival rate (short under bursts for p99, long under sparse traffic
+for sharing).  A window is the service's unit of optimization:
+queries inside one window may be reordered and share work; the window
+close time is when its pipeline jobs become ready.
 
 **Multi-query scheduling** (:mod:`~repro.service.scheduler`).  All
 bound per-chunk plans of a window's queries are merged into per-chip
@@ -33,8 +36,13 @@ schedules.  Chunk placement is fixed by the FTL striping, so the
 scheduler orders rather than places: share groups stay adjacent,
 each chip drains longest-sense-first (LPT), and chips emit
 longest-remaining-work-first -- minimizing window makespan instead of
-any single query's latency.  The event simulator breaks FCFS ties by
-submission order, so the emitted order *is* the schedule.
+any single query's latency.  The ``edf`` policy instead schedules
+toward *service-level objectives*: queries may carry priorities and
+deadlines, deadline traffic drains earliest-deadline-first, and the
+deadline-free bulk drains weighted-fair across tenants so scan
+traffic no longer starves point queries.  The event simulator breaks
+FCFS ties by submission order, so the emitted order *is* the
+schedule.
 
 **Cross-query sense sharing**
 (:meth:`~repro.ssd.query_engine.QueryEngine.execute_tasks`).  Bound
@@ -44,11 +52,27 @@ executed once; the packed result words fan out to every subscribing
 query at zero flash cost.  This extends MWS's one-sense-many-operands
 reuse across the *queries* of a window.
 
+**Cross-window result caching**
+(:class:`~repro.ssd.query_engine.ResultCache`, enabled with
+``result_cache=True``).  Sharing only helps within a window; the
+result cache memoizes executed plans' packed words *across* windows
+(and service runs), stamped with the layout generation of their chip,
+so repeat traffic skips the sensing engine entirely until any
+register/unregister/program/erase moves the generation.
+
+**Closed-loop clients** (:mod:`~repro.service.clients`).  Beyond the
+open-loop arrival processes, :class:`ClosedLoopController` +
+:func:`run_closed_loop` model client backpressure: an AIMD loop backs
+the offered rate off multiplicatively while observed p99 exceeds the
+target and probes additively below it.
+
 **Metrics** (:mod:`~repro.service.metrics`).
 :class:`~repro.service.metrics.ServiceStats` reports per-query
 p50/p99 latency on the virtual clock, sustained queries/sec over the
-traffic span, shared-sense counts and the dedup ratio, and the
-bottleneck pipeline resource from the event simulation.
+traffic span, shared-sense and cache-served counts (the dedup ratio
+counts both, so it stays truthful when the cache absorbs work before
+the engine sees it), deadline conformance, and the bottleneck
+pipeline resource from the event simulation.
 
 All windows' chunk jobs enter *one* event simulation with
 ``ready_at`` equal to their window close, so cross-window contention
@@ -64,11 +88,14 @@ from repro.service.admission import (
 from repro.service.clients import (
     BitmapIndexClient,
     ClientTraffic,
+    ClosedLoopController,
     KCliqueClient,
     SegmentationClient,
     TrafficClient,
+    TrafficItem,
     generate_traffic,
     populate_all,
+    run_closed_loop,
 )
 from repro.service.clock import (
     ArrivalProcess,
@@ -80,6 +107,7 @@ from repro.service.clock import (
 from repro.service.metrics import LatencySummary, ServiceStats
 from repro.service.scheduler import (
     POLICIES,
+    QueryInfo,
     estimated_chip_work_us,
     schedule_window,
 )
@@ -97,9 +125,11 @@ __all__ = [
     "BitmapIndexClient",
     "BurstArrivals",
     "ClientTraffic",
+    "ClosedLoopController",
     "KCliqueClient",
     "LatencySummary",
     "PoissonArrivals",
+    "QueryInfo",
     "QueryService",
     "SegmentationClient",
     "ServedQuery",
@@ -107,10 +137,12 @@ __all__ = [
     "ServiceStats",
     "Submission",
     "TrafficClient",
+    "TrafficItem",
     "UniformArrivals",
     "VirtualClock",
     "estimated_chip_work_us",
     "generate_traffic",
     "populate_all",
+    "run_closed_loop",
     "schedule_window",
 ]

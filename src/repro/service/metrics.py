@@ -1,11 +1,22 @@
-"""Service-level metrics: latency percentiles, throughput, sharing.
+"""Service-level metrics: latency percentiles, throughput, sharing,
+caching, and deadline conformance.
 
 ``EngineStats`` counts what the query engine amortized (templates,
 binds, shared senses) over its lifetime; ``ServiceStats`` reports what
 one service run *delivered*: per-query latency percentiles on the
 virtual clock, sustained queries per second over the traffic span,
-and how much of the window's sensing work cross-query sharing
-eliminated.
+how much of the window's sensing work cross-query sharing eliminated,
+how much the cross-window result cache absorbed before the engine was
+even asked, and -- under the ``edf`` policy -- how many stated
+deadlines were met.
+
+Sharing and caching both remove flash work, at different points of
+the pipeline: a *shared* chunk rode a sibling task's sense in the
+same window; a *cached* chunk was served from a previous window's
+memoized words and never reached the engine.  The dedup ratio counts
+both -- a ratio that only counted in-window sharing would *drop* when
+the cache absorbs repeat traffic, under-reporting exactly the windows
+the service handles best.
 """
 
 from __future__ import annotations
@@ -52,12 +63,21 @@ class ServiceStats:
     #: Sensing operations that actually ran on the chips.
     n_senses: int
     #: Chunk tasks served by fanning out another task's identical
-    #: sense, and the sensing operations that saved.
+    #: sense within the same window, and the sensing operations that
+    #: saved.
     shared_plans: int
     shared_senses: int
+    #: Chunk tasks served from the cross-window result cache (no
+    #: engine dispatch at all), and the sensing operations that saved.
+    cached_plans: int
+    cached_senses: int
     #: Queries served without any planning (template + bound-plan
     #: cache hits threaded explicitly through ``prepare``).
     template_hits: int
+    #: Queries that carried a deadline, and how many completed by it
+    #: (exact, from the event simulation's completion times).
+    n_deadlines: int
+    deadlines_met: int
     latency: LatencySummary
     #: Sustained rate over the span from first submission to last
     #: completed transfer.
@@ -70,27 +90,52 @@ class ServiceStats:
 
     @property
     def dedup_ratio(self) -> float:
-        """Fraction of chunk tasks served by a shared sense."""
+        """Fraction of chunk tasks served without executing a sense --
+        by an in-window shared sense *or* a cross-window cache hit.
+        Counting both keeps the ratio truthful when the cache absorbs
+        repeat traffic upstream of the engine's dedup."""
         if self.n_chunk_tasks == 0:
             return 0.0
-        return self.shared_plans / self.n_chunk_tasks
+        return (self.shared_plans + self.cached_plans) / self.n_chunk_tasks
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of chunk tasks served from the cross-window
+        result cache."""
+        if self.n_chunk_tasks == 0:
+            return 0.0
+        return self.cached_plans / self.n_chunk_tasks
 
     @property
     def sense_savings(self) -> float:
-        """Fraction of sensing work sharing eliminated."""
-        total = self.n_senses + self.shared_senses
+        """Fraction of sensing work sharing and caching eliminated."""
+        total = self.n_senses + self.shared_senses + self.cached_senses
         if total == 0:
             return 0.0
-        return self.shared_senses / total
+        return (self.shared_senses + self.cached_senses) / total
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-carrying queries that missed."""
+        if self.n_deadlines == 0:
+            return 0.0
+        return 1.0 - self.deadlines_met / self.n_deadlines
 
     def describe(self) -> str:
         lat = self.latency
-        return (
+        text = (
             f"{self.n_queries} queries / {self.n_windows} windows: "
             f"{self.throughput_qps:.0f} q/s sustained, "
             f"p50 {lat.p50_us:.0f} us, p99 {lat.p99_us:.0f} us, "
             f"{self.n_senses} senses "
             f"({self.shared_senses} shared away, "
-            f"dedup {self.dedup_ratio:.0%}), "
+            f"{self.cached_senses} cache-served, "
+            f"dedup {self.dedup_ratio:.0%}, "
+            f"cache hit-rate {self.cache_hit_rate:.0%}), "
             f"bottleneck {self.bottleneck}"
         )
+        if self.n_deadlines:
+            text += (
+                f", deadlines {self.deadlines_met}/{self.n_deadlines} met"
+            )
+        return text

@@ -26,13 +26,28 @@ makespan rather than any single query's latency:
    work left, keeping the per-chip queue depths balanced and the
    shared external link fed from the start of the window.
 
+The ``edf`` policy adds service-level objectives on top of the same
+share-group bucketing: queries may carry a deadline and a priority
+(:class:`QueryInfo`), and tenants may carry weights.  Per chip,
+share-group buckets whose subscribers hold a deadline are emitted
+earliest-deadline-first (classic EDF -- optimal for meeting feasible
+deadline sets on one serial resource), while the deadline-free bulk
+drains in weighted-fair order across tenants (start-time-fair virtual
+finish times), so a tenant's long scans can no longer monopolize a
+chip just by arriving first: point queries with deadlines jump the
+queue, and other tenants' deadline-free work interleaves
+proportionally to weight instead of FIFO.  Across chips, emission
+follows the most urgent head bucket (then longest remaining work), so
+the shared external link serves deadline traffic first too.
+
 ``fifo`` preserves submission order exactly -- the naive baseline the
 benchmarks compare against.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, NamedTuple, Sequence
 
 from repro.core.planner import Plan
 from repro.ssd.query_engine import ChunkTask
@@ -43,7 +58,30 @@ from repro.ssd.query_engine import ChunkTask
 #: executing anything.
 LatencyEstimator = Callable[[ChunkTask], float]
 
-POLICIES = ("fifo", "balanced")
+POLICIES = ("fifo", "balanced", "edf")
+
+_NO_DEADLINE = float("inf")
+
+
+@dataclass(frozen=True)
+class QueryInfo:
+    """Scheduler-relevant attributes of one query in a window.
+
+    The ``edf`` policy consumes a ``query id -> QueryInfo`` mapping:
+    ``deadline_us`` is the absolute virtual-clock deadline (``None``
+    for best-effort traffic), ``priority`` breaks ties among equal
+    deadlines (higher first), and ``weight`` is the query's tenant
+    share for the weighted-fair drain of deadline-free work.
+    """
+
+    client: str = "client"
+    priority: int = 0
+    deadline_us: float | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
 
 
 def schedule_window(
@@ -52,12 +90,15 @@ def schedule_window(
     *,
     policy: str = "balanced",
     share: bool = True,
+    info: Mapping[int, QueryInfo] | None = None,
 ) -> list[ChunkTask]:
     """Order one window's chunk tasks into the global emission order.
 
     ``share`` mirrors the engine's sense-sharing switch: with it on,
     duplicate tasks of a share group cost nothing, which changes the
-    LPT weights and the cross-chip balance.
+    LPT weights and the cross-chip balance.  ``info`` carries the
+    per-query deadlines/priorities/weights the ``edf`` policy orders
+    by; the other policies ignore it.
     """
     if policy not in POLICIES:
         raise ValueError(
@@ -65,25 +106,15 @@ def schedule_window(
         )
     if policy == "fifo":
         return list(tasks)
+    if policy == "edf":
+        return _edf_schedule(tasks, estimate, info or {}, share)
 
-    # 1. Bucket per chip by plan identity, preserving first-seen order.
-    per_chip: dict[int, dict[Plan, list[ChunkTask]]] = {}
-    for task in tasks:
-        per_chip.setdefault(task.chip, {}).setdefault(
-            task.plan, []
-        ).append(task)
-
-    # 2. LPT-order each chip's unique buckets.  A bucket's cost is one
-    #    sense when sharing (subscribers are free) and one per task
-    #    otherwise.
+    # 1./2. Bucket per chip by plan identity and LPT-order each chip's
+    #    unique buckets by their estimated cost.
     chip_queues: dict[int, list[tuple[float, list[ChunkTask]]]] = {}
     chip_work: dict[int, float] = {}
-    for chip, buckets in per_chip.items():
-        weighted = []
-        for plan, group in buckets.items():
-            unit = estimate(group[0])
-            cost = unit if share else unit * len(group)
-            weighted.append((cost, group))
+    for chip, entries in _chip_share_groups(tasks, estimate, share).items():
+        weighted = [(cost, group) for group, cost, _ in entries]
         weighted.sort(key=lambda item: -item[0])
         chip_queues[chip] = weighted
         chip_work[chip] = sum(cost for cost, _ in weighted)
@@ -95,6 +126,163 @@ def schedule_window(
         cost, group = chip_queues[chip].pop(0)
         chip_work[chip] -= cost
         ordered.extend(group)
+        if not chip_queues[chip]:
+            del chip_queues[chip]
+    return ordered
+
+
+def _chip_share_groups(
+    tasks: Sequence[ChunkTask],
+    estimate: LatencyEstimator,
+    share: bool,
+) -> dict[int, list[tuple[list[ChunkTask], float, int]]]:
+    """Per chip: share-group buckets ``(group, cost, arrival)`` in
+    first-seen order -- the step every non-FIFO policy starts from.
+    A bucket's cost is one sense when sharing (subscribers are free)
+    and one per task otherwise; ``arrival`` is the bucket's first
+    position in the submitted order."""
+    per_chip: dict[int, dict[Plan, list[ChunkTask]]] = {}
+    arrival: dict[tuple[int, Plan], int] = {}
+    for position, task in enumerate(tasks):
+        per_chip.setdefault(task.chip, {}).setdefault(
+            task.plan, []
+        ).append(task)
+        arrival.setdefault((task.chip, task.plan), position)
+    grouped: dict[int, list[tuple[list[ChunkTask], float, int]]] = {}
+    for chip, buckets in per_chip.items():
+        entries = []
+        for plan, group in buckets.items():
+            unit = estimate(group[0])
+            cost = unit if share else unit * len(group)
+            entries.append((group, cost, arrival[(chip, plan)]))
+        grouped[chip] = entries
+    return grouped
+
+
+class _Bucket(NamedTuple):
+    """One share group under the ``edf`` policy: its urgency
+    (earliest subscriber deadline, negated max priority, arrival
+    position), its estimated cost, and the tenant it is billed to
+    (the heaviest-weight subscriber)."""
+
+    deadline: float
+    neg_priority: int
+    arrival: int
+    cost: float
+    client: str
+    weight: float
+    group: list[ChunkTask]
+
+    def urgency_key(self) -> tuple[float, int, int]:
+        return (self.deadline, self.neg_priority, self.arrival)
+
+
+def _edf_schedule(
+    tasks: Sequence[ChunkTask],
+    estimate: LatencyEstimator,
+    info: Mapping[int, QueryInfo],
+    share: bool,
+) -> list[ChunkTask]:
+    """Earliest-deadline-first within weighted-fair tenant shares.
+
+    Per chip: share-group buckets are formed exactly as in
+    ``balanced`` (a shared sense's subscribers drain together), each
+    bucket inheriting the most urgent deadline and highest priority
+    among its subscribers and the tenant of its heaviest-weight
+    subscriber.  Emission interleaves two concerns:
+
+    * buckets holding a real deadline are served in (deadline,
+      -priority, arrival) order -- EDF, which on a serial resource
+      meets every deadline any order could meet;
+    * deadline-free buckets are served start-time-fair across
+      tenants: each tenant accrues virtual time ``cost / weight`` per
+      emitted bucket and the smallest virtual finish time goes next,
+      so a scan tenant's long queue no longer starves other tenants'
+      work -- it gets its weighted share and no more.
+
+    A deadline bucket always goes before a deadline-free one (missing
+    a stated SLO to polish fairness of best-effort traffic would be
+    backwards).  Across chips, the chip whose head bucket is most
+    urgent emits next (ties: longest remaining estimated work, as in
+    ``balanced``), ordering the shared downstream link the same way.
+    """
+    default = QueryInfo()
+    # 1. Bucket per chip by plan identity (shared with ``balanced``),
+    #    then lift each share group into its EDF attributes.
+    # 2. Per chip: EDF order for deadline buckets, weighted-fair
+    #    virtual time across tenants for the rest.
+    chip_queues: dict[int, list[_Bucket]] = {}
+    chip_work: dict[int, float] = {}
+    for chip, groups in _chip_share_groups(tasks, estimate, share).items():
+        entries: list[_Bucket] = []
+        for group, cost, first_seen in groups:
+            metas = [info.get(task.query, default) for task in group]
+            deadline = min(
+                (
+                    m.deadline_us
+                    for m in metas
+                    if m.deadline_us is not None
+                ),
+                default=_NO_DEADLINE,
+            )
+            priority = max(m.priority for m in metas)
+            owner = max(metas, key=lambda m: m.weight)
+            entries.append(
+                _Bucket(
+                    deadline=deadline,
+                    neg_priority=-priority,
+                    arrival=first_seen,
+                    cost=cost,
+                    client=owner.client,
+                    weight=owner.weight,
+                    group=group,
+                )
+            )
+        entries.sort(key=_Bucket.urgency_key)
+        urgent = [e for e in entries if e.deadline != _NO_DEADLINE]
+        relaxed = [e for e in entries if e.deadline == _NO_DEADLINE]
+        # Weighted-fair interleave of the deadline-free buckets: each
+        # tenant's queue keeps its (priority, arrival) order; the
+        # tenant with the smallest virtual finish time emits next.
+        tenant_queues: dict[str, list[_Bucket]] = {}
+        for entry in relaxed:
+            tenant_queues.setdefault(entry.client, []).append(entry)
+        virtual: dict[str, float] = {t: 0.0 for t in tenant_queues}
+        fair: list[_Bucket] = []
+        while tenant_queues:
+            tenant = min(
+                tenant_queues,
+                key=lambda t: (
+                    virtual[t]
+                    + tenant_queues[t][0].cost / tenant_queues[t][0].weight,
+                    t,
+                ),
+            )
+            entry = tenant_queues[tenant].pop(0)
+            virtual[tenant] += entry.cost / entry.weight
+            fair.append(entry)
+            if not tenant_queues[tenant]:
+                del tenant_queues[tenant]
+        queue = urgent + fair
+        chip_queues[chip] = queue
+        chip_work[chip] = sum(e.cost for e in queue)
+
+    # 3. Interleave chips by most urgent head, then most remaining
+    #    work (the shared link serves deadline traffic first).
+    ordered: list[ChunkTask] = []
+    while chip_queues:
+        chip = min(
+            chip_queues,
+            key=lambda c: (
+                chip_queues[c][0].deadline,
+                chip_queues[c][0].neg_priority,
+                -chip_work[c],
+                c,
+            ),
+        )
+        bucket = chip_queues[chip].pop(0)
+        chip_work[chip] -= bucket.cost
+        ordered.extend(bucket.group)
         if not chip_queues[chip]:
             del chip_queues[chip]
     return ordered

@@ -1,4 +1,16 @@
-"""The query service: windows in, scheduled shared execution out."""
+"""The query service: windows in, scheduled shared execution out.
+
+:class:`QueryService` composes the whole serving story: timed
+submissions (optionally carrying a priority and a deadline) collect in
+an :class:`~repro.service.admission.AdmissionQueue` (grid or adaptive
+windows), each window's bound chunk plans are ordered by a scheduling
+policy (``fifo`` / ``balanced`` / deadline-aware ``edf``), executed
+with cross-query sense sharing and -- when ``result_cache`` is on --
+the engine's cross-window :class:`~repro.ssd.query_engine.ResultCache`
+consulted first, and every chunk job is replayed through one exact
+event simulation so latencies, deadline conformance, and the
+bottleneck resource are simulation-accurate.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +21,7 @@ import numpy as np
 from repro.core.expressions import Expression
 from repro.service.admission import AdmissionQueue, Submission
 from repro.service.metrics import LatencySummary, ServiceStats
-from repro.service.scheduler import POLICIES, schedule_window
+from repro.service.scheduler import POLICIES, QueryInfo, schedule_window
 from repro.ssd.controller import QueryResult, SmallSsd
 from repro.ssd.events import StageJob, simulate_stages
 from repro.ssd.query_engine import ChunkTask
@@ -29,10 +41,17 @@ class ServedQuery:
     completed_us: float
     #: Functional result; ``n_senses``/``latency_us`` count only the
     #: flash work actually spent on this query (shared senses are
-    #: billed to the query that executed them).
+    #: billed to the query that executed them; cache-served chunks
+    #: were paid for by a previous window).
     result: QueryResult
-    #: Chunk tasks of this query served by another query's sense.
+    #: Chunk tasks of this query served by another query's sense in
+    #: the same window.
     shared_chunks: int
+    #: Chunk tasks of this query served from the cross-window result
+    #: cache.
+    cached_chunks: int = 0
+    priority: int = 0
+    deadline_us: float | None = None
 
     @property
     def wait_us(self) -> float:
@@ -43,6 +62,14 @@ class ServedQuery:
     def latency_us(self) -> float:
         """Submission-to-delivery service latency."""
         return self.completed_us - self.submitted_us
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """Whether the query completed by its deadline (``None`` for
+        best-effort queries that stated none)."""
+        if self.deadline_us is None:
+            return None
+        return self.completed_us <= self.deadline_us
 
 
 @dataclass(frozen=True)
@@ -68,7 +95,8 @@ class _QueryState:
 
     __slots__ = (
         "submission", "prepared", "pieces", "n_senses", "energy_nj",
-        "chip_busy", "shared_chunks", "admitted_us", "completed_us",
+        "chip_busy", "shared_chunks", "cached_chunks", "admitted_us",
+        "completed_us",
     )
 
     def __init__(self, submission, prepared) -> None:
@@ -79,13 +107,41 @@ class _QueryState:
         self.energy_nj = 0.0
         self.chip_busy: dict[int, float] = {}
         self.shared_chunks = 0
+        self.cached_chunks = 0
         self.admitted_us = 0.0
         self.completed_us = 0.0
 
 
 class QueryService:
     """Accepts timed query submissions, serves them in scheduled,
-    sense-shared admission windows (see the package docstring)."""
+    sense-shared admission windows (see the package docstring).
+
+    Service-level options beyond the admission/scheduling basics:
+
+    ``result_cache`` / ``result_cache_size``
+        Enable the engine's cross-window
+        :class:`~repro.ssd.query_engine.ResultCache`: windows consult
+        it before dedup, so traffic repeating earlier windows' shapes
+        skips the sensing engine entirely.  The cache lives on the
+        engine and survives across :meth:`run` calls (and across
+        services sharing one SSD); it is invalidated by any layout
+        generation movement (register/unregister/program/erase).
+        Off by default -- the synchronous ``SmallSsd.query`` oracle
+        and existing baselines stay cache-free.
+        ``result_cache_size=None`` (the default) adopts the shared
+        cache as-is; an explicit size resizes it for every sharer.
+
+    ``tenant_weights``
+        ``client name -> weight`` shares for the ``edf`` policy's
+        weighted-fair drain of deadline-free traffic (default weight
+        1.0).
+
+    ``adaptive_window`` (+ ``min_window_us`` / ``max_window_us`` /
+    ``target_window_queries``)
+        Let the admission controller retune ``window_us`` to the
+        observed arrival rate (see
+        :class:`~repro.service.admission.AdmissionQueue`).
+    """
 
     def __init__(
         self,
@@ -95,6 +151,13 @@ class QueryService:
         max_window_queries: int | None = None,
         policy: str = "balanced",
         share_senses: bool = True,
+        result_cache: bool = False,
+        result_cache_size: int | None = None,
+        tenant_weights: dict[str, float] | None = None,
+        adaptive_window: bool = False,
+        min_window_us: float | None = None,
+        max_window_us: float | None = None,
+        target_window_queries: int = 8,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -104,8 +167,17 @@ class QueryService:
         self.engine = ssd.engine
         self.policy = policy
         self.share_senses = share_senses
+        self.use_result_cache = result_cache
+        if result_cache:
+            self.engine.enable_result_cache(result_cache_size)
+        self.tenant_weights = dict(tenant_weights or {})
         self.admission = AdmissionQueue(
-            window_us=window_us, max_queries=max_window_queries
+            window_us=window_us,
+            max_queries=max_window_queries,
+            adaptive=adaptive_window,
+            min_window_us=min_window_us,
+            max_window_us=max_window_us,
+            target_queries=target_window_queries,
         )
         self._next_id = 0
 
@@ -114,10 +186,18 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def submit(
-        self, expr: Expression, *, at_us: float, client: str = "client"
+        self,
+        expr: Expression,
+        *,
+        at_us: float,
+        client: str = "client",
+        priority: int = 0,
+        deadline_us: float | None = None,
     ) -> int:
         """Enqueue one query arriving at virtual time ``at_us``;
-        returns its query id."""
+        returns its query id.  ``deadline_us`` is absolute virtual
+        time; the ``edf`` policy schedules toward it and the report
+        grades it (other policies record but ignore it)."""
         query_id = self._next_id
         self._next_id += 1
         self.admission.submit(
@@ -126,17 +206,31 @@ class QueryService:
                 client=client,
                 expr=expr,
                 submitted_us=at_us,
+                priority=priority,
+                deadline_us=deadline_us,
             )
         )
         return query_id
 
     def submit_traffic(self, submissions) -> list[int]:
-        """Enqueue ``(at_us, client, expr)`` triples (the client
-        generators' output, :func:`repro.service.clients.generate_traffic`)."""
-        return [
-            self.submit(expr, at_us=at_us, client=client)
-            for at_us, client, expr in submissions
-        ]
+        """Enqueue a traffic trace -- ``(at_us, client, expr)`` triples
+        or the 5-field ``(at_us, client, expr, priority, deadline_us)``
+        items :func:`repro.service.clients.generate_traffic` emits."""
+        ids = []
+        for item in submissions:
+            at_us, client, expr = item[0], item[1], item[2]
+            priority = item[3] if len(item) > 3 else 0
+            deadline_us = item[4] if len(item) > 4 else None
+            ids.append(
+                self.submit(
+                    expr,
+                    at_us=at_us,
+                    client=client,
+                    priority=priority,
+                    deadline_us=deadline_us,
+                )
+            )
+        return ids
 
     # ------------------------------------------------------------------
     # Execution side
@@ -145,6 +239,14 @@ class QueryService:
     def _estimate(self, task: ChunkTask) -> float:
         executor = self.ssd.controllers[task.chip].executor
         return executor.estimate_latency_us(task.plan)
+
+    def _query_info(self, submission: Submission) -> QueryInfo:
+        return QueryInfo(
+            client=submission.client,
+            priority=submission.priority,
+            deadline_us=submission.deadline_us,
+            weight=self.tenant_weights.get(submission.client, 1.0),
+        )
 
     def run(self) -> ServiceReport:
         """Serve every pending submission and drain the queue.
@@ -161,24 +263,31 @@ class QueryService:
         n_chunk_tasks = 0
         shared_plans = 0
         shared_senses = 0
+        cached_plans = 0
+        cached_senses = 0
         total_senses = 0
 
         for window in windows:
             tasks: list[ChunkTask] = []
+            info: dict[int, QueryInfo] = {}
             for submission in window.submissions:
                 prepared = self.engine.prepare(submission.expr)
                 state = _QueryState(submission, prepared)
                 state.admitted_us = window.close_us
                 states[submission.query_id] = state
+                info[submission.query_id] = self._query_info(submission)
                 tasks.extend(prepared.tasks(query=submission.query_id))
             ordered = schedule_window(
                 tasks,
                 self._estimate,
                 policy=self.policy,
                 share=self.share_senses,
+                info=info,
             )
             outcomes = self.engine.execute_tasks(
-                ordered, share=self.share_senses
+                ordered,
+                share=self.share_senses,
+                use_cache=self.use_result_cache,
             )
             n_chunk_tasks += len(ordered)
             ready_s = window.close_us * 1e-6
@@ -193,7 +302,11 @@ class QueryService:
                     + outcome.latency_us
                 )
                 total_senses += outcome.n_senses
-                if outcome.shared:
+                if outcome.cached:
+                    state.cached_chunks += 1
+                    cached_plans += 1
+                    cached_senses += task.plan.n_senses
+                elif outcome.shared:
                     state.shared_chunks += 1
                     shared_plans += 1
                     shared_senses += task.plan.n_senses
@@ -207,10 +320,7 @@ class QueryService:
         # Every window executed: only now drain the admission queue,
         # so an exception above (e.g. a query over non-co-located
         # vectors) leaves the pending submissions intact for a retry.
-        self.admission = AdmissionQueue(
-            window_us=self.admission.window_us,
-            max_queries=self.admission.max_queries,
-        )
+        self.admission = self.admission.empty_clone()
 
         report = simulate_stages(jobs)
         for completion_s, owner in zip(report.completion_times, job_owner):
@@ -229,6 +339,8 @@ class QueryService:
             n_senses=total_senses,
             shared_plans=shared_plans,
             shared_senses=shared_senses,
+            cached_plans=cached_plans,
+            cached_senses=cached_senses,
             makespan_us=report.makespan * 1e6,
             bottleneck=report.bottleneck,
         )
@@ -253,6 +365,9 @@ class QueryService:
             completed_us=state.completed_us,
             result=result,
             shared_chunks=state.shared_chunks,
+            cached_chunks=state.cached_chunks,
+            priority=submission.priority,
+            deadline_us=submission.deadline_us,
         )
 
     @staticmethod
@@ -264,6 +379,8 @@ class QueryService:
         n_senses: int,
         shared_plans: int,
         shared_senses: int,
+        cached_plans: int,
+        cached_senses: int,
         makespan_us: float,
         bottleneck: str,
     ) -> ServiceStats:
@@ -277,6 +394,7 @@ class QueryService:
         else:
             span_us = 0.0
         throughput = len(served) / (span_us * 1e-6) if span_us > 0 else 0.0
+        with_deadline = [q for q in served if q.deadline_us is not None]
         return ServiceStats(
             n_queries=len(served),
             n_windows=n_windows,
@@ -284,7 +402,11 @@ class QueryService:
             n_senses=n_senses,
             shared_plans=shared_plans,
             shared_senses=shared_senses,
+            cached_plans=cached_plans,
+            cached_senses=cached_senses,
             template_hits=sum(q.result.template_hit for q in served),
+            n_deadlines=len(with_deadline),
+            deadlines_met=sum(bool(q.deadline_met) for q in with_deadline),
             latency=latency,
             throughput_qps=throughput,
             span_us=span_us,

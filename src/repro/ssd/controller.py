@@ -198,11 +198,15 @@ class SmallSsd:
         """Open a query service front-end over this SSD.
 
         The service (:mod:`repro.service`) accepts timed submissions
-        from many clients, batches them into admission windows, and
-        executes each window with multi-query scheduling and
-        cross-query sense sharing -- ``kwargs`` forward to
+        from many clients (optionally with priorities and deadlines),
+        batches them into admission windows (fixed grid or adaptive),
+        and executes each window with multi-query scheduling,
+        cross-query sense sharing, and -- when enabled -- the
+        cross-window result cache -- ``kwargs`` forward to
         :class:`~repro.service.service.QueryService` (``window_us``,
-        ``max_window_queries``, ``policy``, ``share_senses``).
+        ``max_window_queries``, ``policy``, ``share_senses``,
+        ``result_cache``, ``tenant_weights``, ``adaptive_window``,
+        ...).
         """
         from repro.service.service import QueryService
 

@@ -62,10 +62,30 @@ it:
    to the per-sense scalar loop (the V_TH oracle), and
    ``batch=False`` forces it for benchmarking.
 
+7. **Cross-window result caching** -- sense sharing only helps
+   *within* one ``execute_tasks`` call; an identical query arriving
+   in a later admission window re-senses from scratch.  A
+   :class:`ResultCache` (opt-in,
+   :meth:`QueryEngine.enable_result_cache`) memoizes each executed
+   plan's packed result words keyed on the same bound-plan value
+   identity the dedup uses, stamped with the layout generation of its
+   chip (FTL vector generation + per-chip directory generation +
+   :meth:`~repro.flash.array.PlaneArray.content_version`, the
+   plane-level sum of per-block ``layout_version`` counters).  Any
+   register/unregister *or* program/erase anywhere moves the stamp
+   and the entry falls back to a fresh sense -- the cache can serve a
+   stale word only if data mutates without bumping a generation
+   counter, which is exactly the contract (``docs/architecture.md``)
+   every writer including a future GC/migrator must keep.  With the cache
+   consulted *before* dedup, a repeat window skips the sensing engine
+   entirely: second-submission wall-clock is dict lookups plus the
+   event simulation.
+
 Query cost becomes ``O(plan + chunks x (bind + sense))``, with the
 plan term amortized to zero across a stream by the template cache,
-the sense term deduplicated across identical queries of a window, and
-the surviving senses executed as per-chip vectorized batches.
+the sense term deduplicated across identical queries of a window,
+repeat windows served from the cross-window result cache, and the
+surviving senses executed as per-chip vectorized batches.
 """
 
 from __future__ import annotations
@@ -148,14 +168,17 @@ class BatchResult:
     bottleneck: str
 
 
-@dataclass(frozen=True)
-class ChunkTask:
+class ChunkTask(NamedTuple):
     """One bound per-chunk plan, attributed to a caller-scoped query.
 
     The identity that matters for cross-query sense sharing is
     ``(chip, plan)``: :class:`~repro.core.planner.Plan` is a frozen
     value object down to the MWS command targets, so two tasks whose
     plans compare equal ask the chip for the *same* sensing operation.
+
+    A ``NamedTuple`` for the same reason as :class:`ChunkOutcome`: the
+    service builds one per chunk per query per window, and tuple
+    construction is the cheapest immutable record Python offers.
     """
 
     query: int
@@ -176,7 +199,10 @@ class ChunkOutcome(NamedTuple):
     no flash time: its sense already ran for an identical earlier task
     of the same chip, and ``n_senses``/``latency_us``/``energy_nj``
     are zero accordingly (the window-level counters thus sum to the
-    *actual* hardware cost).
+    *actual* hardware cost).  A ``cached`` outcome likewise spent no
+    flash time, but its words came from a *previous* window via the
+    cross-window :class:`ResultCache` rather than from a sibling task
+    of this call.
 
     A ``NamedTuple`` rather than a dataclass: one outcome is built per
     chunk task per window (thousands per service run), and tuple
@@ -189,6 +215,176 @@ class ChunkOutcome(NamedTuple):
     latency_us: float
     energy_nj: float
     shared: bool
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Lifetime counters of one :class:`ResultCache`."""
+
+    #: Lookups served from a valid entry (no flash work ran).
+    hits: int
+    #: Lookups that found nothing valid (includes invalidations).
+    misses: int
+    #: Entries dropped because their layout stamp went stale.
+    invalidations: int
+    #: Sensing operations the hits would have cost on the chips.
+    senses_avoided: int
+    #: Live entries.
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """Cross-window memo of packed per-chunk sense results.
+
+    Sense sharing (:meth:`QueryEngine.execute_tasks`) deduplicates
+    identical bound plans *within* one call; this cache extends the
+    reuse across calls -- i.e. across admission windows of the query
+    service, and across entire service runs sharing one SSD.  Entries
+    are keyed on the same ``(chip, plan)`` value identity the dedup
+    uses: :class:`~repro.core.planner.Plan` is frozen down to the MWS
+    command bytes, so two equal keys ask the chip for the *same*
+    sensing operation over the *same* physical cells.
+
+    **Invalidation contract.**  A cached word is only as fresh as the
+    cells it was sensed from.  Every entry therefore carries the
+    layout stamp of its chip at execution time:
+
+    ``(FlashTranslationLayer.generation,``
+    ``  OperandDirectory.generation,``
+    ``  PlaneArray.content_version())``
+
+    -- bumped respectively on any vector register/unregister at the
+    controller level, any per-chip operand register/unregister, and
+    any program/erase of any block on the chip
+    (:attr:`~repro.flash.array.BlockArray.layout_version`).  A lookup
+    whose stamp no longer matches evicts the entry and re-senses; the
+    invalidation is deliberately conservative -- the FTL component is
+    SSD-global (any vector register/unregister anywhere invalidates
+    every chip's entries), while the directory and content components
+    are per chip (chip-local churn drops only that chip's entries) --
+    because serving one stale packed word
+    is strictly worse than re-sensing a window.  Any future garbage
+    collector or data migrator that moves cells MUST bump one of
+    these counters (programming/erasing through the chip does so
+    automatically); see ``docs/architecture.md``.
+
+    Stamps are snapshotted once per :meth:`begin_epoch` (the engine
+    calls it at the top of every ``execute_tasks``), not per lookup --
+    nothing programs mid-window, and the snapshot keeps the per-task
+    lookup at dict speed.
+
+    The cache is **packed-plane only**: error-injecting chips sense
+    through the stochastic V_TH plane, where memoizing a draw would
+    change the error statistics, and the ``packed=False`` byte plane
+    is the equivalence oracle and must keep executing.
+    """
+
+    def __init__(self, ssd: "SmallSsd", *, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.ssd = ssd
+        self.capacity = capacity
+        #: (chip, plan) -> (layout stamp, packed words, n_senses).
+        self._entries: OrderedDict[
+            tuple[int, Plan], tuple[tuple, np.ndarray, int]
+        ] = OrderedDict()
+        self._epoch: dict[int, tuple] = {}
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._senses_avoided = 0
+
+    def _stamp(self, chip: int) -> tuple:
+        ssd = self.ssd
+        return (
+            ssd.ftl.generation,
+            ssd.controllers[chip].directory.generation,
+            ssd.chips[chip].plane_array.content_version(),
+        )
+
+    def begin_epoch(self) -> None:
+        """Snapshot every chip's current layout stamp.  Lookups compare
+        against the snapshot, so a window's worth of gets costs one
+        stamp computation per chip, not per task."""
+        self._epoch = {
+            chip: self._stamp(chip) for chip in range(len(self.ssd.chips))
+        }
+
+    def get(self, chip: int, plan: Plan) -> np.ndarray | None:
+        """The plan's memoized packed result words, or ``None`` when
+        absent or stale (the stale entry is evicted)."""
+        key = (chip, plan)
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        stamp, words, n_senses = entry
+        epoch = self._epoch.get(chip)
+        if epoch is None:
+            epoch = self._stamp(chip)
+            self._epoch[chip] = epoch
+        if stamp != epoch:
+            del self._entries[key]
+            self._invalidations += 1
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        self._senses_avoided += n_senses
+        return words
+
+    def put(
+        self, chip: int, plan: Plan, words: np.ndarray, n_senses: int
+    ) -> None:
+        """Memoize one executed plan's packed result words.
+
+        The words are frozen (``writeable=False``): the same array
+        object fans out to every future hit, and an in-place mutation
+        by any subscriber would poison the cache in a way no layout
+        stamp could catch -- better to fail the mutator loudly.
+        """
+        epoch = self._epoch.get(chip)
+        if epoch is None:
+            epoch = self._stamp(chip)
+            self._epoch[chip] = epoch
+        words.setflags(write=False)
+        key = (chip, plan)
+        self._entries[key] = (epoch, words, n_senses)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def resize(self, capacity: int) -> None:
+        """Change the entry bound, evicting LRU entries when
+        shrinking."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._epoch.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            invalidations=self._invalidations,
+            senses_avoided=self._senses_avoided,
+            entries=len(self._entries),
+        )
 
 
 @dataclass(frozen=True)
@@ -256,6 +452,14 @@ class QueryEngine:
         self._shared_plans = 0
         self._shared_senses = 0
         self._executor_dispatches = 0
+        #: Cross-window result cache; opt-in via
+        #: :meth:`enable_result_cache` and consulted only by
+        #: ``execute_tasks(..., use_cache=True)`` -- the synchronous
+        #: ``query``/``query_batch`` paths never use it, so they stay
+        #: the always-fresh oracle the property suites compare against.
+        self.result_cache: ResultCache | None = None
+        #: chip -> (DMA s, link s, resource names): see _stage_constants.
+        self._stage_cache: dict[int, tuple[float, float, tuple]] = {}
 
     # ------------------------------------------------------------------
     # Template cache
@@ -310,6 +514,32 @@ class QueryEngine:
         while len(self._templates) > self.cache_size:
             self._templates.popitem(last=False)
         return template, True
+
+    def enable_result_cache(
+        self, capacity: int | None = None
+    ) -> ResultCache:
+        """Attach (or return the already-attached) cross-window
+        :class:`ResultCache`.  The cache lives on the engine, so every
+        service front-end over the same SSD shares one warm cache --
+        and a repeat submission of an identical traffic window skips
+        the sensing engine entirely.
+
+        ``capacity=None`` means "whatever is there" (the 4096-entry
+        default when creating); an *explicit* capacity resizes the
+        shared cache in place (shrinking evicts LRU entries).  Only
+        explicit requests resize, so a second service enabling the
+        cache with defaults cannot silently evict a sibling's warm
+        entries."""
+        cache = self.result_cache
+        if cache is None:
+            cache = ResultCache(
+                self.ssd,
+                capacity=4096 if capacity is None else capacity,
+            )
+            self.result_cache = cache
+        elif capacity is not None and cache.capacity != capacity:
+            cache.resize(capacity)
+        return cache
 
     @property
     def stats(self) -> EngineStats:
@@ -414,6 +644,23 @@ class QueryEngine:
             planned=template_planned or bind_planned,
         )
 
+    def _stage_constants(self, chip: int) -> tuple[float, float, tuple]:
+        """Per-chip static parts of a chunk's pipeline job (transfer
+        durations and resource names).  Memoized: the service emits
+        one job per chunk task per window, and only the sense duration
+        varies between them."""
+        cached = self._stage_cache.get(chip)
+        if cached is None:
+            c = self.config
+            chunk_bytes = self.ssd.page_bits / 8
+            cached = (
+                chunk_bytes / c.channel_bw_bytes_per_s,
+                chunk_bytes / c.external_bw_bytes_per_s,
+                (f"chip{chip}", f"chan{chip % c.n_channels}", "ext"),
+            )
+            self._stage_cache[chip] = cached
+        return cached
+
     def stage_job(
         self, chip: int, latency_us: float, *, ready_at_s: float = 0.0
     ) -> StageJob:
@@ -421,20 +668,11 @@ class QueryEngine:
         -> external link (durations in seconds, the event simulator's
         unit).  ``ready_at_s`` lets window streams arrive on the
         virtual clock instead of all at t=0."""
-        c = self.config
-        chunk_bytes = self.ssd.page_bits / 8
+        dma_s, ext_s, resources = self._stage_constants(chip)
         return StageJob(
             ready_at=ready_at_s,
-            durations=(
-                latency_us * 1e-6,
-                chunk_bytes / c.channel_bw_bytes_per_s,
-                chunk_bytes / c.external_bw_bytes_per_s,
-            ),
-            resources=(
-                f"chip{chip}",
-                f"chan{chip % c.n_channels}",
-                "ext",
-            ),
+            durations=(latency_us * 1e-6, dma_s, ext_s),
+            resources=resources,
         )
 
     def execute_tasks(
@@ -443,18 +681,28 @@ class QueryEngine:
         *,
         share: bool = True,
         batch: bool = True,
+        use_cache: bool = False,
     ) -> list[ChunkOutcome]:
         """Drain a multi-query chunk-task list with cross-query sense
         sharing and window-at-a-time batched execution.
 
         Tasks are grouped per chip preserving the given order (the
-        scheduler's per-chip schedule).  The drain is dedup-first:
-        with ``share`` on, a task whose ``(chip, plan)`` identity
-        matches an earlier task of the same call executes nothing --
-        only the surviving *unique* plans form the chip's queue, in
-        first-appearance order (exactly the sequence the flash would
-        have sensed), and each executed sense's packed result words
-        fan out to every subscribing task at zero flash cost.
+        scheduler's per-chip schedule).  With ``use_cache`` on and a
+        :class:`ResultCache` attached (:meth:`enable_result_cache`),
+        each task first consults the cross-window cache -- *before*
+        dedup, so a window repeating an earlier window's plans never
+        reaches the sensing engine at all; hits come back as
+        ``cached`` outcomes at zero flash cost.  The cache engages
+        only on the packed plane (see :class:`ResultCache`).
+
+        The drain is then dedup-first: with ``share`` on, a task whose
+        ``(chip, plan)`` identity matches an earlier task of the same
+        call executes nothing -- only the surviving *unique* plans
+        form the chip's queue, in first-appearance order (exactly the
+        sequence the flash would have sensed), and each executed
+        sense's packed result words fan out to every subscribing task
+        at zero flash cost.  Executed results are inserted into the
+        cache for later windows.
 
         With ``batch`` on (the default) each chip's queue runs through
         :meth:`~repro.core.mws.MwsExecutor.execute_batch` -- one
@@ -463,10 +711,14 @@ class QueryEngine:
         error-free plane.  ``batch=False`` forces the per-sense loop
         (the wall-clock baseline the batch benchmarks compare
         against); ``share=False`` is the unshared oracle.  Results and
-        modeled cost counters are identical across all four
-        combinations.
+        modeled cost counters are identical across all combinations;
+        caching and sharing only change *where* a result comes from,
+        never its bits.
         """
         packed = self.ssd.packed
+        cache = self.result_cache if use_cache and packed else None
+        if cache is not None:
+            cache.begin_epoch()
         order: list[ChunkTask] = (
             tasks if isinstance(tasks, list) else list(tasks)
         )
@@ -481,7 +733,24 @@ class QueryEngine:
         outcome = ChunkOutcome  # local binding: window hot loop
         for chip, positions in per_chip.items():
             executor = self.ssd.controllers[chip].executor
-            # Dedup first: unique plans in first-appearance order,
+            # Cross-window cache first: a hit never reaches dedup or
+            # the executor, so a fully repeated window costs no flash
+            # work and no executor dispatch.
+            if cache is not None:
+                pending: list[int] = []
+                for position in positions:
+                    task = order[position]
+                    words = cache.get(chip, task.plan)
+                    if words is not None:
+                        outcomes[position] = outcome(
+                            task, words, 0, 0.0, 0.0, False, True
+                        )
+                    else:
+                        pending.append(position)
+                positions = pending
+                if not positions:
+                    continue
+            # Dedup next: unique plans in first-appearance order,
             # subscribers remembered by their executing position.
             unique: list[int] = []
             followers: list[tuple[int, int]] = []
@@ -510,14 +779,19 @@ class QueryEngine:
                 executor.dispatches - dispatched_before
             )
             for position, result in zip(unique, results):
+                data = result.words if packed else result.bits
                 outcomes[position] = outcome(
                     order[position],
-                    result.words if packed else result.bits,
+                    data,
                     result.n_senses,
                     result.latency_us,
                     result.energy_nj,
                     False,
                 )
+                if cache is not None:
+                    cache.put(
+                        chip, order[position].plan, data, result.n_senses
+                    )
             self._shared_plans += len(followers)
             for position, first in followers:
                 prior = outcomes[first]

@@ -5,10 +5,12 @@
 (``benchmarks/bench_simulator_kernels.py`` via pytest-benchmark), the
 packed-backend measurements
 (``benchmarks/bench_packed_backend.py``), the query-service
-throughput kernel (``benchmarks/bench_service.py``), and the batched
-window-execution kernel (``benchmarks/bench_batch_sense.py``), then
-writes a condensed ``BENCH_kernels.json`` snapshot -- the checked-in
-baseline of the perf trajectory.
+throughput kernel (``benchmarks/bench_service.py``), the batched
+window-execution kernel (``benchmarks/bench_batch_sense.py``), and
+the cross-window result-cache + SLO kernels
+(``benchmarks/bench_result_cache.py``), then writes a condensed
+``BENCH_kernels.json`` snapshot -- the checked-in baseline of the
+perf trajectory.
 
 ``check`` re-measures and compares against the committed baseline
 with a multiplicative tolerance: kernel means may not exceed
@@ -136,6 +138,49 @@ def _run_batch_bench() -> dict[str, float]:
     }
 
 
+def _run_result_cache_bench() -> dict[str, float]:
+    """Run the cross-window result-cache kernel in-process.
+
+    ``hit_rate`` and the sense counts are deterministic (the warm
+    window must serve entirely from cache); ``repeat_speedup`` is
+    wall-clock.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_result_cache import measure_result_cache
+
+    m = measure_result_cache()
+    return {
+        "cold_s": m["cold_s"],
+        "warm_s": m["warm_s"],
+        "repeat_speedup": m["repeat_speedup"],
+        "cold_senses": m["cold_senses"],
+        "warm_senses": m["warm_senses"],
+        "hit_rate": m["hit_rate"],
+    }
+
+
+def _run_slo_bench() -> dict[str, float]:
+    """Run the mixed-priority SLO kernel in-process.
+
+    Everything here is event-simulated: deadline counts and p99s are
+    exact, so `check` compares the deadline counts without tolerance.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_result_cache import measure_slo
+
+    m = measure_slo()
+    return {
+        "n_deadlines": m["n_deadlines"],
+        "fifo_deadlines_met": m["fifo_deadlines_met"],
+        "edf_deadlines_met": m["edf_deadlines_met"],
+        "fifo_point_p99_us": m["fifo_point_p99_us"],
+        "edf_point_p99_us": m["edf_point_p99_us"],
+        "point_p99_gain": m["point_p99_gain"],
+    }
+
+
 def measure() -> dict:
     import numpy
 
@@ -150,6 +195,8 @@ def measure() -> dict:
         "packed_backend": _run_packed_backend(),
         "service": _run_service_bench(),
         "batch_sense": _run_batch_bench(),
+        "result_cache": _run_result_cache_bench(),
+        "slo": _run_slo_bench(),
     }
 
 
@@ -226,6 +273,47 @@ def check(baseline_path: Path, tolerance: float) -> int:
                 f"baseline {base_batch['dispatches_per_window']}"
             )
 
+    base_rc = baseline.get("result_cache", {})
+    fresh_rc = fresh["result_cache"]
+    for key in ("repeat_speedup", "hit_rate"):
+        if key not in base_rc:
+            continue
+        floor = base_rc[key] / tolerance
+        if fresh_rc[key] < floor:
+            failures.append(
+                f"result_cache {key}: {fresh_rc[key]:.2f} < "
+                f"baseline {base_rc[key]:.2f} / {tolerance:.1f}"
+            )
+    if "warm_senses" in base_rc:
+        # A sense count, not a timing: the warm window must stay at
+        # exactly zero executed senses.
+        if fresh_rc["warm_senses"] > base_rc["warm_senses"]:
+            failures.append(
+                f"result_cache warm_senses: {fresh_rc['warm_senses']} > "
+                f"baseline {base_rc['warm_senses']}"
+            )
+
+    base_slo = baseline.get("slo", {})
+    fresh_slo = fresh["slo"]
+    if "point_p99_gain" in base_slo:
+        floor = base_slo["point_p99_gain"] / tolerance
+        if fresh_slo["point_p99_gain"] < floor:
+            failures.append(
+                f"slo point_p99_gain: {fresh_slo['point_p99_gain']:.2f} "
+                f"< baseline {base_slo['point_p99_gain']:.2f} / "
+                f"{tolerance:.1f}"
+            )
+    if "edf_deadlines_met" in base_slo:
+        # Deadline counts come from the exact event simulation: no
+        # tolerance, EDF must keep meeting what it met.  (FIFO's
+        # count is recorded for the trajectory but not gated -- FIFO
+        # getting *better* is not a regression.)
+        if fresh_slo["edf_deadlines_met"] < base_slo["edf_deadlines_met"]:
+            failures.append(
+                f"slo edf_deadlines_met: {fresh_slo['edf_deadlines_met']} "
+                f"< baseline {base_slo['edf_deadlines_met']}"
+            )
+
     if failures:
         print("perf regression(s) vs baseline:")
         for failure in failures:
@@ -233,8 +321,8 @@ def check(baseline_path: Path, tolerance: float) -> int:
         return 1
     print(
         f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels, "
-        f"packed-backend, service, and batch-sense metrics within "
-        f"{tolerance:.1f}x of baseline"
+        f"packed-backend, service, batch-sense, result-cache, and SLO "
+        f"metrics within {tolerance:.1f}x of baseline"
     )
     return 0
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Documentation checks: markdown links resolve, quickstart runs.
+
+Two checks, both offline and dependency-free:
+
+* **Link check** -- every relative markdown link (``[text](path)``,
+  optionally with a ``#fragment``) in the repository's top-level
+  ``*.md`` files and ``docs/*.md`` must point at an existing file or
+  directory.  ``http(s)``/``mailto`` links are skipped (CI must not
+  depend on the network), as are bare anchors.
+* **Quickstart check** (``--run-quickstart``) -- the shell commands
+  README.md documents between ``<!-- ci-verify:start -->`` and
+  ``<!-- ci-verify:end -->`` markers are executed from the repository
+  root; any non-zero exit fails the check.  This keeps the README's
+  quickstart honest: if a documented command rots, CI says so.
+
+Usage::
+
+    python tools/check_docs.py                 # links only
+    python tools/check_docs.py --run-quickstart
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target).  Good enough for this
+#: repository's hand-written docs; reference-style links are not used.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+VERIFY_START = "<!-- ci-verify:start -->"
+VERIFY_END = "<!-- ci-verify:end -->"
+
+
+def doc_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def iter_links(path: Path):
+    """Yield (line number, target) for every inline link outside code
+    fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_links() -> list[str]:
+    failures: list[str] = []
+    for doc in doc_files():
+        for lineno, target in iter_links(doc):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue  # in-page anchor
+            path_part = target.split("#", 1)[0]
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{doc.relative_to(REPO_ROOT)}:{lineno}: "
+                    f"broken link {target!r}"
+                )
+    return failures
+
+
+def quickstart_commands(readme: Path) -> list[str]:
+    """Shell commands between the ci-verify markers, comments and
+    blank lines stripped."""
+    text = readme.read_text()
+    if VERIFY_START not in text or VERIFY_END not in text:
+        return []
+    region = text.split(VERIFY_START, 1)[1].split(VERIFY_END, 1)[0]
+    commands: list[str] = []
+    for line in region.splitlines():
+        line = line.strip()
+        if not line or line.startswith(("#", "```", "~~~", "<!--")):
+            continue
+        commands.append(line)
+    return commands
+
+
+def run_quickstart() -> list[str]:
+    readme = REPO_ROOT / "README.md"
+    if not readme.exists():
+        return ["README.md missing"]
+    commands = quickstart_commands(readme)
+    if not commands:
+        return [
+            "README.md has no ci-verify quickstart block "
+            f"({VERIFY_START} ... {VERIFY_END})"
+        ]
+    failures: list[str] = []
+    for command in commands:
+        print(f"$ {command}", flush=True)
+        proc = subprocess.run(command, shell=True, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            failures.append(
+                f"quickstart command failed ({proc.returncode}): {command}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--run-quickstart",
+        action="store_true",
+        help="also execute README.md's ci-verify quickstart commands",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check_links()
+    n_docs = len(doc_files())
+    if args.run_quickstart:
+        failures += run_quickstart()
+    if failures:
+        print("documentation check failures:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    checked = f"{n_docs} markdown files"
+    if args.run_quickstart:
+        checked += " + quickstart commands"
+    print(f"docs ok: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
