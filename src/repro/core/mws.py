@@ -19,6 +19,7 @@ Two execution strategies share one cost model:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,6 +77,12 @@ def _batch_info(plan: Plan) -> tuple | None:
     equivalent (a rogue cross-plane XOR, left to the scalar protocol).
     Plans are immutable value objects the engine's bound-plan cache
     reuses across windows, so the derivation runs once per plan.
+
+    Thread safety: the memo is a pure derivation of the frozen plan,
+    stored with a single atomic ``object.__setattr__`` -- two worker
+    threads racing here compute the identical tuple and one write
+    wins, so no lock is needed (same contract as
+    :meth:`MwsExecutor.estimate_latency_us`'s memo).
     """
     cached = plan.__dict__.get("_batch_info", False)
     if cached is not False:
@@ -127,6 +134,13 @@ class MwsExecutor:
         #: engine reads deltas of this, so the count stays truthful
         #: even when ``execute_batch`` falls back to the scalar loop.
         self.dispatches = 0
+        #: Chip-confinement token for concurrent dispatch: whoever
+        #: drains this executor from a worker thread must hold this
+        #: lock for the whole drain (``QueryEngine.execute_tasks``
+        #: does), so chip state -- latches, counters, plane array,
+        #: dispatch counter -- only ever sees one thread at a time
+        #: even when several services execute over one SSD.
+        self.lock = threading.Lock()
 
     def execute(self, plan: Plan) -> ExecutionResult:
         self.dispatches += 1
@@ -295,7 +309,10 @@ class MwsExecutor:
         swapping in a differently parameterized ``TimingModel`` (or
         estimating one plan through two executors) recomputes instead
         of serving a stale value; bound plans belong to one chip, so
-        in the steady state the key never changes.
+        in the steady state the key never changes.  Like
+        ``_batch_info``, the memo is a pure derivation stored with one
+        atomic ``__setattr__`` -- racing threads write the identical
+        value, so it needs no lock.
         """
         cached = plan.__dict__.get("_est_latency_us")
         if cached is not None and cached[0] is self.timing:

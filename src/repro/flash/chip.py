@@ -28,6 +28,7 @@ stay step-for-step identical.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -122,7 +123,17 @@ class NandFlashChip:
         self._condition_variants: dict[bool, OperatingCondition] = {}
         #: (n_wordlines, n_blocks) -> (duration_us, energy_nj) for MWS
         #: senses; the models are pure in these counts -- hot path.
+        #: Reads stay lock-free (dict.get is atomic under the GIL and
+        #: entries are immutable pure derivations); the size-bounded
+        #: evict+insert runs under ``_memo_lock`` so concurrent
+        #: per-chip dispatch (``QueryEngine.execute_tasks`` workers)
+        #: can never interleave a clear with a partial insert.
         self._mws_cost_cache: dict[tuple[int, int], tuple[float, float]] = {}
+        #: Guards the evict+insert sections of the memo caches below.
+        #: Chip *state* (latches, counters, plane array) is not locked
+        #: here: the executor layer confines each chip to one worker
+        #: thread at a time (``MwsExecutor.lock``).
+        self._memo_lock = threading.Lock()
         #: MwsCommand -> (stacked operand-row snapshot, group-size
         #: profile, (block, n_wordlines) read-accounting pairs,
         #: per-block layout versions) for the batched path.  Commands
@@ -525,14 +536,15 @@ class NandFlashChip:
             stack, profile, reads = self.sensing.gather_sense(blocks)
             for block, n_wordlines in reads:
                 block.note_read(n_wordlines)
-            if len(resolved) >= 4096:
-                resolved.clear()
-            resolved[command] = (
-                stack,
-                profile,
-                reads,
-                tuple(block.layout_version for block, _ in reads),
-            )
+            with self._memo_lock:
+                if len(resolved) >= 4096:
+                    resolved.clear()
+                resolved[command] = (
+                    stack,
+                    profile,
+                    reads,
+                    tuple(block.layout_version for block, _ in reads),
+                )
             stacks.append(stack)
             profiles.append(profile)
         return self.sensing.sense_batch_stacks(stacks, profiles)
@@ -546,15 +558,18 @@ class NandFlashChip:
         key = (n_wordlines, n_blocks)
         cost = self._mws_cost_cache.get(key)
         if cost is None:
-            # Bounded like the sensing row cache: varied-shape service
-            # traffic must not grow the memo without limit.
-            if len(self._mws_cost_cache) >= 4096:
-                self._mws_cost_cache.clear()
             duration = self.timing.t_mws_us(n_wordlines, n_blocks)
             energy = self.power.mws_energy_nj(
                 n_wordlines, n_blocks, duration
             )
-            self._mws_cost_cache[key] = (duration, energy)
+            with self._memo_lock:
+                # Bounded like the sensing row cache: varied-shape
+                # service traffic must not grow the memo without
+                # limit.  The models are pure, so a racing recompute
+                # stores the identical value.
+                if len(self._mws_cost_cache) >= 4096:
+                    self._mws_cost_cache.clear()
+                self._mws_cost_cache[key] = (duration, energy)
         else:
             duration, energy = cost
         self.counters.senses += 1

@@ -46,6 +46,7 @@ off the packed error-free plane.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -145,7 +146,12 @@ class SensingEngine:
         self._pristine_read_ref: dict[float, float] = {}
         #: wordline tuple -> sorted row-index array (reused across
         #: senses instead of re-sorting/re-allocating per call).
+        #: Lookups are lock-free (atomic dict.get, immutable entries);
+        #: the bounded evict+insert serializes on ``_rows_lock`` so
+        #: concurrent per-chip dispatch cannot interleave a clear with
+        #: a partial insert.
         self._rows_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._rows_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Cell-level conductance
@@ -154,10 +160,12 @@ class SensingEngine:
     def _rows(self, wordlines: tuple[int, ...]) -> np.ndarray:
         rows = self._rows_cache.get(wordlines)
         if rows is None:
-            if len(self._rows_cache) >= 4096:
-                self._rows_cache.clear()
             rows = np.array(sorted(wordlines))
-            self._rows_cache[wordlines] = rows
+            rows.setflags(write=False)
+            with self._rows_lock:
+                if len(self._rows_cache) >= 4096:
+                    self._rows_cache.clear()
+                self._rows_cache[wordlines] = rows
         return rows
 
     @staticmethod

@@ -21,7 +21,7 @@ the service handles best.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -87,6 +87,32 @@ class ServiceStats:
     makespan_us: float
     #: Busiest pipeline resource across the whole run.
     bottleneck: str
+    #: Sense suspensions the channel/die arbiter performed (0 without
+    #: ``preemption``), and the virtual time their suspend/resume
+    #: penalties cost.
+    preemptions: int = 0
+    preemption_overhead_us: float = 0.0
+    #: Busy fraction of every pipeline resource over the run's
+    #: makespan -- ``chip0``/``chan1``/``ext`` style names from the
+    #: event simulation, whatever resources the jobs actually named.
+    resource_utilization: dict[str, float] = field(default_factory=dict)
+
+    def _class_utilization(self, prefix: str) -> dict[str, float]:
+        return {
+            name: value
+            for name, value in self.resource_utilization.items()
+            if name.rstrip("0123456789") == prefix
+        }
+
+    @property
+    def channel_utilization(self) -> dict[str, float]:
+        """Per-channel busy fraction (``chan0`` ... ``chanN``)."""
+        return self._class_utilization("chan")
+
+    @property
+    def chip_utilization(self) -> dict[str, float]:
+        """Per-die/way busy fraction (``chip0`` ... ``chipN``)."""
+        return self._class_utilization("chip")
 
     @property
     def dedup_ratio(self) -> float:
@@ -137,5 +163,10 @@ class ServiceStats:
         if self.n_deadlines:
             text += (
                 f", deadlines {self.deadlines_met}/{self.n_deadlines} met"
+            )
+        if self.preemptions:
+            text += (
+                f", {self.preemptions} preemptions "
+                f"({self.preemption_overhead_us:.1f} us overhead)"
             )
         return text

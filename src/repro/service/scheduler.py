@@ -84,6 +84,33 @@ class QueryInfo:
             raise ValueError("weight must be positive")
 
 
+def job_directives(
+    info: QueryInfo,
+) -> tuple[float, float | None, bool]:
+    """Arbitration directives ``(priority, deadline_s, preemptible)``
+    for one query's pipeline jobs.
+
+    This is where the scheduler's intent reaches the event
+    simulator's channel/die arbiter
+    (:func:`repro.ssd.events.simulate_stages` with an
+    :class:`~repro.ssd.events.ArbitrationConfig`): a query that
+    stated a deadline becomes an *urgent, non-preemptible* job stream
+    -- its deadline (converted to the simulator's seconds) ranks it
+    against other deadline traffic EDF-style at every contended
+    resource, and once its sense occupies a die nothing may suspend
+    it (suspending the latency-critical work to admit bulk would be
+    backwards).  Deadline-free traffic stays *preemptible bulk*: an
+    arriving urgent job may suspend its in-flight sense, bounded by
+    the arbiter's ``max_suspends`` starvation cap.  Priority carries
+    over as the tie-breaker in both classes.  Under the legacy FCFS
+    sweep (no arbitration config) all three directives are ignored,
+    so emitting them is always safe.
+    """
+    if info.deadline_us is not None:
+        return (float(info.priority), info.deadline_us * 1e-6, False)
+    return (float(info.priority), None, True)
+
+
 def schedule_window(
     tasks: Sequence[ChunkTask],
     estimate: LatencyEstimator,

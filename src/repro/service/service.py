@@ -21,9 +21,14 @@ import numpy as np
 from repro.core.expressions import Expression
 from repro.service.admission import AdmissionQueue, Submission
 from repro.service.metrics import LatencySummary, ServiceStats
-from repro.service.scheduler import POLICIES, QueryInfo, schedule_window
+from repro.service.scheduler import (
+    POLICIES,
+    QueryInfo,
+    job_directives,
+    schedule_window,
+)
 from repro.ssd.controller import QueryResult, SmallSsd
-from repro.ssd.events import StageJob, simulate_stages
+from repro.ssd.events import ArbitrationConfig, StageJob, simulate_stages
 from repro.ssd.query_engine import ChunkTask
 
 
@@ -141,6 +146,25 @@ class QueryService:
         Let the admission controller retune ``window_us`` to the
         observed arrival rate (see
         :class:`~repro.service.admission.AdmissionQueue`).
+
+    ``workers``
+        Drain each window's per-chip queues concurrently on the
+        engine's shared thread pool (``1`` = the exact sequential
+        drain, the default).  Outcomes and counters are bit-/float-
+        identical at any worker count; only wall-clock changes.
+
+    ``preemption`` (+ ``suspend_cost_us`` / ``resume_cost_us`` /
+    ``max_suspends``)
+        Replay every window's chunk jobs through the *arbitrated*
+        event simulation instead of the FCFS sweep: deadline queries
+        become urgent non-preemptible job streams that may suspend
+        in-flight preemptible bulk senses at a contended die or
+        channel (EDF order, starvation-capped at ``max_suspends``
+        suspensions per sense, each costing the configured
+        suspend/resume penalties).  The report then carries
+        preemption counts, overhead, and per-resource utilization.
+        Off by default: without it the simulation is the exact FCFS
+        baseline every existing result was measured on.
     """
 
     def __init__(
@@ -158,6 +182,11 @@ class QueryService:
         min_window_us: float | None = None,
         max_window_us: float | None = None,
         target_window_queries: int = 8,
+        workers: int = 1,
+        preemption: bool = False,
+        suspend_cost_us: float = 0.0,
+        resume_cost_us: float = 0.0,
+        max_suspends: int = 2,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -167,6 +196,18 @@ class QueryService:
         self.engine = ssd.engine
         self.policy = policy
         self.share_senses = share_senses
+        self.workers = max(1, int(workers))
+        #: Arbitration config the event replay runs under; ``None``
+        #: keeps the exact FCFS sweep (the measured baseline).
+        self.arbitration: ArbitrationConfig | None = (
+            ArbitrationConfig(
+                suspend_cost_s=suspend_cost_us * 1e-6,
+                resume_cost_s=resume_cost_us * 1e-6,
+                max_suspends=max_suspends,
+            )
+            if preemption
+            else None
+        )
         self.use_result_cache = result_cache
         if result_cache:
             self.engine.enable_result_cache(result_cache_size)
@@ -288,9 +329,17 @@ class QueryService:
                 ordered,
                 share=self.share_senses,
                 use_cache=self.use_result_cache,
+                workers=self.workers,
             )
             n_chunk_tasks += len(ordered)
             ready_s = window.close_us * 1e-6
+            # The scheduler's intent, threaded into the event replay:
+            # deadline queries arbitrate EDF-style and may suspend
+            # preemptible bulk (harmless no-ops under the FCFS sweep).
+            directives = {
+                query_id: job_directives(meta)
+                for query_id, meta in info.items()
+            }
             for outcome in outcomes:
                 task = outcome.task
                 state = states[task.query]
@@ -310,9 +359,15 @@ class QueryService:
                     state.shared_chunks += 1
                     shared_plans += 1
                     shared_senses += task.plan.n_senses
+                priority, deadline_s, preemptible = directives[task.query]
                 jobs.append(
                     self.engine.stage_job(
-                        task.chip, outcome.latency_us, ready_at_s=ready_s
+                        task.chip,
+                        outcome.latency_us,
+                        ready_at_s=ready_s,
+                        priority=priority,
+                        deadline_s=deadline_s,
+                        preemptible=preemptible,
                     )
                 )
                 job_owner.append(task.query)
@@ -322,7 +377,7 @@ class QueryService:
         # vectors) leaves the pending submissions intact for a retry.
         self.admission = self.admission.empty_clone()
 
-        report = simulate_stages(jobs)
+        report = simulate_stages(jobs, arbitration=self.arbitration)
         for completion_s, owner in zip(report.completion_times, job_owner):
             state = states[owner]
             state.completed_us = max(state.completed_us, completion_s * 1e6)
@@ -343,6 +398,9 @@ class QueryService:
             cached_senses=cached_senses,
             makespan_us=report.makespan * 1e6,
             bottleneck=report.bottleneck,
+            preemptions=report.preemptions,
+            preemption_overhead_us=report.preemption_overhead * 1e6,
+            resource_utilization=report.utilizations(),
         )
         return ServiceReport(queries=served, stats=stats)
 
@@ -383,6 +441,9 @@ class QueryService:
         cached_senses: int,
         makespan_us: float,
         bottleneck: str,
+        preemptions: int = 0,
+        preemption_overhead_us: float = 0.0,
+        resource_utilization: dict[str, float] | None = None,
     ) -> ServiceStats:
         latency = LatencySummary.from_latencies(
             [q.latency_us for q in served]
@@ -412,4 +473,7 @@ class QueryService:
             span_us=span_us,
             makespan_us=makespan_us,
             bottleneck=bottleneck,
+            preemptions=preemptions,
+            preemption_overhead_us=preemption_overhead_us,
+            resource_utilization=resource_utilization or {},
         )

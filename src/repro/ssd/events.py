@@ -20,6 +20,21 @@ cross-window contention (a window's jobs queue behind the previous
 window's stragglers on shared chips, channels, and the external
 link).  Within one ready time, FCFS ties break by submission order --
 which is precisely the knob the multi-query scheduler turns.
+
+**Arbitrated mode.**  Passing an :class:`ArbitrationConfig` to
+:func:`simulate_stages` switches to a *preemptible* resource model:
+jobs may carry a ``deadline`` / ``priority`` and be ``preemptible``,
+and an urgent arrival (earlier deadline, then higher priority) can
+*suspend* an in-flight preemptible stage -- modeling a real NAND
+suspend/resume command -- paying ``suspend_cost_s`` immediately and
+``resume_cost_s`` when the victim's remainder restarts.  Arbitration
+is starvation-safe: a stage is suspended at most ``max_suspends``
+times, after which it runs to completion regardless of urgency, and
+equal-urgency work is never preempted (ties keep strict FIFO).  With
+no urgency differences -- or with ``arbitration=None`` (the default)
+-- the schedule, start times, and busy accounting are *identical* to
+the FCFS sweep, which the tests pin; every benchmark and oracle
+replayed through the non-arbitrated path is therefore untouched.
 """
 
 from __future__ import annotations
@@ -56,6 +71,34 @@ class SerialResource:
 
 
 @dataclass(frozen=True)
+class ArbitrationConfig:
+    """Preemption parameters of the arbitrated resource model.
+
+    ``suspend_cost_s`` is charged on the resource the moment a victim
+    is parked (the preemptor starts only after it); ``resume_cost_s``
+    is folded into the victim's remaining work, paid when the
+    remainder restarts.  ``max_suspends`` bounds how often one stage
+    may be suspended -- the starvation guard that guarantees bulk work
+    finishes under sustained urgent traffic.  ``min_remaining_s``
+    refuses preemptions whose victim is nearly done anyway (suspending
+    a sense about to finish costs more than it saves).
+    """
+
+    suspend_cost_s: float = 0.0
+    resume_cost_s: float = 0.0
+    max_suspends: int = 2
+    min_remaining_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.suspend_cost_s < 0 or self.resume_cost_s < 0:
+            raise ValueError("suspend/resume costs must be >= 0")
+        if self.max_suspends < 0:
+            raise ValueError("max_suspends must be >= 0")
+        if self.min_remaining_s < 0:
+            raise ValueError("min_remaining_s must be >= 0")
+
+
+@dataclass(frozen=True)
 class StageJob:
     """One unit of work flowing through the pipeline.
 
@@ -63,11 +106,22 @@ class StageJob:
     ``resources`` names which resource instance serves it per stage
     (e.g. jobs of different dies use different die resources but share
     one channel resource).
+
+    The trailing fields only matter to the *arbitrated* simulation
+    (:class:`ArbitrationConfig`): ``deadline`` is an absolute time in
+    simulation seconds -- deadline-carrying jobs are served
+    earliest-deadline-first ahead of deadline-free work; ``priority``
+    breaks urgency ties (higher first); ``preemptible`` marks whether
+    this job's in-flight stages may be suspended by a more urgent
+    arrival.  The FCFS sweep ignores all three.
     """
 
     ready_at: float
     durations: tuple[float, ...]
     resources: tuple[str, ...]
+    priority: float = 0.0
+    deadline: float | None = None
+    preemptible: bool = True
 
     def __post_init__(self) -> None:
         if len(self.durations) != len(self.resources):
@@ -75,37 +129,112 @@ class StageJob:
         if not self.durations:
             raise ValueError("job needs at least one stage")
 
+    @property
+    def urgency(self) -> tuple[int, float, float]:
+        """Arbitration urgency prefix, smaller = more urgent:
+        deadline-carrying jobs sort before deadline-free ones, then by
+        earlier deadline, then by higher priority.  Preemption requires
+        *strictly* smaller urgency, so equal-urgency FIFO traffic never
+        self-preempts."""
+        if self.deadline is not None:
+            return (0, self.deadline, -self.priority)
+        return (1, 0.0, -self.priority)
+
 
 @dataclass
 class StageReport:
-    """Outcome of a pipeline simulation."""
+    """Outcome of a pipeline simulation.
+
+    ``resource_busy``/``resource_jobs`` are keyed by whatever resource
+    names the jobs carried -- the fixed die/channel/link trio of the
+    Figure 7 pipelines, or the arbitrated ``chip*``/``chan*``/``way*``
+    sets of the service plane; every accessor below treats the name
+    set as open (unknown names report zero rather than raising).
+    Under arbitration, ``resource_preemptions`` counts suspensions per
+    resource and ``preemption_overhead`` totals the suspend/resume
+    seconds charged on top of the useful work.
+    """
 
     makespan: float
     completion_times: list[float]
     resource_busy: dict[str, float] = field(default_factory=dict)
     resource_jobs: dict[str, int] = field(default_factory=dict)
+    resource_preemptions: dict[str, int] = field(default_factory=dict)
+    preemption_overhead: float = 0.0
+
+    @property
+    def preemptions(self) -> int:
+        """Total suspensions across all resources."""
+        return sum(self.resource_preemptions.values())
 
     @property
     def bottleneck(self) -> str:
+        """Busiest resource; deterministic under ties (lexicographically
+        first among the maxima), ``"idle"`` for an empty simulation --
+        robust to arbitrary resource sets, not just the fixed
+        three-stage names."""
         if not self.resource_busy:
             return "idle"
-        return max(self.resource_busy, key=self.resource_busy.get)
+        peak = max(self.resource_busy.values())
+        return min(
+            name
+            for name, busy in self.resource_busy.items()
+            if busy == peak
+        )
 
     def utilization(self, name: str) -> float:
-        """Fraction of the makespan a resource spent busy."""
+        """Fraction of the makespan a resource spent busy.  Unknown
+        resource names (a channel that served no job, a way the config
+        does not have) report 0.0 instead of raising."""
         if self.makespan <= 0:
             return 0.0
         return self.resource_busy.get(name, 0.0) / self.makespan
 
+    def utilizations(self) -> dict[str, float]:
+        """Per-resource utilization over every resource that served
+        work, whatever the names -- chips, channels, ways, the
+        external link."""
+        return {name: self.utilization(name) for name in self.resource_busy}
 
-def simulate_stages(jobs: list[StageJob]) -> StageReport:
+    def class_utilization(self) -> dict[str, float]:
+        """Mean utilization per resource *class*, grouping instance
+        names by their alphabetic prefix (``chan0``/``chan1`` ->
+        ``chan``, ``chip3`` -> ``chip``, ``ext`` -> ``ext``).  Works
+        for any naming scheme whose instances are ``<class><index>``;
+        names without a digit suffix form their own class."""
+        groups: dict[str, list[float]] = {}
+        for name in self.resource_busy:
+            cls = name.rstrip("0123456789") or name
+            groups.setdefault(cls, []).append(self.utilization(name))
+        return {
+            cls: sum(values) / len(values)
+            for cls, values in groups.items()
+        }
+
+
+def simulate_stages(
+    jobs: list[StageJob],
+    *,
+    arbitration: ArbitrationConfig | None = None,
+) -> StageReport:
     """Run jobs through their stage chains with FCFS resources.
 
     Jobs are admitted to each resource in ready-time order (ties broken
     by submission order), matching how a real controller arbitrates a
     shared bus.  Implemented as a single event loop over (ready, seq)
     heaps per resource to stay exact when streams interleave.
+
+    With ``arbitration`` set, the simulation switches to the
+    preemptible resource model (see the module docstring): waiting
+    work is ordered by :attr:`StageJob.urgency` instead of pure FIFO,
+    and strictly-more-urgent arrivals may suspend an in-flight
+    preemptible stage at the configured suspend/resume costs, at most
+    ``max_suspends`` times per stage.  When no job states a deadline
+    or priority the arbitrated schedule is *identical* to the FCFS
+    sweep -- same start times, same floats.
     """
+    if arbitration is not None:
+        return _simulate_arbitrated(jobs, arbitration)
     if not jobs:
         # An empty stream (e.g. an admission window that admitted no
         # queries) simulates to an idle, zero-makespan report.
@@ -161,4 +290,160 @@ def simulate_stages(jobs: list[StageJob]) -> StageReport:
         completion_times=completion,
         resource_busy=busy,
         resource_jobs=served,
+    )
+
+
+class _Unit:
+    """One job-stage execution in the arbitrated simulation.  Mutable:
+    a suspension rewrites ``remaining`` (rest of the work plus the
+    resume cost) and bumps ``suspends``."""
+
+    __slots__ = ("idx", "stage", "remaining", "suspends", "order")
+
+    def __init__(self, idx: int, stage: int, remaining: float) -> None:
+        self.idx = idx
+        self.stage = stage
+        self.remaining = remaining
+        self.suspends = 0
+        #: Arrival order at the resource (set on first arrival, kept
+        #: across suspensions so a parked victim resumes ahead of
+        #: equally urgent later arrivals).
+        self.order = 0
+
+
+_ARRIVE, _FINISH = 0, 1
+
+
+def _simulate_arbitrated(
+    jobs: list[StageJob], arb: ArbitrationConfig
+) -> StageReport:
+    """Event-driven preemptive simulation (see module docstring).
+
+    Each resource holds at most one running unit plus an urgency-
+    ordered wait heap; the global event heap interleaves arrivals and
+    completions in time order with deterministic sequence tie-breaks.
+    Preemption fires only when the arrival's urgency is *strictly*
+    ahead of the running unit's, the victim is preemptible, its
+    suspend budget is not exhausted, its remaining work exceeds
+    ``min_remaining_s``, and no suspend is already in progress on the
+    resource -- so uncontended and equal-urgency traffic reproduces
+    the FCFS sweep float for float.
+    """
+    if not jobs:
+        return StageReport(makespan=0.0, completion_times=[])
+    for job in jobs:
+        if any(d < 0 for d in job.durations):
+            raise ValueError("duration must be >= 0")
+
+    push = heapq.heappush
+    pop = heapq.heappop
+    #: (time, seq, kind, payload): ARRIVE carries a _Unit, FINISH a
+    #: (resource name, token) pair -- the token invalidates completions
+    #: of units that were suspended after their finish was scheduled.
+    events: list[tuple[float, int, int, object]] = []
+    seq = 0
+    for idx, job in enumerate(jobs):
+        push(events, (job.ready_at, seq, _ARRIVE, _Unit(idx, 0, job.durations[0])))
+        seq += 1
+
+    #: name -> [running unit | None, token, wait heap, seg_start, end]
+    resources: dict[str, list] = {}
+    busy: dict[str, float] = {}
+    served: dict[str, int] = {}
+    preempted: dict[str, int] = {}
+    overhead = 0.0
+    completion = [0.0] * len(jobs)
+    arrival_order = 0
+
+    def start(name: str, state: list, unit: _Unit, t: float) -> None:
+        nonlocal seq
+        state[0] = unit
+        state[1] += 1
+        state[3] = t
+        state[4] = t + unit.remaining
+        push(events, (state[4], seq, _FINISH, (name, state[1])))
+        seq += 1
+
+    while events:
+        t, _, kind, payload = pop(events)
+        if kind == _FINISH:
+            name, token = payload
+            state = resources[name]
+            if token != state[1] or state[0] is None:
+                continue  # stale: the unit was suspended meanwhile
+            unit = state[0]
+            # Charge the segment's planned length, not (t - seg_start):
+            # the latter is the same quantity but not the same float
+            # ((s + d) - s may round), and the uncontended schedule
+            # must stay float-identical to the FCFS sweep.
+            busy[name] = busy.get(name, 0.0) + unit.remaining
+            served[name] = served.get(name, 0) + 1
+            state[0] = None
+            job = jobs[unit.idx]
+            if unit.stage + 1 < len(job.durations):
+                push(
+                    events,
+                    (
+                        t,
+                        seq,
+                        _ARRIVE,
+                        _Unit(
+                            unit.idx,
+                            unit.stage + 1,
+                            job.durations[unit.stage + 1],
+                        ),
+                    ),
+                )
+                seq += 1
+            else:
+                completion[unit.idx] = t
+            if state[2]:
+                _, _, nxt = heapq.heappop(state[2])
+                start(name, state, nxt, t)
+            continue
+
+        unit = payload
+        job = jobs[unit.idx]
+        name = job.resources[unit.stage]
+        state = resources.get(name)
+        if state is None:
+            state = resources[name] = [None, 0, [], 0.0, 0.0]
+        unit.order = arrival_order
+        arrival_order += 1
+        running = state[0]
+        if running is None:
+            start(name, state, unit, t)
+            continue
+        victim_job = jobs[running.idx]
+        if (
+            victim_job.preemptible
+            and running.suspends < arb.max_suspends
+            and job.urgency < victim_job.urgency
+            and t >= state[3]  # no suspend already in progress
+            and state[4] - t > arb.min_remaining_s
+        ):
+            # Suspend the in-flight unit: charge the work it already
+            # performed plus the suspend overhead, park the remainder
+            # (plus its future resume cost) back on the wait heap.
+            busy[name] = busy.get(name, 0.0) + (t - state[3])
+            busy[name] += arb.suspend_cost_s
+            running.remaining = (state[4] - t) + arb.resume_cost_s
+            running.suspends += 1
+            overhead += arb.suspend_cost_s + arb.resume_cost_s
+            preempted[name] = preempted.get(name, 0) + 1
+            push(
+                state[2],
+                (victim_job.urgency, running.order, running),
+            )
+            start(name, state, unit, t + arb.suspend_cost_s)
+        else:
+            push(state[2], (job.urgency, unit.order, unit))
+
+    return StageReport(
+        makespan=max(completion),
+        completion_times=completion,
+        resource_busy=busy,
+        resource_jobs=served,
+        resource_preemptions=preempted,
+        preemption_overhead=overhead,
     )

@@ -62,7 +62,21 @@ it:
    to the per-sense scalar loop (the V_TH oracle), and
    ``batch=False`` forces it for benchmarking.
 
-7. **Cross-window result caching** -- sense sharing only helps
+7. **Concurrent multi-chip dispatch** -- chips are independent dies
+   behind independent channels, and the batched path reduced each
+   chip's queue to a handful of wide NumPy reduces that release the
+   GIL.  ``execute_tasks(..., workers=N)`` therefore drains the
+   per-chip queues *concurrently* on a shared thread pool: each
+   worker owns exactly one chip for the duration of the drain
+   (serialized by ``MwsExecutor.lock``, so chip state never sees two
+   threads), shared engine state -- the template/bound LRUs, the
+   stat counters, the :class:`ResultCache` -- is lock-protected, and
+   because each chip performs the identical operations in the
+   identical per-chip order regardless of interleaving, results,
+   latch end-state, and every per-chip counter are bit-/float-
+   identical to the sequential drain at any worker count.
+
+8. **Cross-window result caching** -- sense sharing only helps
    *within* one ``execute_tasks`` call; an identical query arriving
    in a later admission window re-senses from scratch.  A
    :class:`ResultCache` (opt-in,
@@ -90,7 +104,9 @@ surviving senses executed as per-chip vectorized batches.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, NamedTuple
 
@@ -283,6 +299,13 @@ class ResultCache:
     through the stochastic V_TH plane, where memoizing a draw would
     change the error statistics, and the ``packed=False`` byte plane
     is the equivalence oracle and must keep executing.
+
+    Thread safety: the cache is shared by every drain of every engine
+    over one SSD, so all entry/epoch/counter mutation happens under an
+    internal lock -- concurrent per-chip workers
+    (:meth:`QueryEngine.execute_tasks` with ``workers > 1``) hit and
+    fill it safely.  The entries themselves are immutable (frozen
+    arrays), so a value observed under the lock stays valid after it.
     """
 
     def __init__(self, ssd: "SmallSsd", *, capacity: int = 4096) -> None:
@@ -299,6 +322,7 @@ class ResultCache:
         self._misses = 0
         self._invalidations = 0
         self._senses_avoided = 0
+        self._cache_lock = threading.Lock()
 
     def _stamp(self, chip: int) -> tuple:
         ssd = self.ssd
@@ -312,32 +336,35 @@ class ResultCache:
         """Snapshot every chip's current layout stamp.  Lookups compare
         against the snapshot, so a window's worth of gets costs one
         stamp computation per chip, not per task."""
-        self._epoch = {
+        epoch = {
             chip: self._stamp(chip) for chip in range(len(self.ssd.chips))
         }
+        with self._cache_lock:
+            self._epoch = epoch
 
     def get(self, chip: int, plan: Plan) -> np.ndarray | None:
         """The plan's memoized packed result words, or ``None`` when
         absent or stale (the stale entry is evicted)."""
         key = (chip, plan)
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        stamp, words, n_senses = entry
-        epoch = self._epoch.get(chip)
-        if epoch is None:
-            epoch = self._stamp(chip)
-            self._epoch[chip] = epoch
-        if stamp != epoch:
-            del self._entries[key]
-            self._invalidations += 1
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        self._senses_avoided += n_senses
-        return words
+        with self._cache_lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            stamp, words, n_senses = entry
+            epoch = self._epoch.get(chip)
+            if epoch is None:
+                epoch = self._stamp(chip)
+                self._epoch[chip] = epoch
+            if stamp != epoch:
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._senses_avoided += n_senses
+            return words
 
     def put(
         self, chip: int, plan: Plan, words: np.ndarray, n_senses: int
@@ -349,42 +376,47 @@ class ResultCache:
         by any subscriber would poison the cache in a way no layout
         stamp could catch -- better to fail the mutator loudly.
         """
-        epoch = self._epoch.get(chip)
-        if epoch is None:
-            epoch = self._stamp(chip)
-            self._epoch[chip] = epoch
         words.setflags(write=False)
         key = (chip, plan)
-        self._entries[key] = (epoch, words, n_senses)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._cache_lock:
+            epoch = self._epoch.get(chip)
+            if epoch is None:
+                epoch = self._stamp(chip)
+                self._epoch[chip] = epoch
+            self._entries[key] = (epoch, words, n_senses)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def resize(self, capacity: int) -> None:
         """Change the entry bound, evicting LRU entries when
         shrinking."""
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
-        self.capacity = capacity
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._cache_lock:
+            self.capacity = capacity
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._epoch.clear()
+        with self._cache_lock:
+            self._entries.clear()
+            self._epoch.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._cache_lock:
+            return len(self._entries)
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            invalidations=self._invalidations,
-            senses_avoided=self._senses_avoided,
-            entries=len(self._entries),
-        )
+        with self._cache_lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalidations=self._invalidations,
+                senses_avoided=self._senses_avoided,
+                entries=len(self._entries),
+            )
 
 
 @dataclass(frozen=True)
@@ -426,11 +458,24 @@ class QueryEngine:
         *,
         cache_size: int = 64,
         config: SsdConfig | None = None,
+        workers: int | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         self.ssd = ssd
         self.cache_size = cache_size
+        #: Default worker count for :meth:`execute_tasks`; 1 keeps the
+        #: exact sequential drain (and is the default -- concurrency is
+        #: opt-in per engine or per call).
+        self.workers = 1 if workers is None else max(1, int(workers))
+        #: Guards the engine's shared mutable state -- the template and
+        #: bound-plan LRUs, the stat counters, the stage-constant memo
+        #: -- against concurrent drains.  An RLock: locked sections
+        #: call helpers that lock again (e.g. a bind fallback bumping
+        #: planner counters).
+        self._lock = threading.RLock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_size = 0
         #: Timing/bandwidth parameters for the pipelined makespan; the
         #: functional chips are tiny, so the event simulation scales
         #: their measured sense times with configured bus bandwidths.
@@ -497,23 +542,26 @@ class QueryEngine:
         if not names:
             raise ValueError("expression references no operands")
         key = (expr, self._layout_signature(names))
-        cached = self._templates.get(key)
-        if cached is not None:
-            self._templates.move_to_end(key)
-            self._template_hits += 1
-            return cached, False
-        self._template_misses += 1
-        controller = self.ssd.controllers[self.ssd.ftl.chip_of_chunk(0)]
-        planner = Planner(
-            _ChunkDirectory(controller, 0),
-            block_limit=controller.planner.block_limit,
-        )
-        template = planner.plan_template(expr)
-        self._planner_invocations += 1
-        self._templates[key] = template
-        while len(self._templates) > self.cache_size:
-            self._templates.popitem(last=False)
-        return template, True
+        with self._lock:
+            cached = self._templates.get(key)
+            if cached is not None:
+                self._templates.move_to_end(key)
+                self._template_hits += 1
+                return cached, False
+            self._template_misses += 1
+            controller = self.ssd.controllers[
+                self.ssd.ftl.chip_of_chunk(0)
+            ]
+            planner = Planner(
+                _ChunkDirectory(controller, 0),
+                block_limit=controller.planner.block_limit,
+            )
+            template = planner.plan_template(expr)
+            self._planner_invocations += 1
+            self._templates[key] = template
+            while len(self._templates) > self.cache_size:
+                self._templates.popitem(last=False)
+            return template, True
 
     def enable_result_cache(
         self, capacity: int | None = None
@@ -543,16 +591,17 @@ class QueryEngine:
 
     @property
     def stats(self) -> EngineStats:
-        return EngineStats(
-            planner_invocations=self._planner_invocations,
-            template_hits=self._template_hits,
-            template_misses=self._template_misses,
-            bind_fallbacks=self._bind_fallbacks,
-            cached_templates=len(self._templates),
-            shared_plans=self._shared_plans,
-            shared_senses=self._shared_senses,
-            executor_dispatches=self._executor_dispatches,
-        )
+        with self._lock:
+            return EngineStats(
+                planner_invocations=self._planner_invocations,
+                template_hits=self._template_hits,
+                template_misses=self._template_misses,
+                bind_fallbacks=self._bind_fallbacks,
+                cached_templates=len(self._templates),
+                shared_plans=self._shared_plans,
+                shared_senses=self._shared_senses,
+                executor_dispatches=self._executor_dispatches,
+            )
 
     # ------------------------------------------------------------------
     # Execution
@@ -592,31 +641,32 @@ class QueryEngine:
             names = sorted(operand_names(expr))
         key = (expr, self._layout_signature(names), n_chunks)
         generation = self._layout_generation()
-        cached = self._bound.get(key)
-        if cached is not None and cached[0] == generation:
-            self._bound.move_to_end(key)
-            return cached[1], False
-        planned = False
-        queues: dict[int, list[tuple[int, Plan]]] = {}
-        for chunk in range(n_chunks):
-            chip = self.ssd.ftl.chip_of_chunk(chunk)
-            controller = self.ssd.controllers[chip]
-            view = _ChunkDirectory(controller, chunk)
-            try:
-                plan = template.bind(view)
-            except TemplateBindError:
-                planner = Planner(
-                    view, block_limit=controller.planner.block_limit
-                )
-                plan = planner.plan(expr)
-                self._planner_invocations += 1
-                self._bind_fallbacks += 1
-                planned = True
-            queues.setdefault(chip, []).append((chunk, plan))
-        self._bound[key] = (generation, queues)
-        while len(self._bound) > self.cache_size:
-            self._bound.popitem(last=False)
-        return queues, planned
+        with self._lock:
+            cached = self._bound.get(key)
+            if cached is not None and cached[0] == generation:
+                self._bound.move_to_end(key)
+                return cached[1], False
+            planned = False
+            queues: dict[int, list[tuple[int, Plan]]] = {}
+            for chunk in range(n_chunks):
+                chip = self.ssd.ftl.chip_of_chunk(chunk)
+                controller = self.ssd.controllers[chip]
+                view = _ChunkDirectory(controller, chunk)
+                try:
+                    plan = template.bind(view)
+                except TemplateBindError:
+                    planner = Planner(
+                        view, block_limit=controller.planner.block_limit
+                    )
+                    plan = planner.plan(expr)
+                    self._planner_invocations += 1
+                    self._bind_fallbacks += 1
+                    planned = True
+                queues.setdefault(chip, []).append((chunk, plan))
+            self._bound[key] = (generation, queues)
+            while len(self._bound) > self.cache_size:
+                self._bound.popitem(last=False)
+            return queues, planned
 
     def prepare(self, expr: Expression) -> PreparedQuery:
         """Plan (or fetch) and bind ``expr`` without executing it.
@@ -662,18 +712,50 @@ class QueryEngine:
         return cached
 
     def stage_job(
-        self, chip: int, latency_us: float, *, ready_at_s: float = 0.0
+        self,
+        chip: int,
+        latency_us: float,
+        *,
+        ready_at_s: float = 0.0,
+        priority: float = 0.0,
+        deadline_s: float | None = None,
+        preemptible: bool = True,
     ) -> StageJob:
         """Pipeline job for one chunk result: die sense -> channel DMA
         -> external link (durations in seconds, the event simulator's
         unit).  ``ready_at_s`` lets window streams arrive on the
-        virtual clock instead of all at t=0."""
+        virtual clock instead of all at t=0.
+
+        ``priority``/``deadline_s``/``preemptible`` thread scheduling
+        directives into the arbitrated simulator
+        (:func:`~repro.ssd.events.simulate_stages` with an
+        :class:`~repro.ssd.events.ArbitrationConfig`): a deadline job
+        outranks every non-deadline job at a contended die or channel
+        and may suspend an in-flight preemptible sense; the legacy
+        FCFS sweep ignores all three."""
         dma_s, ext_s, resources = self._stage_constants(chip)
         return StageJob(
             ready_at=ready_at_s,
             durations=(latency_us * 1e-6, dma_s, ext_s),
             resources=resources,
+            priority=priority,
+            deadline=deadline_s,
+            preemptible=preemptible,
         )
+
+    def _drain_pool(self, size: int) -> ThreadPoolExecutor:
+        """The shared per-chip drain pool, (re)built when the worker
+        count changes.  Reused across windows: pool construction costs
+        more than a small window's worth of NumPy reduces."""
+        with self._lock:
+            if self._pool is None or self._pool_size != size:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=True)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=size, thread_name_prefix="repro-chip"
+                )
+                self._pool_size = size
+            return self._pool
 
     def execute_tasks(
         self,
@@ -682,6 +764,7 @@ class QueryEngine:
         share: bool = True,
         batch: bool = True,
         use_cache: bool = False,
+        workers: int | None = None,
     ) -> list[ChunkOutcome]:
         """Drain a multi-query chunk-task list with cross-query sense
         sharing and window-at-a-time batched execution.
@@ -714,6 +797,18 @@ class QueryEngine:
         modeled cost counters are identical across all combinations;
         caching and sharing only change *where* a result comes from,
         never its bits.
+
+        With ``workers > 1`` (per call, or the engine's default) and
+        more than one chip in the task list, the per-chip drains run
+        *concurrently* on a shared thread pool -- chips are
+        independent dies, and the batched path's NumPy reduces release
+        the GIL.  Each drain holds its chip's
+        :attr:`~repro.core.mws.MwsExecutor.lock` end to end, so a chip
+        never sees two threads; engine counters merge under the engine
+        lock after each drain; and because every chip still executes
+        the identical plan sequence in the identical order, outcomes,
+        latch end-state, and all per-chip counters are bit-/float-
+        identical to the sequential drain at any worker count.
         """
         packed = self.ssd.packed
         cache = self.result_cache if use_cache and packed else None
@@ -731,79 +826,110 @@ class QueryEngine:
                 queue.append(position)
         outcomes: list[ChunkOutcome | None] = [None] * len(order)
         outcome = ChunkOutcome  # local binding: window hot loop
-        for chip, positions in per_chip.items():
+
+        def drain(chip: int, positions: list[int]) -> None:
+            # One worker owns this chip for the whole drain; distinct
+            # drains write disjoint `outcomes` slots, so the list
+            # needs no lock.  Engine stat counters accumulate locally
+            # and merge once at the end under the engine lock.
             executor = self.ssd.controllers[chip].executor
-            # Cross-window cache first: a hit never reaches dedup or
-            # the executor, so a fully repeated window costs no flash
-            # work and no executor dispatch.
-            if cache is not None:
-                pending: list[int] = []
-                for position in positions:
-                    task = order[position]
-                    words = cache.get(chip, task.plan)
-                    if words is not None:
-                        outcomes[position] = outcome(
-                            task, words, 0, 0.0, 0.0, False, True
-                        )
-                    else:
-                        pending.append(position)
-                positions = pending
-                if not positions:
-                    continue
-            # Dedup next: unique plans in first-appearance order,
-            # subscribers remembered by their executing position.
-            unique: list[int] = []
-            followers: list[tuple[int, int]] = []
-            first_at: dict[Plan, int] = {}
-            if share:
-                for position in positions:
-                    plan = order[position].plan
-                    first = first_at.get(plan)
-                    if first is not None:
-                        followers.append((position, first))
-                    else:
-                        first_at[plan] = position
-                        unique.append(position)
-            else:
-                unique = positions
-            queue = [order[position].plan for position in unique]
-            dispatched_before = executor.dispatches
-            if batch:
-                results = executor.execute_batch(queue)
-            else:
-                results = [executor.execute(plan) for plan in queue]
-            # The executor reports its own dispatch count, so the stat
-            # stays truthful when execute_batch falls back to the
-            # per-sense loop (unpacked plane, error injection).
-            self._executor_dispatches += (
-                executor.dispatches - dispatched_before
-            )
-            for position, result in zip(unique, results):
-                data = result.words if packed else result.bits
-                outcomes[position] = outcome(
-                    order[position],
-                    data,
-                    result.n_senses,
-                    result.latency_us,
-                    result.energy_nj,
-                    False,
-                )
+            shared_plans = 0
+            shared_senses = 0
+            with executor.lock:
+                pending = positions
+                # Cross-window cache first: a hit never reaches dedup
+                # or the executor, so a fully repeated window costs no
+                # flash work and no executor dispatch.
                 if cache is not None:
-                    cache.put(
-                        chip, order[position].plan, data, result.n_senses
+                    pending = []
+                    for position in positions:
+                        task = order[position]
+                        words = cache.get(chip, task.plan)
+                        if words is not None:
+                            outcomes[position] = outcome(
+                                task, words, 0, 0.0, 0.0, False, True
+                            )
+                        else:
+                            pending.append(position)
+                    if not pending:
+                        return
+                # Dedup next: unique plans in first-appearance order,
+                # subscribers remembered by their executing position.
+                unique: list[int] = []
+                followers: list[tuple[int, int]] = []
+                first_at: dict[Plan, int] = {}
+                if share:
+                    for position in pending:
+                        plan = order[position].plan
+                        first = first_at.get(plan)
+                        if first is not None:
+                            followers.append((position, first))
+                        else:
+                            first_at[plan] = position
+                            unique.append(position)
+                else:
+                    unique = pending
+                queue = [order[position].plan for position in unique]
+                dispatched_before = executor.dispatches
+                if batch:
+                    results = executor.execute_batch(queue)
+                else:
+                    results = [executor.execute(plan) for plan in queue]
+                # The executor reports its own dispatch count, so the
+                # stat stays truthful when execute_batch falls back to
+                # the per-sense loop (unpacked plane, error injection).
+                dispatches = executor.dispatches - dispatched_before
+                for position, result in zip(unique, results):
+                    data = result.words if packed else result.bits
+                    outcomes[position] = outcome(
+                        order[position],
+                        data,
+                        result.n_senses,
+                        result.latency_us,
+                        result.energy_nj,
+                        False,
                     )
-            self._shared_plans += len(followers)
-            for position, first in followers:
-                prior = outcomes[first]
-                self._shared_senses += prior.n_senses
-                outcomes[position] = outcome(
-                    order[position],
-                    prior.data,
-                    0,
-                    0.0,
-                    0.0,
-                    True,
-                )
+                    if cache is not None:
+                        cache.put(
+                            chip,
+                            order[position].plan,
+                            data,
+                            result.n_senses,
+                        )
+                shared_plans = len(followers)
+                for position, first in followers:
+                    prior = outcomes[first]
+                    shared_senses += prior.n_senses
+                    outcomes[position] = outcome(
+                        order[position],
+                        prior.data,
+                        0,
+                        0.0,
+                        0.0,
+                        True,
+                    )
+            with self._lock:
+                self._executor_dispatches += dispatches
+                self._shared_plans += shared_plans
+                self._shared_senses += shared_senses
+
+        n_workers = self.workers if workers is None else max(1, workers)
+        if n_workers > 1 and len(per_chip) > 1:
+            pool = self._drain_pool(n_workers)
+            futures = [
+                pool.submit(drain, chip, positions)
+                for chip, positions in per_chip.items()
+            ]
+            errors = []
+            for future in futures:
+                error = future.exception()
+                if error is not None:
+                    errors.append(error)
+            if errors:
+                raise errors[0]
+        else:
+            for chip, positions in per_chip.items():
+                drain(chip, positions)
         return outcomes
 
     def assemble_bits(

@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ssd.events import SerialResource, StageJob, simulate_stages
+from repro.ssd.events import (
+    ArbitrationConfig,
+    SerialResource,
+    StageJob,
+    StageReport,
+    simulate_stages,
+)
 
 
 class TestSerialResource:
@@ -127,3 +133,245 @@ class TestSimulateStages:
         report = simulate_stages(jobs)
         expected = min(t1, t2) + n * max(t1, t2)
         assert report.makespan == pytest.approx(expected, rel=1e-9)
+
+
+class TestStageReportRobustness:
+    """bottleneck/utilization must accept arbitrary resource name sets,
+    not just the fixed die/channel/link trio."""
+
+    def test_unknown_resource_reports_zero(self):
+        report = simulate_stages([StageJob(0.0, (2.0,), ("weird-name",))])
+        assert report.utilization("weird-name") == 1.0
+        assert report.utilization("chan7") == 0.0
+        assert report.utilization("") == 0.0
+
+    def test_bottleneck_deterministic_under_ties(self):
+        report = simulate_stages(
+            [
+                StageJob(0.0, (2.0,), ("zeta",)),
+                StageJob(0.0, (2.0,), ("alpha",)),
+            ]
+        )
+        assert report.bottleneck == "alpha"
+
+    def test_empty_report_is_idle_not_keyerror(self):
+        report = StageReport(makespan=0.0, completion_times=[])
+        assert report.bottleneck == "idle"
+        assert report.utilizations() == {}
+        assert report.class_utilization() == {}
+
+    def test_class_utilization_groups_by_prefix(self):
+        jobs = [
+            StageJob(0.0, (4.0, 1.0), ("chip0", "chan0")),
+            StageJob(0.0, (2.0, 1.0), ("chip1", "chan0")),
+            StageJob(0.0, (1.0,), ("ext",)),
+        ]
+        report = simulate_stages(jobs)
+        classes = report.class_utilization()
+        assert set(classes) == {"chip", "chan", "ext"}
+        assert classes["chip"] == pytest.approx(
+            (report.utilization("chip0") + report.utilization("chip1")) / 2
+        )
+
+    def test_digit_only_name_forms_own_class(self):
+        report = simulate_stages([StageJob(0.0, (1.0,), ("7",))])
+        assert report.class_utilization() == {"7": 1.0}
+
+
+class TestArbitrationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArbitrationConfig(suspend_cost_s=-1.0)
+        with pytest.raises(ValueError):
+            ArbitrationConfig(resume_cost_s=-1.0)
+        with pytest.raises(ValueError):
+            ArbitrationConfig(max_suspends=-1)
+        with pytest.raises(ValueError):
+            ArbitrationConfig(min_remaining_s=-1.0)
+
+    def test_urgency_ordering(self):
+        urgent = StageJob(0.0, (1.0,), ("r",), deadline=10.0)
+        later = StageJob(0.0, (1.0,), ("r",), deadline=20.0)
+        bulk = StageJob(0.0, (1.0,), ("r",))
+        vip_bulk = StageJob(0.0, (1.0,), ("r",), priority=3.0)
+        assert urgent.urgency < later.urgency < vip_bulk.urgency
+        assert vip_bulk.urgency < bulk.urgency
+
+
+def _job_lists():
+    """Random multi-stage job streams over a small shared resource set
+    -- deliberately urgency-free, so arbitration must not change a
+    thing."""
+    stage = st.tuples(
+        st.floats(0.0, 10.0), st.sampled_from(["a", "b", "c"])
+    )
+    def build(items):
+        return [
+            StageJob(
+                ready_at=ready,
+                durations=tuple(d for d, _ in stages),
+                resources=tuple(r for _, r in stages),
+            )
+            for ready, stages in items
+        ]
+    return st.lists(
+        st.tuples(
+            st.floats(0.0, 20.0),
+            st.lists(stage, min_size=1, max_size=3),
+        ),
+        min_size=1,
+        max_size=12,
+    ).map(build)
+
+
+class TestArbitratedEquivalence:
+    """With no urgency differences the arbitrated simulation must be
+    float-identical to the FCFS sweep -- every existing benchmark and
+    oracle replays unchanged."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(jobs=_job_lists())
+    def test_urgency_free_schedule_identical(self, jobs):
+        base = simulate_stages(jobs)
+        arb = simulate_stages(
+            jobs,
+            arbitration=ArbitrationConfig(
+                suspend_cost_s=1.0, resume_cost_s=2.0
+            ),
+        )
+        assert arb.completion_times == base.completion_times
+        assert arb.resource_busy == base.resource_busy
+        assert arb.resource_jobs == base.resource_jobs
+        assert arb.makespan == base.makespan
+        assert arb.preemptions == 0
+        assert arb.preemption_overhead == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=_job_lists())
+    def test_equal_deadlines_never_preempt(self, jobs):
+        """Equal urgency keeps strict FIFO: same deadline on every job
+        changes nothing vs. the sweep."""
+        from dataclasses import replace
+
+        dl = [replace(j, deadline=100.0) for j in jobs]
+        base = simulate_stages(jobs)
+        arb = simulate_stages(dl, arbitration=ArbitrationConfig())
+        assert arb.completion_times == base.completion_times
+        assert arb.preemptions == 0
+
+    def test_empty_stream(self):
+        report = simulate_stages([], arbitration=ArbitrationConfig())
+        assert report.makespan == 0.0
+        assert report.bottleneck == "idle"
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_stages(
+                [StageJob(0.0, (-1.0,), ("r",))],
+                arbitration=ArbitrationConfig(),
+            )
+
+
+class TestPreemption:
+    """Exact deterministic arithmetic of the suspend/resume model."""
+
+    def test_urgent_suspends_bulk(self):
+        """Bulk sense of 100 s starts at t=0; an urgent 5 s deadline
+        job arrives at t=10.  With suspend=1 / resume=2: bulk is
+        parked at t=10 (+1 s suspend), urgent runs [11, 16], bulk's
+        remaining 90 s + 2 s resume runs [16, 108]."""
+        jobs = [
+            StageJob(0.0, (100.0,), ("die",)),
+            StageJob(10.0, (5.0,), ("die",), deadline=20.0),
+        ]
+        report = simulate_stages(
+            jobs,
+            arbitration=ArbitrationConfig(
+                suspend_cost_s=1.0, resume_cost_s=2.0
+            ),
+        )
+        assert report.completion_times == [108.0, 16.0]
+        assert report.preemptions == 1
+        assert report.resource_preemptions == {"die": 1}
+        assert report.preemption_overhead == 3.0
+        # 10 (first segment) + 1 (suspend) + 5 (urgent) + 92 (rest).
+        assert report.resource_busy["die"] == pytest.approx(108.0)
+
+    def test_without_arbitration_urgent_waits(self):
+        jobs = [
+            StageJob(0.0, (100.0,), ("die",)),
+            StageJob(10.0, (5.0,), ("die",), deadline=20.0),
+        ]
+        report = simulate_stages(jobs)
+        assert report.completion_times == [100.0, 105.0]
+
+    def test_non_preemptible_victim_runs_through(self):
+        jobs = [
+            StageJob(0.0, (100.0,), ("die",), preemptible=False),
+            StageJob(10.0, (5.0,), ("die",), deadline=20.0),
+        ]
+        report = simulate_stages(jobs, arbitration=ArbitrationConfig())
+        assert report.completion_times == [100.0, 105.0]
+        assert report.preemptions == 0
+
+    def test_starvation_bound(self):
+        """max_suspends=2 caps how often the bulk job can be parked:
+        the third urgent arrival has to wait."""
+        jobs = [StageJob(0.0, (100.0,), ("die",))] + [
+            StageJob(10.0 + 20.0 * i, (5.0,), ("die",), deadline=200.0 + i)
+            for i in range(4)
+        ]
+        report = simulate_stages(jobs, arbitration=ArbitrationConfig())
+        assert report.preemptions == 2
+        # All work still completes.
+        assert all(c > 0 for c in report.completion_times)
+        assert report.resource_busy["die"] == pytest.approx(120.0)
+
+    def test_min_remaining_refuses_near_done_victim(self):
+        jobs = [
+            StageJob(0.0, (10.0,), ("die",)),
+            StageJob(9.5, (1.0,), ("die",), deadline=12.0),
+        ]
+        report = simulate_stages(
+            jobs,
+            arbitration=ArbitrationConfig(min_remaining_s=1.0),
+        )
+        assert report.preemptions == 0
+        assert report.completion_times == [10.0, 11.0]
+
+    def test_deadline_outranks_priority_bulk(self):
+        """A deadline job preempts even a high-priority bulk job, but
+        bulk priority alone never preempts equal-class work."""
+        jobs = [
+            StageJob(0.0, (50.0,), ("die",), priority=100.0),
+            StageJob(5.0, (2.0,), ("die",), deadline=10.0),
+            StageJob(6.0, (2.0,), ("die",), priority=200.0),
+        ]
+        report = simulate_stages(jobs, arbitration=ArbitrationConfig())
+        assert report.completion_times[1] == pytest.approx(7.0)
+        assert report.preemptions == 1
+
+    def test_suspend_cost_delays_preemptor(self):
+        jobs = [
+            StageJob(0.0, (100.0,), ("die",)),
+            StageJob(10.0, (5.0,), ("die",), deadline=50.0),
+        ]
+        report = simulate_stages(
+            jobs,
+            arbitration=ArbitrationConfig(suspend_cost_s=3.0),
+        )
+        # Urgent starts only after the 3 s park completes.
+        assert report.completion_times[1] == pytest.approx(18.0)
+        assert report.completion_times[0] == pytest.approx(108.0)
+
+    def test_edf_meets_deadline_fcfs_misses(self):
+        """The acceptance scenario: a deadline the arbitrated EDF plane
+        provably meets and the plain sweep provably misses."""
+        jobs = [
+            StageJob(0.0, (100.0,), ("die",)),
+            StageJob(10.0, (5.0,), ("die",), deadline=30.0),
+        ]
+        fcfs = simulate_stages(jobs)
+        edf = simulate_stages(jobs, arbitration=ArbitrationConfig())
+        assert fcfs.completion_times[1] > 30.0  # missed
+        assert edf.completion_times[1] <= 30.0  # met
