@@ -1,0 +1,144 @@
+"""Degraded-mode throughput retention and deadline conformance under
+transient fault injection.
+
+The service window workload from :mod:`benchmarks.bench_service`
+(mixed bitmap-index AND windows and clique star scans, with
+deadlines) runs twice:
+
+* **fault-free** -- the measured baseline, no injector; and
+* **faulted** -- the same trace with a deterministic
+  :class:`~repro.flash.faults.FaultInjector` drawing 1 % transient
+  sense faults and stalls, recovered by the engine's bounded
+  retry/backoff + degraded-mode policy.
+
+Both makespans come from the same exact event simulation (retry time
+and backoff are charged as sim time), so the comparison is
+deterministic.  The acceptance contract: every faulted query still
+completes bit-identical to the synchronous oracle, throughput
+retention stays above ``FAULT_RETENTION_GATE`` (default 0.90), and
+deadline conformance stays above ``FAULT_DEADLINE_GATE`` (default
+0.90) -- both env-relaxable for unusual configurations.
+
+``measure_faults`` returns a plain dict so ``tools/bench_record.py``
+snapshots the numbers into the ``faults`` section of
+``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from benchmarks.bench_service import _loaded_ssd, _mixed_stream
+from repro.flash.faults import FaultConfig, FaultInjector
+
+RETENTION_GATE = float(os.environ.get("FAULT_RETENTION_GATE", "0.90"))
+DEADLINE_GATE = float(os.environ.get("FAULT_DEADLINE_GATE", "0.90"))
+
+#: The acceptance scenario: 1 % transient sense faults + 1 % stalls.
+FAULT_RATE = 0.01
+STALL_RATE = 0.01
+DEADLINE_US = 4000.0
+
+
+def _run_trace(injector: FaultInjector | None) -> dict:
+    ssd = _loaded_ssd()
+    if injector is not None:
+        ssd.attach_fault_injector(injector)
+    stream = _mixed_stream()
+    service = ssd.service(
+        window_us=1000.0,
+        max_window_queries=len(stream),
+        policy="edf",
+    )
+    for expr in stream:
+        service.submit(
+            expr, at_us=0.0, client="mix", deadline_us=DEADLINE_US
+        )
+    report = service.run()
+    # Correctness first: every query completed, bit-identical to the
+    # synchronous oracle on a clean twin.
+    oracle = _loaded_ssd()
+    for served, expr in zip(report.queries, stream):
+        assert served.error is None, served.error
+        np.testing.assert_array_equal(
+            served.result.bits, oracle.query(expr).bits
+        )
+    stats = report.stats
+    return {
+        "n_queries": stats.n_queries,
+        "completed": stats.n_queries - stats.queries_failed,
+        "makespan_us": stats.makespan_us,
+        "throughput_qps": stats.throughput_qps,
+        "deadline_conformance": (
+            stats.deadlines_met / stats.n_deadlines
+            if stats.n_deadlines
+            else 1.0
+        ),
+        "faults_injected": stats.faults_injected,
+        "fault_retries": stats.fault_retries,
+        "degraded_senses": stats.degraded_senses,
+        "fault_overhead_us": stats.fault_overhead_us,
+        "fault_attributed_misses": stats.fault_attributed_misses,
+    }
+
+
+def measure_faults() -> dict:
+    clean = _run_trace(None)
+    faulted = _run_trace(
+        FaultInjector(
+            FaultConfig(
+                seed=17,
+                sense_fault_rate=FAULT_RATE,
+                stall_rate=STALL_RATE,
+            )
+        )
+    )
+    return {
+        "fault_rate": FAULT_RATE,
+        "stall_rate": STALL_RATE,
+        "n_queries": clean["n_queries"],
+        "completed_clean": clean["completed"],
+        "completed_faulted": faulted["completed"],
+        "clean_makespan_us": clean["makespan_us"],
+        "faulted_makespan_us": faulted["makespan_us"],
+        "throughput_retention": (
+            faulted["throughput_qps"] / clean["throughput_qps"]
+        ),
+        "clean_deadline_conformance": clean["deadline_conformance"],
+        "faulted_deadline_conformance": faulted["deadline_conformance"],
+        "faults_injected": faulted["faults_injected"],
+        "fault_retries": faulted["fault_retries"],
+        "degraded_senses": faulted["degraded_senses"],
+        "fault_overhead_us": faulted["fault_overhead_us"],
+        "fault_attributed_misses": faulted["fault_attributed_misses"],
+    }
+
+
+def test_fault_tolerance_retention_and_conformance():
+    m = measure_faults()
+    print(
+        f"\n{m['n_queries']} queries at {m['fault_rate']:.0%} transient "
+        f"fault rate: {m['completed_faulted']}/{m['n_queries']} completed "
+        f"({m['faults_injected']} faults, {m['fault_retries']} retries, "
+        f"{m['fault_overhead_us']:.1f} us recovery); makespan "
+        f"{m['clean_makespan_us'] / 1e3:.2f} -> "
+        f"{m['faulted_makespan_us'] / 1e3:.2f} ms, throughput retention "
+        f"{m['throughput_retention']:.3f}, deadline conformance "
+        f"{m['clean_deadline_conformance']:.0%} -> "
+        f"{m['faulted_deadline_conformance']:.0%}"
+    )
+    assert m["completed_faulted"] == m["n_queries"], (
+        "every faulted query must complete via retry/degraded recovery"
+    )
+    assert m["throughput_retention"] >= RETENTION_GATE, (
+        f"expected >= {RETENTION_GATE:.2f} throughput retention at "
+        f"{m['fault_rate']:.0%} faults, got {m['throughput_retention']:.3f} "
+        "(relax with FAULT_RETENTION_GATE)"
+    )
+    assert m["faulted_deadline_conformance"] >= DEADLINE_GATE, (
+        f"expected >= {DEADLINE_GATE:.2f} deadline conformance under "
+        f"faults, got {m['faulted_deadline_conformance']:.3f} "
+        "(relax with FAULT_DEADLINE_GATE)"
+    )

@@ -177,6 +177,53 @@ class MwsExecutor:
         against)."""
         return [self.execute(plan) for plan in plans]
 
+    def execute_degraded(
+        self, plan: Plan, *, extra_senses: int = 0
+    ) -> ExecutionResult:
+        """Execute a plan on the V_TH read-retry path (degraded mode).
+
+        The fault-recovery fallback: every sense evaluates through the
+        per-cell V_TH comparison (``force_vth``) instead of the packed
+        word reduce -- on an error-free chip this is bit-identical to
+        :meth:`execute`, just slower, and it sidesteps the packed
+        plane a transient sense fault condemned.  ``extra_senses``
+        models the margin-read ladder real firmware walks per sense
+        (each charged at the step's own MWS shape), so degraded
+        latency/energy honestly exceed the healthy path.
+        """
+        self.dispatches += 1
+        chip = self.chip
+        busy_before = chip.counters.busy_us
+        energy_before = chip.counters.energy_nj
+        senses_before = chip.counters.senses
+        for step in plan.steps:
+            if isinstance(step, SenseStep):
+                chip.execute_sense(
+                    list(step.command.targets),
+                    step.command.iscm,
+                    force_vth=True,
+                )
+                for _ in range(extra_senses):
+                    chip.charge_sense(step.n_wordlines, step.n_blocks)
+            elif isinstance(step, XorStep):
+                chip.xor_command(step.plane)
+            else:  # pragma: no cover - plans only hold the two kinds
+                raise TypeError(f"unknown plan step {step!r}")
+        n_bits = chip.geometry.page_size_bits
+        common = dict(
+            n_senses=chip.counters.senses - senses_before,
+            latency_us=chip.counters.busy_us - busy_before,
+            energy_nj=chip.counters.energy_nj - energy_before,
+            n_bits=n_bits,
+        )
+        if chip.packed:
+            return ExecutionResult(
+                _words=chip.output_cache_words(plan.plane), **common
+            )
+        return ExecutionResult(
+            _bits=chip.output_cache(plan.plane), **common
+        )
+
     def execute_batch(self, plans: list[Plan]) -> list[ExecutionResult]:
         """Drain a queue of plans batch-first (see module docstring).
 

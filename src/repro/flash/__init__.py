@@ -42,7 +42,21 @@ the scalar protocol with float-identical timing/energy accounting.
 from repro.flash.array import BlockArray, PlaneArray
 from repro.flash.calibration import FlashCalibration
 from repro.flash.chip import NandFlashChip
-from repro.flash.errors import ErrorModel, OperatingCondition
+from repro.flash.errors import (
+    BadBlockFault,
+    ChipStall,
+    ChipUnavailable,
+    ChipUnavailableError,
+    EraseFault,
+    ErrorModel,
+    FlashFault,
+    OperatingCondition,
+    ProgramFault,
+    RetryExhausted,
+    RetryExhaustedError,
+    SenseFault,
+)
+from repro.flash.faults import FaultConfig, FaultInjector, RecoveryPolicy
 from repro.flash.geometry import ChipGeometry, PageAddress, WordlineAddress
 from repro.flash.ispp import IsppEngine, IsppParameters, ProgramMode
 from repro.flash.latches import LatchBank
@@ -53,10 +67,18 @@ from repro.flash.power import PowerModel
 from repro.flash.vth import VthState, VthWindow
 
 __all__ = [
+    "BadBlockFault",
     "BlockArray",
     "ChipGeometry",
+    "ChipStall",
+    "ChipUnavailable",
+    "ChipUnavailableError",
+    "EraseFault",
     "ErrorModel",
+    "FaultConfig",
+    "FaultInjector",
     "FlashCalibration",
+    "FlashFault",
     "IsppEngine",
     "IsppParameters",
     "LatchBank",
@@ -66,7 +88,12 @@ __all__ = [
     "PageAddress",
     "PlaneArray",
     "PowerModel",
+    "ProgramFault",
     "ProgramMode",
+    "RecoveryPolicy",
+    "RetryExhausted",
+    "RetryExhaustedError",
+    "SenseFault",
     "SenseMode",
     "SensingEngine",
     "TimingModel",

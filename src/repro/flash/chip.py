@@ -35,7 +35,14 @@ import numpy as np
 
 from repro.flash.array import BlockArray, PlaneArray
 from repro.flash.calibration import DEFAULT_CALIBRATION, FlashCalibration
-from repro.flash.errors import ErrorModel, OperatingCondition
+from repro.flash.errors import (
+    BadBlockFault,
+    EraseFault,
+    ErrorModel,
+    OperatingCondition,
+    ProgramFault,
+    RetryExhaustedError,
+)
 from repro.flash.geometry import BlockAddress, ChipGeometry, WordlineAddress
 from repro.flash.ispp import ProgramMode
 from repro.flash.latches import LatchBank
@@ -134,6 +141,14 @@ class NandFlashChip:
         #: here: the executor layer confines each chip to one worker
         #: thread at a time (``MwsExecutor.lock``).
         self._memo_lock = threading.Lock()
+        #: Optional fault-injection plane (:mod:`repro.flash.faults`):
+        #: ``fault_injector`` draws program/erase failures and owns the
+        #: persistent bad-block set checked in ``_resolve_targets``;
+        #: ``fault_chip_id`` keys this chip's deterministic RNG stream
+        #: and counters inside the (possibly shared) injector.  ``None``
+        #: (the default) leaves every hot path untouched.
+        self.fault_injector = None
+        self.fault_chip_id = 0
         #: MwsCommand -> (stacked operand-row snapshot, group-size
         #: profile, (block, n_wordlines) read-accounting pairs,
         #: per-block layout versions) for the batched path.  Commands
@@ -156,6 +171,17 @@ class NandFlashChip:
         self.condition = condition
         self._condition_variants.clear()
 
+    def attach_fault_injector(self, injector, chip_id: int = 0) -> None:
+        """Attach a :class:`~repro.flash.faults.FaultInjector` (or
+        detach with ``None``).  ``chip_id`` identifies this chip inside
+        the injector's per-chip RNG streams and counters.  The batched
+        command memo is dropped: its entries were resolved before the
+        bad-block set existed."""
+        self.fault_injector = injector
+        self.fault_chip_id = chip_id
+        with self._memo_lock:
+            self._resolved_targets.clear()
+
     def cycle_block(self, address: BlockAddress, pe_cycles: int) -> None:
         """Wear a block to ``pe_cycles`` program/erase cycles (the
         characterization harness uses this instead of physically
@@ -170,12 +196,23 @@ class NandFlashChip:
     # ------------------------------------------------------------------
 
     def erase_block(self, address: BlockAddress) -> float:
-        block = self.plane_array.block(address)
-        block.erase()
+        inj = self.fault_injector
         duration = self.timing.t_erase_us()
         energy = self.power.energy_nj(
             self.power.erase_power_factor(), duration
         )
+        if inj is not None:
+            if inj.is_bad_block(self.fault_chip_id, address):
+                raise BadBlockFault(
+                    f"erase targeted bad block {address}", address=address
+                )
+            if inj.draw_erase_fault(self.fault_chip_id):
+                # The attempt still occupies the die for its modeled
+                # duration before the chip reports failure.
+                self.counters.charge(duration, energy)
+                raise EraseFault(f"erase failed at {address}")
+        block = self.plane_array.block(address)
+        block.erase()
         self.counters.erases += 1
         self.counters.charge(duration, energy)
         return duration
@@ -202,6 +239,22 @@ class NandFlashChip:
         ``data_bits`` may be an unpacked 0/1 page or a packed ``uint64``
         word row (the SSD ingest path packs vectors once)."""
         address.validate(self.geometry)
+        inj = self.fault_injector
+        if inj is not None:
+            if inj.is_bad_block(self.fault_chip_id, address.block_address):
+                raise BadBlockFault(
+                    f"program targeted bad block {address.block_address}",
+                    address=address,
+                )
+            if inj.draw_program_fault(self.fault_chip_id):
+                duration = self.timing.t_program_us(mode.value, esp_extra)
+                self.counters.charge(
+                    duration,
+                    self.power.energy_nj(
+                        self.power.program_power_factor(), duration
+                    ),
+                )
+                raise ProgramFault(f"program failed at {address}")
         data = np.asarray(data_bits)
         if data.dtype == np.uint64:
             if randomize:
@@ -425,8 +478,10 @@ class NandFlashChip:
         down, so negative offsets recover retention-degraded data --
         the standard firmware mitigation the paper cites ([64]).
 
-        Returns (bits, retries).  Raises RuntimeError when no offset
-        validates."""
+        Returns (bits, retries).  Raises
+        :class:`~repro.flash.errors.RetryExhaustedError` (a
+        ``RuntimeError`` subclass) when no offset validates, carrying
+        the failing page address and the attempted offsets."""
         block = self.plane_array.block(address.block_address)
         meta = block.metadata[address.wordline]
         # Everything offset-independent is resolved once: the sense
@@ -452,8 +507,11 @@ class NandFlashChip:
                 raw = self.randomizer.derandomize(raw, index)
             if validate(raw):
                 return raw, retries
-        raise RuntimeError(
-            f"read-retry exhausted {len(vref_offsets)} reference offsets"
+        raise RetryExhaustedError(
+            f"read-retry exhausted {len(vref_offsets)} reference offsets",
+            address=address,
+            vref_offsets=vref_offsets,
+            attempts=len(vref_offsets),
         )
 
     # ------------------------------------------------------------------
@@ -466,16 +524,20 @@ class NandFlashChip:
         iscm: IscmFlags,
         *,
         vref_offset: float = 0.0,
+        force_vth: bool = False,
     ) -> None:
         """Execute one MWS command: sense all targeted wordlines in a
         single operation and drive the latch protocol per the ISCM
         flags.  A regular read is the one-block/one-wordline case.
-        ``vref_offset`` shifts VREF (read-retry support)."""
+        ``vref_offset`` shifts VREF (read-retry support); ``force_vth``
+        evaluates through the V_TH comparison even on the packed plane
+        (degraded-mode recovery -- bit-identical on an error-free chip,
+        just slower)."""
         plane, blocks = self._resolve_targets(targets)
         bank = self.latches[plane]
         condition = self._effective_condition(blocks)
         outcome = self.sensing.inter_block_mws(
-            blocks, condition, vref_offset=vref_offset
+            blocks, condition, vref_offset=vref_offset, force_vth=force_vth
         )
 
         if iscm.init_cache:
@@ -626,11 +688,19 @@ class NandFlashChip:
         planes = {block.plane for block, _ in targets}
         if len(planes) != 1:
             raise ValueError("one sense operation targets a single plane")
+        inj = self.fault_injector
         blocks = []
         for block_addr, wordlines in targets:
             block_addr.validate(self.geometry)
             if not wordlines:
                 raise ValueError("empty wordline set for a target block")
+            if inj is not None and inj.is_bad_block(
+                self.fault_chip_id, block_addr
+            ):
+                raise BadBlockFault(
+                    f"sense targeted bad block {block_addr}",
+                    address=block_addr,
+                )
             blocks.append(
                 (self.plane_array.block(block_addr), tuple(wordlines))
             )

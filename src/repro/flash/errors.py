@@ -341,3 +341,95 @@ class ErrorModel:
         """True when the statistical RBER is below the paper's
         zero-observed-errors threshold (2.07e-12 over 4.83e11 bits)."""
         return self.slc_rber(condition) < self.calibration.zero_error_rber
+
+
+# ----------------------------------------------------------------------
+# Typed fault exceptions
+# ----------------------------------------------------------------------
+#
+# The fault-injection plane (:mod:`repro.flash.faults`) and the
+# recovery policy in the query engine communicate through this
+# hierarchy.  The base class subclasses ``RuntimeError`` so existing
+# callers (and tests) that catch the historical bare ``RuntimeError``
+# keep working.
+
+
+class FlashFault(RuntimeError):
+    """Base class for all injected/operational flash failures."""
+
+
+class SenseFault(FlashFault):
+    """A (transient) multi-wordline or page sense reported failure.
+
+    Transient: a retry of the same sense may succeed.  Raised by the
+    chip when its attached :class:`~repro.flash.faults.FaultInjector`
+    draws a sense fault for the attempt.
+    """
+
+    def __init__(self, message: str, *, chip: int | None = None) -> None:
+        super().__init__(message)
+        self.chip = chip
+
+
+class BadBlockFault(FlashFault):
+    """An operation targeted a block marked bad (persistent)."""
+
+    def __init__(self, message: str, *, address=None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
+class ProgramFault(FlashFault):
+    """A page program operation failed at the chip."""
+
+
+class EraseFault(FlashFault):
+    """A block erase operation failed at the chip."""
+
+
+class ChipStall(FlashFault):
+    """The chip (or its channel) stalled; the operation must wait.
+
+    Carries the stall duration so the caller can charge the delay into
+    the event simulation before retrying.
+    """
+
+    def __init__(self, message: str, *, stall_us: float = 0.0) -> None:
+        super().__init__(message)
+        self.stall_us = stall_us
+
+
+class ChipUnavailableError(FlashFault):
+    """The chip is quarantined/offline; work cannot be served on it."""
+
+    def __init__(self, message: str, *, chip: int | None = None) -> None:
+        super().__init__(message)
+        self.chip = chip
+
+
+class RetryExhaustedError(FlashFault):
+    """Bounded retry gave up.
+
+    Raised both by :meth:`NandFlashChip.read_page_with_retry` (carrying
+    the attempted VREF offsets and the failing page address) and by the
+    engine's recovery loop when every attempt of a sense failed and
+    degraded re-execution was unavailable or also failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        address=None,
+        vref_offsets: tuple[float, ...] = (),
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.address = address
+        self.vref_offsets = tuple(vref_offsets)
+        self.attempts = attempts
+
+
+#: ISSUE-facing aliases (the spec names the short forms).
+RetryExhausted = RetryExhaustedError
+ChipUnavailable = ChipUnavailableError

@@ -211,6 +211,7 @@ class SensingEngine:
         condition: OperatingCondition,
         *,
         vref_offset: float = 0.0,
+        force_vth: bool = False,
     ) -> np.ndarray:
         """Per-bitline conduction of one string group: AND over the
         targeted wordlines' cell conduction.
@@ -221,7 +222,12 @@ class SensingEngine:
 
         ``vref_offset`` shifts the read-reference voltage -- the
         read-retry mechanism real chips expose to recover data whose
-        V_TH distribution has drifted.
+        V_TH distribution has drifted.  ``force_vth`` routes even an
+        error-free packed sense through the V_TH comparison -- the
+        degraded/read-retry mode fault recovery falls back to, which
+        on an error-free chip is bit-identical to the packed reduce
+        (the idealized distributions are fully separated at zero
+        offset), just slower.
         """
         has_mlc, mode, esp_extra = self._scan_metadata(block, wordlines)
         rows = self._rows(wordlines)
@@ -229,6 +235,7 @@ class SensingEngine:
             self.packed
             and not self.inject_errors
             and vref_offset == 0.0
+            and not force_vth
         ):
             # Error-free conduction of a cell equals its stored bit
             # (the calibrated states are fully separated at zero
@@ -301,11 +308,16 @@ class SensingEngine:
         condition: OperatingCondition,
         *,
         vref_offset: float = 0.0,
+        force_vth: bool = False,
     ) -> SenseOutcome:
         """Regular page read: VREF on exactly one wordline.  For MLC
         wordlines this is the LSB-page read (single reference)."""
         payload = self._conduction(
-            block, (wordline,), condition, vref_offset=vref_offset
+            block,
+            (wordline,),
+            condition,
+            vref_offset=vref_offset,
+            force_vth=force_vth,
         )
         return self._outcome(
             payload,
@@ -351,10 +363,15 @@ class SensingEngine:
         condition: OperatingCondition,
         *,
         vref_offset: float = 0.0,
+        force_vth: bool = False,
     ) -> SenseOutcome:
         """Intra-block MWS: bitwise AND of the targeted wordlines."""
         payload = self._conduction(
-            block, tuple(wordlines), condition, vref_offset=vref_offset
+            block,
+            tuple(wordlines),
+            condition,
+            vref_offset=vref_offset,
+            force_vth=force_vth,
         )
         return self._outcome(
             payload,
@@ -369,6 +386,7 @@ class SensingEngine:
         condition: OperatingCondition,
         *,
         vref_offset: float = 0.0,
+        force_vth: bool = False,
     ) -> SenseOutcome:
         """Inter-block MWS: OR across blocks of the AND within each
         block (Equation 1).  With one wordline per block this is plain
@@ -379,7 +397,11 @@ class SensingEngine:
         total_wordlines = 0
         for block, wordlines in targets:
             conduction = self._conduction(
-                block, tuple(wordlines), condition, vref_offset=vref_offset
+                block,
+                tuple(wordlines),
+                condition,
+                vref_offset=vref_offset,
+                force_vth=force_vth,
             )
             total_wordlines += len(wordlines)
             acc = conduction if acc is None else (acc | conduction)

@@ -66,6 +66,17 @@ open-loop arrival processes, :class:`ClosedLoopController` +
 the offered rate off multiplicatively while observed p99 exceeds the
 target and probes additively below it.
 
+**Fault tolerance** (:mod:`~repro.service.health`,
+:mod:`~repro.flash.faults`).  With a deterministic
+:class:`~repro.flash.faults.FaultInjector` attached to the SSD,
+windows execute under the engine's bounded retry/backoff recovery
+with degraded-mode (V_TH path) fallback; the service folds every
+window's per-chip error rates into an EWMA circuit breaker that
+degrades or quarantines sick chips, the scheduler prices degraded
+chips and parks quarantined ones, and any quarantine transition bumps
+the chip's directory generation so bound plans and cached results
+rebind.  Injection off keeps every fast path bit-for-bit untouched.
+
 **Metrics** (:mod:`~repro.service.metrics`).
 :class:`~repro.service.metrics.ServiceStats` reports per-query
 p50/p99 latency on the virtual clock, sustained queries/sec over the
@@ -104,6 +115,14 @@ from repro.service.clock import (
     UniformArrivals,
     VirtualClock,
 )
+from repro.service.health import (
+    DEGRADED,
+    HEALTH_STATES,
+    HEALTHY,
+    QUARANTINED,
+    ChipHealthTracker,
+    HealthConfig,
+)
 from repro.service.metrics import LatencySummary, ServiceStats
 from repro.service.scheduler import (
     POLICIES,
@@ -118,14 +137,20 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "DEGRADED",
+    "HEALTHY",
+    "HEALTH_STATES",
     "POLICIES",
+    "QUARANTINED",
     "AdmissionQueue",
     "AdmissionWindow",
     "ArrivalProcess",
     "BitmapIndexClient",
     "BurstArrivals",
+    "ChipHealthTracker",
     "ClientTraffic",
     "ClosedLoopController",
+    "HealthConfig",
     "KCliqueClient",
     "LatencySummary",
     "PoissonArrivals",

@@ -1,0 +1,168 @@
+"""Per-chip health tracking and quarantine for the query service.
+
+The service observes every window's per-chip operation/error counts
+(an *operation* is one real recovered execution attempt on the chip;
+an *error* is a faulted attempt or a surfaced failure) and folds each
+window's error rate into a per-chip EWMA.  A circuit-breaker state
+machine rides on the EWMA:
+
+``healthy``
+    Full-speed packed-plane service.  EWMA at or above
+    ``degrade_threshold`` moves the chip to ``degraded``; at or above
+    ``quarantine_threshold`` it trips straight to ``quarantined``.
+
+``degraded``
+    The chip keeps serving, but the engine re-executes its senses on
+    the V_TH read-retry path (``force_vth`` -- correct but slower,
+    and immune to transient sense faults) and the scheduler scales
+    its latency estimates by the configured slowdown.  EWMA below
+    ``degrade_threshold`` heals the chip back to ``healthy``; at or
+    above ``quarantine_threshold`` it trips to ``quarantined``.
+
+``quarantined``
+    The breaker is open: the scheduler parks the chip's tasks and the
+    engine fails them fast with
+    :class:`~repro.flash.errors.ChipUnavailableError` -- no traffic
+    reaches the chip.  With no observations the EWMA decays by
+    ``(1 - ewma_alpha)`` per window, and after ``probation_windows``
+    windows the breaker half-opens: the chip re-enters service in
+    ``degraded`` mode (the safe V_TH path), from which it must earn
+    its way back to ``healthy`` through the thresholds above.
+
+Every transition in or out of ``quarantined`` is a *placement event*:
+the service bumps the chip's
+:attr:`~repro.core.planner.OperandDirectory.generation`, so every
+bound plan and cached result stamped against the old placement world
+is rebound before the chip serves (or stops serving) traffic -- the
+same invalidation contract register/unregister already follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+
+#: The breaker's states in escalation order.
+HEALTH_STATES = (HEALTHY, DEGRADED, QUARANTINED)
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds of the per-chip circuit breaker."""
+
+    #: Smoothing factor of the per-window error-rate EWMA (weight of
+    #: the newest window).
+    ewma_alpha: float = 0.35
+    #: EWMA at or above this marks the chip ``degraded`` (V_TH path,
+    #: scaled estimates).
+    degrade_threshold: float = 0.1
+    #: EWMA at or above this trips the breaker open (``quarantined``).
+    quarantine_threshold: float = 0.5
+    #: Quarantine windows before the breaker half-opens back into
+    #: ``degraded``.
+    probation_windows: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 < self.degrade_threshold <= self.quarantine_threshold:
+            raise ValueError(
+                "thresholds must satisfy 0 < degrade <= quarantine"
+            )
+        if self.quarantine_threshold > 1.0:
+            raise ValueError("quarantine_threshold must be <= 1")
+        if self.probation_windows < 1:
+            raise ValueError("probation_windows must be >= 1")
+
+
+class ChipHealthTracker:
+    """EWMA error tracking + breaker state for every chip of one SSD."""
+
+    def __init__(
+        self, n_chips: int, config: HealthConfig | None = None
+    ) -> None:
+        if n_chips < 1:
+            raise ValueError("n_chips must be >= 1")
+        self.config = config or HealthConfig()
+        self._states = [HEALTHY] * n_chips
+        self._ewma = [0.0] * n_chips
+        self._quarantine_left = [0] * n_chips
+        #: Times any chip's breaker tripped open over this tracker's
+        #: lifetime.
+        self.quarantines = 0
+
+    @property
+    def n_chips(self) -> int:
+        return len(self._states)
+
+    def state(self, chip: int) -> str:
+        return self._states[chip]
+
+    def error_rate(self, chip: int) -> float:
+        """Current error-rate EWMA of one chip."""
+        return self._ewma[chip]
+
+    @property
+    def degraded(self) -> frozenset[int]:
+        """Chips serving on the safe V_TH path."""
+        return frozenset(
+            chip
+            for chip, state in enumerate(self._states)
+            if state == DEGRADED
+        )
+
+    @property
+    def offline(self) -> frozenset[int]:
+        """Chips whose breaker is open (no traffic)."""
+        return frozenset(
+            chip
+            for chip, state in enumerate(self._states)
+            if state == QUARANTINED
+        )
+
+    def observe_window(
+        self, observations: Mapping[int, tuple[int, int]]
+    ) -> list[tuple[int, str, str]]:
+        """Fold one window's ``chip -> (operations, errors)`` counts
+        into the EWMAs and advance the breaker state machine.
+
+        Every chip advances every window: observed chips fold their
+        window error rate in, unobserved (idle or quarantined) chips
+        decay toward health.  Returns the transitions performed as
+        ``(chip, old_state, new_state)`` -- the service treats any
+        transition touching ``quarantined`` as a placement event.
+        """
+        cfg = self.config
+        transitions: list[tuple[int, str, str]] = []
+        for chip in range(len(self._states)):
+            old = self._states[chip]
+            ops, errors = observations.get(chip, (0, 0))
+            if ops > 0:
+                rate = min(1.0, errors / ops)
+                self._ewma[chip] = (
+                    cfg.ewma_alpha * rate
+                    + (1.0 - cfg.ewma_alpha) * self._ewma[chip]
+                )
+            else:
+                self._ewma[chip] *= 1.0 - cfg.ewma_alpha
+            new = old
+            if old == QUARANTINED:
+                self._quarantine_left[chip] -= 1
+                if self._quarantine_left[chip] <= 0:
+                    new = DEGRADED  # half-open: V_TH path first
+            elif self._ewma[chip] >= cfg.quarantine_threshold:
+                new = QUARANTINED
+                self._quarantine_left[chip] = cfg.probation_windows
+                self.quarantines += 1
+            elif self._ewma[chip] >= cfg.degrade_threshold:
+                new = DEGRADED
+            else:
+                new = HEALTHY
+            if new != old:
+                self._states[chip] = new
+                transitions.append((chip, old, new))
+        return transitions

@@ -96,6 +96,26 @@ class ServiceStats:
     #: makespan -- ``chip0``/``chan1``/``ext`` style names from the
     #: event simulation, whatever resources the jobs actually named.
     resource_utilization: dict[str, float] = field(default_factory=dict)
+    #: Fault events the injector raised during this run (transient
+    #: sense faults, program/erase failures, stalls, bad-block hits);
+    #: 0 without an attached :class:`~repro.flash.faults.FaultInjector`.
+    faults_injected: int = 0
+    #: Extra recovered sense attempts the engine's retry loop spent.
+    fault_retries: int = 0
+    #: Chunk executions served on the degraded V_TH path (retry
+    #: exhaustion fallback or a health-degraded chip).
+    degraded_senses: int = 0
+    #: Times a chip's breaker tripped open during this run.
+    quarantines: int = 0
+    #: Queries that surfaced a typed fault error instead of a result.
+    queries_failed: int = 0
+    #: Virtual time charged for recovery (retry backoff + injected
+    #: stalls), stamped into the event simulation as stage-0 delay.
+    fault_overhead_us: float = 0.0
+    #: Missed deadlines on queries whose window execution paid any
+    #: fault cost (retries, degraded senses, or recovery delay) --
+    #: the misses attributable to the fault plane rather than load.
+    fault_attributed_misses: int = 0
 
     def _class_utilization(self, prefix: str) -> dict[str, float]:
         return {
@@ -147,7 +167,22 @@ class ServiceStats:
             return 0.0
         return 1.0 - self.deadlines_met / self.n_deadlines
 
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of queries that surfaced an error."""
+        if self.n_queries == 0:
+            return 0.0
+        return self.queries_failed / self.n_queries
+
     def describe(self) -> str:
+        if self.n_queries == 0:
+            # A degraded run can complete with every window empty (or
+            # every query failed before admission); report that
+            # plainly instead of rendering rates over nothing.
+            return (
+                f"0 queries / {self.n_windows} windows: idle run, "
+                f"no latency distribution"
+            )
         lat = self.latency
         text = (
             f"{self.n_queries} queries / {self.n_windows} windows: "
@@ -168,5 +203,19 @@ class ServiceStats:
             text += (
                 f", {self.preemptions} preemptions "
                 f"({self.preemption_overhead_us:.1f} us overhead)"
+            )
+        if (
+            self.faults_injected
+            or self.queries_failed
+            or self.degraded_senses
+            or self.quarantines
+        ):
+            text += (
+                f", {self.faults_injected} faults injected "
+                f"({self.fault_retries} retries, "
+                f"{self.degraded_senses} degraded senses, "
+                f"{self.quarantines} quarantines, "
+                f"{self.queries_failed} failed, "
+                f"{self.fault_overhead_us:.1f} us recovery)"
             )
         return text

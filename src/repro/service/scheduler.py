@@ -118,6 +118,9 @@ def schedule_window(
     policy: str = "balanced",
     share: bool = True,
     info: Mapping[int, QueryInfo] | None = None,
+    degraded: Iterable[int] = (),
+    offline: Iterable[int] = (),
+    degraded_slowdown: float = 3.0,
 ) -> list[ChunkTask]:
     """Order one window's chunk tasks into the global emission order.
 
@@ -126,15 +129,41 @@ def schedule_window(
     LPT weights and the cross-chip balance.  ``info`` carries the
     per-query deadlines/priorities/weights the ``edf`` policy orders
     by; the other policies ignore it.
+
+    ``degraded`` and ``offline`` are the health tracker's routing
+    directives (see :mod:`repro.service.health`).  Striping fixes
+    chunk placement, so the scheduler cannot move a sick chip's work
+    elsewhere -- what it does is *price and park*: a degraded chip's
+    estimates are scaled by ``degraded_slowdown`` (the V_TH path is
+    slower, so the LPT balance and EDF urgency must see the real
+    cost), and a quarantined chip's tasks are parked at the emission
+    tail in submission order, where the engine fails them fast
+    without ever occupying schedule positions ahead of live work.
     """
     if policy not in POLICIES:
         raise ValueError(
             f"unknown scheduling policy {policy!r}; choose from {POLICIES}"
         )
+    degraded_chips = frozenset(degraded)
+    offline_chips = frozenset(offline)
+    if degraded_chips:
+        base = estimate
+
+        def estimate(task: ChunkTask, _base: LatencyEstimator = base) -> float:
+            cost = _base(task)
+            if task.chip in degraded_chips:
+                cost *= degraded_slowdown
+            return cost
+
+    parked: list[ChunkTask] = []
+    if offline_chips:
+        live = [t for t in tasks if t.chip not in offline_chips]
+        parked = [t for t in tasks if t.chip in offline_chips]
+        tasks = live
     if policy == "fifo":
-        return list(tasks)
+        return list(tasks) + parked
     if policy == "edf":
-        return _edf_schedule(tasks, estimate, info or {}, share)
+        return _edf_schedule(tasks, estimate, info or {}, share) + parked
 
     # 1./2. Bucket per chip by plan identity and LPT-order each chip's
     #    unique buckets by their estimated cost.
@@ -155,7 +184,7 @@ def schedule_window(
         ordered.extend(group)
         if not chip_queues[chip]:
             del chip_queues[chip]
-    return ordered
+    return ordered + parked
 
 
 def _chip_share_groups(

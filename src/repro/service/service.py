@@ -19,7 +19,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.expressions import Expression
+from repro.flash.faults import RecoveryPolicy
 from repro.service.admission import AdmissionQueue, Submission
+from repro.service.health import (
+    QUARANTINED,
+    ChipHealthTracker,
+    HealthConfig,
+)
 from repro.service.metrics import LatencySummary, ServiceStats
 from repro.service.scheduler import (
     POLICIES,
@@ -57,6 +63,30 @@ class ServedQuery:
     cached_chunks: int = 0
     priority: int = 0
     deadline_us: float | None = None
+    #: Typed fault the query surfaced (``None`` on success); a failed
+    #: query carries an empty result vector.
+    error: Exception | None = None
+    #: Extra recovered sense attempts spent on this query's chunks.
+    retries: int = 0
+    #: Chunk executions served on the degraded V_TH path.
+    degraded_chunks: int = 0
+    #: Virtual recovery time (backoff + stalls) charged to this
+    #: query's pipeline jobs.
+    fault_overhead_us: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def fault_affected(self) -> bool:
+        """Whether any fault-plane mechanism touched this query."""
+        return (
+            self.error is not None
+            or self.retries > 0
+            or self.degraded_chunks > 0
+            or self.fault_overhead_us > 0.0
+        )
 
     @property
     def wait_us(self) -> float:
@@ -101,7 +131,8 @@ class _QueryState:
     __slots__ = (
         "submission", "prepared", "pieces", "n_senses", "energy_nj",
         "chip_busy", "shared_chunks", "cached_chunks", "admitted_us",
-        "completed_us",
+        "completed_us", "error", "retries", "degraded_chunks",
+        "fault_us",
     )
 
     def __init__(self, submission, prepared) -> None:
@@ -115,6 +146,10 @@ class _QueryState:
         self.cached_chunks = 0
         self.admitted_us = 0.0
         self.completed_us = 0.0
+        self.error: Exception | None = None
+        self.retries = 0
+        self.degraded_chunks = 0
+        self.fault_us = 0.0
 
 
 class QueryService:
@@ -165,6 +200,21 @@ class QueryService:
         preemption counts, overhead, and per-resource utilization.
         Off by default: without it the simulation is the exact FCFS
         baseline every existing result was measured on.
+
+    ``recovery`` / ``health``
+        Fault tolerance (:mod:`repro.flash.faults`,
+        :mod:`repro.service.health`).  When the SSD carries an active
+        :class:`~repro.flash.faults.FaultInjector`, windows execute
+        under bounded retry/backoff with degraded-mode (V_TH path)
+        fallback -- an explicit
+        :class:`~repro.flash.faults.RecoveryPolicy` overrides the
+        default.  Every window's per-chip error rates feed an EWMA
+        circuit breaker (:class:`~repro.service.health.ChipHealthTracker`)
+        that marks sick chips degraded (served on the safe V_TH path,
+        priced by the scheduler) or quarantined (parked; their tasks
+        fail fast with ``ChipUnavailableError``); any quarantine
+        transition bumps the chip's directory generation so bound
+        plans and cached results rebind before service resumes.
     """
 
     def __init__(
@@ -187,6 +237,8 @@ class QueryService:
         suspend_cost_us: float = 0.0,
         resume_cost_us: float = 0.0,
         max_suspends: int = 2,
+        recovery: RecoveryPolicy | None = None,
+        health: HealthConfig | None = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -194,6 +246,16 @@ class QueryService:
             )
         self.ssd = ssd
         self.engine = ssd.engine
+        #: Retry/backoff/degradation policy for fault recovery.  An
+        #: explicit policy is always honoured; ``None`` adopts the
+        #: default :class:`~repro.flash.faults.RecoveryPolicy`
+        #: whenever the SSD carries an active fault injector (the
+        #: engine itself disables recovery when injection is off, so
+        #: the fault-free path is untouched either way).
+        self.recovery = recovery
+        #: Per-chip EWMA health tracking + quarantine breaker; always
+        #: on (a fault-free run simply never observes an error).
+        self.health = ChipHealthTracker(len(ssd.chips), config=health)
         self.policy = policy
         self.share_senses = share_senses
         self.workers = max(1, int(workers))
@@ -307,6 +369,19 @@ class QueryService:
         cached_plans = 0
         cached_senses = 0
         total_senses = 0
+        fault_retries = 0
+        degraded_senses = 0
+        fault_overhead_us = 0.0
+        injector = getattr(self.ssd, "fault_injector", None)
+        recovery = self.recovery
+        if (
+            recovery is None
+            and injector is not None
+            and injector.active
+        ):
+            recovery = RecoveryPolicy()
+        faults_before = injector.faults_injected if injector else 0
+        quarantines_before = self.health.quarantines
 
         for window in windows:
             tasks: list[ChunkTask] = []
@@ -318,18 +393,25 @@ class QueryService:
                 states[submission.query_id] = state
                 info[submission.query_id] = self._query_info(submission)
                 tasks.extend(prepared.tasks(query=submission.query_id))
+            degraded_chips = self.health.degraded
+            offline_chips = self.health.offline
             ordered = schedule_window(
                 tasks,
                 self._estimate,
                 policy=self.policy,
                 share=self.share_senses,
                 info=info,
+                degraded=degraded_chips,
+                offline=offline_chips,
             )
             outcomes = self.engine.execute_tasks(
                 ordered,
                 share=self.share_senses,
                 use_cache=self.use_result_cache,
                 workers=self.workers,
+                recovery=recovery,
+                degraded=degraded_chips,
+                offline=offline_chips,
             )
             n_chunk_tasks += len(ordered)
             ready_s = window.close_us * 1e-6
@@ -340,6 +422,7 @@ class QueryService:
                 query_id: job_directives(meta)
                 for query_id, meta in info.items()
             }
+            chip_obs: dict[int, list[int]] = {}
             for outcome in outcomes:
                 task = outcome.task
                 state = states[task.query]
@@ -351,6 +434,14 @@ class QueryService:
                     + outcome.latency_us
                 )
                 total_senses += outcome.n_senses
+                if outcome.error is not None and state.error is None:
+                    state.error = outcome.error
+                state.retries += outcome.retries
+                state.fault_us += outcome.recovery_us
+                fault_retries += outcome.retries
+                fault_overhead_us += outcome.recovery_us
+                if outcome.degraded:
+                    state.degraded_chunks += 1
                 if outcome.cached:
                     state.cached_chunks += 1
                     cached_plans += 1
@@ -359,6 +450,20 @@ class QueryService:
                     state.shared_chunks += 1
                     shared_plans += 1
                     shared_senses += task.plan.n_senses
+                else:
+                    if outcome.degraded:
+                        degraded_senses += 1
+                    if task.chip not in offline_chips:
+                        # One real recovered execution: every attempt
+                        # is an operation; faulted attempts (and a
+                        # surfaced failure) are errors.  Parked tasks
+                        # never touched the chip, so they do not feed
+                        # its health signal.
+                        obs = chip_obs.setdefault(task.chip, [0, 0])
+                        obs[0] += outcome.retries + 1
+                        obs[1] += outcome.retries + (
+                            1 if outcome.error is not None else 0
+                        )
                 priority, deadline_s, preemptible = directives[task.query]
                 jobs.append(
                     self.engine.stage_job(
@@ -368,9 +473,24 @@ class QueryService:
                         priority=priority,
                         deadline_s=deadline_s,
                         preemptible=preemptible,
+                        fault_delay_us=outcome.recovery_us,
                     )
                 )
                 job_owner.append(task.query)
+            transitions = self.health.observe_window(
+                {
+                    chip: (ops, errors)
+                    for chip, (ops, errors) in chip_obs.items()
+                }
+            )
+            for chip, old, new in transitions:
+                if QUARANTINED in (old, new):
+                    # Placement event: entering quarantine parks the
+                    # chip, leaving re-admits it -- either way every
+                    # bound plan and cached result stamped against
+                    # the old world must rebind (same contract as
+                    # register/unregister).
+                    self.ssd.controllers[chip].directory.generation += 1
 
         # Every window executed: only now drain the admission queue,
         # so an exception above (e.g. a query over non-co-located
@@ -401,13 +521,27 @@ class QueryService:
             preemptions=report.preemptions,
             preemption_overhead_us=report.preemption_overhead * 1e6,
             resource_utilization=report.utilizations(),
+            faults_injected=(
+                injector.faults_injected - faults_before if injector else 0
+            ),
+            fault_retries=fault_retries,
+            degraded_senses=degraded_senses,
+            quarantines=self.health.quarantines - quarantines_before,
+            fault_overhead_us=fault_overhead_us,
         )
         return ServiceReport(queries=served, stats=stats)
 
     def _served(self, state: _QueryState) -> ServedQuery:
         submission = state.submission
+        if state.error is not None:
+            # A failed query has no assembled result (some chunks
+            # never produced data); it still reports the flash work
+            # and sim time its attempts cost.
+            bits = np.zeros(0, dtype=np.uint8)
+        else:
+            bits = self.engine.assemble_bits(state.prepared, state.pieces)
         result = QueryResult(
-            bits=self.engine.assemble_bits(state.prepared, state.pieces),
+            bits=bits,
             n_senses=state.n_senses,
             latency_us=max(state.chip_busy.values(), default=0.0),
             energy_nj=state.energy_nj,
@@ -426,6 +560,10 @@ class QueryService:
             cached_chunks=state.cached_chunks,
             priority=submission.priority,
             deadline_us=submission.deadline_us,
+            error=state.error,
+            retries=state.retries,
+            degraded_chunks=state.degraded_chunks,
+            fault_overhead_us=state.fault_us,
         )
 
     @staticmethod
@@ -444,6 +582,11 @@ class QueryService:
         preemptions: int = 0,
         preemption_overhead_us: float = 0.0,
         resource_utilization: dict[str, float] | None = None,
+        faults_injected: int = 0,
+        fault_retries: int = 0,
+        degraded_senses: int = 0,
+        quarantines: int = 0,
+        fault_overhead_us: float = 0.0,
     ) -> ServiceStats:
         latency = LatencySummary.from_latencies(
             [q.latency_us for q in served]
@@ -456,6 +599,11 @@ class QueryService:
             span_us = 0.0
         throughput = len(served) / (span_us * 1e-6) if span_us > 0 else 0.0
         with_deadline = [q for q in served if q.deadline_us is not None]
+        fault_attributed_misses = sum(
+            1
+            for q in with_deadline
+            if q.deadline_met is False and q.fault_affected
+        )
         return ServiceStats(
             n_queries=len(served),
             n_windows=n_windows,
@@ -476,4 +624,11 @@ class QueryService:
             preemptions=preemptions,
             preemption_overhead_us=preemption_overhead_us,
             resource_utilization=resource_utilization or {},
+            faults_injected=faults_injected,
+            fault_retries=fault_retries,
+            degraded_senses=degraded_senses,
+            quarantines=quarantines,
+            queries_failed=sum(1 for q in served if q.error is not None),
+            fault_overhead_us=fault_overhead_us,
+            fault_attributed_misses=fault_attributed_misses,
         )

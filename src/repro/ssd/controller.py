@@ -64,6 +64,7 @@ class SmallSsd:
         esp_extra: float = 0.9,
         seed: int = 0,
         packed: bool = True,
+        fault_injector=None,
     ) -> None:
         self.geometry = geometry or ChipGeometry(
             planes_per_die=1,
@@ -103,6 +104,20 @@ class SmallSsd:
         from repro.ssd.query_engine import QueryEngine
 
         self.engine = QueryEngine(self)
+        #: Optional fault-injection plane shared by every chip (see
+        #: :mod:`repro.flash.faults`); ``None`` keeps all fast paths.
+        self.fault_injector = None
+        if fault_injector is not None:
+            self.attach_fault_injector(fault_injector)
+
+    def attach_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.flash.faults.FaultInjector` to every
+        chip (chip ``i`` keyed as stream ``i``), or detach with
+        ``None``.  The engine's recovery path and the service's health
+        tracking both read it from here."""
+        self.fault_injector = injector
+        for i, chip in enumerate(self.chips):
+            chip.attach_fault_injector(injector, chip_id=i)
 
     @property
     def page_bits(self) -> int:

@@ -114,6 +114,15 @@ class StageJob:
     breaks urgency ties (higher first); ``preemptible`` marks whether
     this job's in-flight stages may be suspended by a more urgent
     arrival.  The FCFS sweep ignores all three.
+
+    ``fault_delay_s`` is recovery time the fault plane charged to this
+    job (retry backoff, injected stalls, failed-attempt re-senses that
+    the engine did not fold into the stage durations): it extends the
+    job's *first* stage -- the die is occupied retrying -- so the
+    latency impact of every fault lands exactly in the simulated
+    timeline, and :attr:`StageReport.fault_overhead` totals it.  Both
+    simulators skip the addition entirely at 0.0, keeping fault-free
+    schedules float-identical.
     """
 
     ready_at: float
@@ -122,12 +131,15 @@ class StageJob:
     priority: float = 0.0
     deadline: float | None = None
     preemptible: bool = True
+    fault_delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if len(self.durations) != len(self.resources):
             raise ValueError("durations and resources must align")
         if not self.durations:
             raise ValueError("job needs at least one stage")
+        if self.fault_delay_s < 0:
+            raise ValueError("fault_delay_s must be >= 0")
 
     @property
     def urgency(self) -> tuple[int, float, float]:
@@ -152,7 +164,9 @@ class StageReport:
     set as open (unknown names report zero rather than raising).
     Under arbitration, ``resource_preemptions`` counts suspensions per
     resource and ``preemption_overhead`` totals the suspend/resume
-    seconds charged on top of the useful work.
+    seconds charged on top of the useful work.  ``fault_overhead``
+    totals the jobs' ``fault_delay_s`` recovery seconds that extended
+    their first stages -- the exact simulated cost of fault recovery.
     """
 
     makespan: float
@@ -161,6 +175,7 @@ class StageReport:
     resource_jobs: dict[str, int] = field(default_factory=dict)
     resource_preemptions: dict[str, int] = field(default_factory=dict)
     preemption_overhead: float = 0.0
+    fault_overhead: float = 0.0
 
     @property
     def preemptions(self) -> int:
@@ -265,6 +280,7 @@ def simulate_stages(
     busy: dict[str, float] = {}
     served: dict[str, int] = {}
     completion = [0.0] * len(jobs)
+    fault_overhead = 0.0
     while heap:
         ready_at, _, idx, stage = pop(heap)
         job = jobs[idx]
@@ -272,6 +288,11 @@ def simulate_stages(
         duration = job.durations[stage]
         if duration < 0:
             raise ValueError("duration must be >= 0")
+        if stage == 0 and job.fault_delay_s:
+            # Recovery time occupies the die ahead of the useful work;
+            # guarded so fault-free schedules stay float-identical.
+            duration += job.fault_delay_s
+            fault_overhead += job.fault_delay_s
         start = available.get(name, 0.0)
         if ready_at > start:
             start = ready_at
@@ -290,6 +311,7 @@ def simulate_stages(
         completion_times=completion,
         resource_busy=busy,
         resource_jobs=served,
+        fault_overhead=fault_overhead,
     )
 
 
@@ -342,8 +364,14 @@ def _simulate_arbitrated(
     #: of units that were suspended after their finish was scheduled.
     events: list[tuple[float, int, int, object]] = []
     seq = 0
+    fault_overhead = 0.0
     for idx, job in enumerate(jobs):
-        push(events, (job.ready_at, seq, _ARRIVE, _Unit(idx, 0, job.durations[0])))
+        first = job.durations[0]
+        if job.fault_delay_s:
+            # Mirror the FCFS sweep: recovery extends the first stage.
+            first += job.fault_delay_s
+            fault_overhead += job.fault_delay_s
+        push(events, (job.ready_at, seq, _ARRIVE, _Unit(idx, 0, first)))
         seq += 1
 
     #: name -> [running unit | None, token, wait heap, seg_start, end]
@@ -446,4 +474,5 @@ def _simulate_arbitrated(
         resource_jobs=served,
         resource_preemptions=preempted,
         preemption_overhead=overhead,
+        fault_overhead=fault_overhead,
     )

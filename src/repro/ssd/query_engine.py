@@ -120,6 +120,12 @@ from repro.core.planner import (
     StoredOperand,
     TemplateBindError,
 )
+from repro.flash.errors import (
+    ChipUnavailableError,
+    FlashFault,
+    RetryExhaustedError,
+)
+from repro.flash.faults import RecoveryPolicy
 from repro.flash.packing import unpack_rows
 from repro.ssd.config import SsdConfig, table1_config
 from repro.ssd.events import StageJob, simulate_stages
@@ -223,15 +229,29 @@ class ChunkOutcome(NamedTuple):
     A ``NamedTuple`` rather than a dataclass: one outcome is built per
     chunk task per window (thousands per service run), and tuple
     construction is the cheapest immutable record Python offers.
+
+    The trailing fields belong to the fault-recovery plane and stay at
+    their defaults everywhere injection is off: ``retries`` counts
+    failed sense attempts that were re-executed, ``recovery_us`` is
+    the *simulated* non-chip recovery time (retry backoff plus
+    injected stalls -- chip time of failed attempts is already in
+    ``latency_us``), ``degraded`` marks a result served by the V_TH
+    read-retry path, and ``error`` carries the typed
+    :class:`~repro.flash.errors.FlashFault` when every recovery route
+    failed (``data`` is ``None`` then).
     """
 
     task: ChunkTask
-    data: np.ndarray
+    data: np.ndarray | None
     n_senses: int
     latency_us: float
     energy_nj: float
     shared: bool
     cached: bool = False
+    retries: int = 0
+    recovery_us: float = 0.0
+    degraded: bool = False
+    error: Exception | None = None
 
 
 @dataclass(frozen=True)
@@ -720,6 +740,7 @@ class QueryEngine:
         priority: float = 0.0,
         deadline_s: float | None = None,
         preemptible: bool = True,
+        fault_delay_us: float = 0.0,
     ) -> StageJob:
         """Pipeline job for one chunk result: die sense -> channel DMA
         -> external link (durations in seconds, the event simulator's
@@ -732,7 +753,12 @@ class QueryEngine:
         :class:`~repro.ssd.events.ArbitrationConfig`): a deadline job
         outranks every non-deadline job at a contended die or channel
         and may suspend an in-flight preemptible sense; the legacy
-        FCFS sweep ignores all three."""
+        FCFS sweep ignores all three.
+
+        ``fault_delay_us`` is the chunk's recovery time (retry backoff
+        plus injected stalls, :attr:`ChunkOutcome.recovery_us`): the
+        simulator extends the die stage by it, so fault recovery lands
+        exactly in the simulated timeline."""
         dma_s, ext_s, resources = self._stage_constants(chip)
         return StageJob(
             ready_at=ready_at_s,
@@ -741,6 +767,7 @@ class QueryEngine:
             priority=priority,
             deadline=deadline_s,
             preemptible=preemptible,
+            fault_delay_s=fault_delay_us * 1e-6,
         )
 
     def _drain_pool(self, size: int) -> ThreadPoolExecutor:
@@ -757,6 +784,102 @@ class QueryEngine:
                 self._pool_size = size
             return self._pool
 
+    def _execute_recovered(
+        self,
+        executor,
+        chip: int,
+        plan: Plan,
+        injector,
+        policy: RecoveryPolicy,
+        force_degraded: bool,
+    ) -> tuple:
+        """Execute one plan under the fault-recovery policy.
+
+        Returns ``(data, n_senses, latency_us, energy_nj, retries,
+        recovery_us, degraded, error)``.  Chip cost fields are counter
+        deltas across *every* attempt -- a failed sense still occupied
+        the die -- while ``recovery_us`` holds the controller-side
+        backoff and injected stalls (charged to the event simulation,
+        not the chip).  All fault draws come from the chip's own
+        deterministic stream and happen inside this chip's drain, so
+        the sequence is identical at any worker count.
+        """
+        chip_obj = executor.chip
+        counters = chip_obj.counters
+        busy_before = counters.busy_us
+        energy_before = counters.energy_nj
+        senses_before = counters.senses
+        recovery_us = 0.0
+        retries = 0
+        degraded = False
+        error: Exception | None = None
+        result = None
+        if force_degraded:
+            # A health-degraded chip serves directly on the careful
+            # V_TH margin-read path, immune to transient sense faults.
+            degraded = True
+            try:
+                result = executor.execute_degraded(
+                    plan, extra_senses=policy.degraded_extra_senses
+                )
+            except FlashFault as fault:
+                error = fault
+        else:
+            attempt = 0
+            while True:
+                attempt += 1
+                recovery_us += injector.draw_stall(chip)
+                faulted = injector.draw_sense_fault(chip)
+                try:
+                    result = executor.execute(plan)
+                except FlashFault as fault:
+                    # Persistent (bad block): retrying cannot help.
+                    error = fault
+                    retries = attempt - 1
+                    break
+                if not faulted:
+                    retries = attempt - 1
+                    break
+                # Transient failure: the attempt's chip time is spent,
+                # its data is discarded.
+                result = None
+                if attempt > policy.max_retries:
+                    retries = policy.max_retries
+                    if policy.degraded_mode:
+                        degraded = True
+                        try:
+                            result = executor.execute_degraded(
+                                plan,
+                                extra_senses=policy.degraded_extra_senses,
+                            )
+                        except FlashFault as fault:
+                            error = fault
+                    else:
+                        error = RetryExhaustedError(
+                            f"sense retry exhausted after {attempt} "
+                            f"attempts on chip {chip}",
+                            attempts=attempt,
+                        )
+                    break
+                recovery_us += policy.backoff_us(attempt)
+        if result is None and error is None:  # pragma: no cover
+            error = RetryExhaustedError(
+                f"sense recovery failed on chip {chip}", attempts=retries + 1
+            )
+        data = None
+        if result is not None:
+            data = result.words if self.ssd.packed else result.bits
+        return (
+            data,
+            counters.senses - senses_before,
+            counters.busy_us - busy_before,
+            counters.energy_nj - energy_before,
+            retries,
+            recovery_us,
+            degraded,
+            error,
+        )
+
     def execute_tasks(
         self,
         tasks: Iterable[ChunkTask],
@@ -765,6 +888,9 @@ class QueryEngine:
         batch: bool = True,
         use_cache: bool = False,
         workers: int | None = None,
+        recovery: RecoveryPolicy | None = None,
+        degraded: Iterable[int] = (),
+        offline: Iterable[int] = (),
     ) -> list[ChunkOutcome]:
         """Drain a multi-query chunk-task list with cross-query sense
         sharing and window-at-a-time batched execution.
@@ -809,11 +935,31 @@ class QueryEngine:
         the identical plan sequence in the identical order, outcomes,
         latch end-state, and all per-chip counters are bit-/float-
         identical to the sequential drain at any worker count.
+
+        The last three parameters form the fault-recovery plane (see
+        :mod:`repro.flash.faults`).  With ``recovery`` set *and* an
+        active injector attached to the SSD, each unique plan executes
+        through the retry/backoff/degraded policy on the scalar path
+        (per-plan fault draws need per-plan execution); chips listed in
+        ``degraded`` serve directly on the V_TH margin-read path, and
+        chips listed in ``offline`` (quarantined) fail fast -- their
+        tasks come back as error outcomes carrying
+        :class:`~repro.flash.errors.ChipUnavailableError` without
+        touching the die.  An inactive (or absent) injector ignores
+        ``recovery`` entirely, so the fault-free window is the same
+        batched drain as ever, float for float.
         """
         packed = self.ssd.packed
         cache = self.result_cache if use_cache and packed else None
         if cache is not None:
             cache.begin_epoch()
+        injector = getattr(self.ssd, "fault_injector", None)
+        if recovery is not None and (
+            injector is None or not injector.active
+        ):
+            recovery = None
+        degraded_chips = frozenset(degraded)
+        offline_chips = frozenset(offline)
         order: list[ChunkTask] = (
             tasks if isinstance(tasks, list) else list(tasks)
         )
@@ -832,7 +978,30 @@ class QueryEngine:
             # drains write disjoint `outcomes` slots, so the list
             # needs no lock.  Engine stat counters accumulate locally
             # and merge once at the end under the engine lock.
+            if chip in offline_chips:
+                # Quarantined: fail fast without touching the die (the
+                # scheduler already parked these at the window tail).
+                for position in positions:
+                    task = order[position]
+                    outcomes[position] = outcome(
+                        task,
+                        None,
+                        0,
+                        0.0,
+                        0.0,
+                        False,
+                        False,
+                        0,
+                        0.0,
+                        False,
+                        ChipUnavailableError(
+                            f"chip {chip} is quarantined", chip=chip
+                        ),
+                    )
+                return
             executor = self.ssd.controllers[chip].executor
+            chip_degraded = chip in degraded_chips
+            recover = recovery is not None or chip_degraded
             shared_plans = 0
             shared_senses = 0
             with executor.lock:
@@ -869,33 +1038,84 @@ class QueryEngine:
                             unique.append(position)
                 else:
                     unique = pending
-                queue = [order[position].plan for position in unique]
                 dispatched_before = executor.dispatches
-                if batch:
-                    results = executor.execute_batch(queue)
+                if recover:
+                    # Fault recovery needs per-plan draws and retries,
+                    # so the queue runs scalar through the policy.
+                    policy = (
+                        recovery
+                        if recovery is not None
+                        else RecoveryPolicy()
+                    )
+                    for position in unique:
+                        task = order[position]
+                        (
+                            data,
+                            n_senses,
+                            latency_us,
+                            energy_nj,
+                            retries,
+                            recovery_us,
+                            was_degraded,
+                            error,
+                        ) = self._execute_recovered(
+                            executor,
+                            chip,
+                            task.plan,
+                            injector,
+                            policy,
+                            chip_degraded,
+                        )
+                        outcomes[position] = outcome(
+                            task,
+                            data,
+                            n_senses,
+                            latency_us,
+                            energy_nj,
+                            False,
+                            False,
+                            retries,
+                            recovery_us,
+                            was_degraded,
+                            error,
+                        )
+                        if (
+                            cache is not None
+                            and error is None
+                            and data is not None
+                        ):
+                            cache.put(chip, task.plan, data, n_senses)
                 else:
-                    results = [executor.execute(plan) for plan in queue]
+                    queue = [
+                        order[position].plan for position in unique
+                    ]
+                    if batch:
+                        results = executor.execute_batch(queue)
+                    else:
+                        results = [
+                            executor.execute(plan) for plan in queue
+                        ]
+                    for position, result in zip(unique, results):
+                        data = result.words if packed else result.bits
+                        outcomes[position] = outcome(
+                            order[position],
+                            data,
+                            result.n_senses,
+                            result.latency_us,
+                            result.energy_nj,
+                            False,
+                        )
+                        if cache is not None:
+                            cache.put(
+                                chip,
+                                order[position].plan,
+                                data,
+                                result.n_senses,
+                            )
                 # The executor reports its own dispatch count, so the
                 # stat stays truthful when execute_batch falls back to
                 # the per-sense loop (unpacked plane, error injection).
                 dispatches = executor.dispatches - dispatched_before
-                for position, result in zip(unique, results):
-                    data = result.words if packed else result.bits
-                    outcomes[position] = outcome(
-                        order[position],
-                        data,
-                        result.n_senses,
-                        result.latency_us,
-                        result.energy_nj,
-                        False,
-                    )
-                    if cache is not None:
-                        cache.put(
-                            chip,
-                            order[position].plan,
-                            data,
-                            result.n_senses,
-                        )
                 shared_plans = len(followers)
                 for position, first in followers:
                     prior = outcomes[first]
@@ -907,6 +1127,11 @@ class QueryEngine:
                         0.0,
                         0.0,
                         True,
+                        False,
+                        0,
+                        0.0,
+                        prior.degraded,
+                        prior.error,
                     )
             with self._lock:
                 self._executor_dispatches += dispatches
@@ -964,6 +1189,10 @@ class QueryEngine:
         for outcome in self.execute_tasks(
             prepared.tasks(query=0), share=False
         ):
+            if outcome.error is not None:
+                # The synchronous path has no degraded fallback left to
+                # try: surface the typed fault to the caller.
+                raise outcome.error
             task = outcome.task
             # Chunk results stay packed through the replay; the single
             # unpack happens at the result boundary in assemble_bits.
@@ -973,7 +1202,13 @@ class QueryEngine:
             chip_busy[task.chip] = (
                 chip_busy.get(task.chip, 0.0) + outcome.latency_us
             )
-            job_sink.append(self.stage_job(task.chip, outcome.latency_us))
+            job_sink.append(
+                self.stage_job(
+                    task.chip,
+                    outcome.latency_us,
+                    fault_delay_us=outcome.recovery_us,
+                )
+            )
         return QueryResult(
             bits=self.assemble_bits(prepared, pieces),
             n_senses=n_senses,

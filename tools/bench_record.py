@@ -8,10 +8,12 @@ packed-backend measurements
 throughput kernel (``benchmarks/bench_service.py``), the batched
 window-execution kernel (``benchmarks/bench_batch_sense.py``), and
 the cross-window result-cache + SLO kernels
-(``benchmarks/bench_result_cache.py``), and the concurrent-drain /
+(``benchmarks/bench_result_cache.py``), the concurrent-drain /
 preemptive-arbitration kernels (``benchmarks/bench_multicore.py``),
-then writes a condensed ``BENCH_kernels.json`` snapshot -- the
-checked-in baseline of the perf trajectory.
+and the fault-tolerance retention kernel
+(``benchmarks/bench_fault_tolerance.py``), then writes a condensed
+``BENCH_kernels.json`` snapshot -- the checked-in baseline of the
+perf trajectory.
 
 ``check`` re-measures and compares against the committed baseline
 with a multiplicative tolerance: kernel means may not exceed
@@ -228,6 +230,31 @@ def _run_preemption_bench() -> dict[str, float]:
     }
 
 
+def _run_faults_bench() -> dict[str, float]:
+    """Run the fault-tolerance kernel in-process.
+
+    Completion counts are exact (every faulted query must finish);
+    retention and conformance come from the deterministic event
+    simulation, so ``check`` floors them with tolerance only for
+    robustness against future workload retuning.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_fault_tolerance import measure_faults
+
+    m = measure_faults()
+    return {
+        "fault_rate": m["fault_rate"],
+        "n_queries": m["n_queries"],
+        "completed_faulted": m["completed_faulted"],
+        "throughput_retention": m["throughput_retention"],
+        "faulted_deadline_conformance": m["faulted_deadline_conformance"],
+        "faults_injected": m["faults_injected"],
+        "fault_retries": m["fault_retries"],
+        "fault_overhead_us": m["fault_overhead_us"],
+    }
+
+
 def measure() -> dict:
     import numpy
 
@@ -246,6 +273,7 @@ def measure() -> dict:
         "slo": _run_slo_bench(),
         "multicore": _run_multicore_bench(),
         "preemption": _run_preemption_bench(),
+        "faults": _run_faults_bench(),
     }
 
 
@@ -399,6 +427,27 @@ def check(baseline_path: Path, tolerance: float) -> int:
                 f"{tolerance:.1f}"
             )
 
+    base_ft = baseline.get("faults", {})
+    fresh_ft = fresh["faults"]
+    if "completed_faulted" in base_ft:
+        # A completion count, not a timing: recovery must keep
+        # finishing every query it finished before.
+        if fresh_ft["completed_faulted"] < base_ft["completed_faulted"]:
+            failures.append(
+                f"faults completed_faulted: "
+                f"{fresh_ft['completed_faulted']} < baseline "
+                f"{base_ft['completed_faulted']}"
+            )
+    for key in ("throughput_retention", "faulted_deadline_conformance"):
+        if key not in base_ft:
+            continue
+        floor = base_ft[key] / tolerance
+        if fresh_ft[key] < floor:
+            failures.append(
+                f"faults {key}: {fresh_ft[key]:.3f} < "
+                f"baseline {base_ft[key]:.3f} / {tolerance:.1f}"
+            )
+
     if failures:
         print("perf regression(s) vs baseline:")
         for failure in failures:
@@ -407,8 +456,8 @@ def check(baseline_path: Path, tolerance: float) -> int:
     print(
         f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels, "
         f"packed-backend, service, batch-sense, result-cache, SLO, "
-        f"multicore, and preemption metrics within {tolerance:.1f}x "
-        f"of baseline"
+        f"multicore, preemption, and fault-tolerance metrics within "
+        f"{tolerance:.1f}x of baseline"
     )
     return 0
 
