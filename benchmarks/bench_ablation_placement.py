@@ -7,6 +7,12 @@ sense), (b) Flash-Cosmos with operands scattered across blocks
 the same 8-operand OR under direct vs inverse storage.  Demonstrates
 that Flash-Cosmos's gains depend on the data layout the fc_write
 placement hints control.
+
+Each layout also reports its program-wear footprint (blocks touched
+and the worst per-block program count): co-location concentrates all
+programs in one string group's block, the raw material the
+maintenance plane's wear-leveling tiebreak spreads back out over a
+device lifetime.
 """
 
 import numpy as np
@@ -32,6 +38,14 @@ GEOMETRY = ChipGeometry(
 )
 
 
+def _wear(chip) -> tuple[int, int]:
+    """(blocks touched, max programs in any one block) -- the wear
+    spread this layout leaves behind."""
+    array = chip.plane_array
+    programs = [array.block(a).programs for a in array.materialized()]
+    return len(programs), max(programs, default=0)
+
+
 def run_and_layouts():
     rng = np.random.default_rng(3)
     pages = [rng.integers(0, 2, PAGE_BITS, dtype=np.uint8)
@@ -46,7 +60,7 @@ def run_and_layouts():
         fc.fc_write(f"v{i}", page, group="g")
     r = fc.fc_read(and_all([Operand(f"v{i}") for i in range(N_AND)]))
     assert (r.bits == expected).all()
-    results["FC co-located"] = (r.n_senses, r.latency_us)
+    results["FC co-located"] = (r.n_senses, r.latency_us, _wear(chip))
 
     # (b) scattered: every operand in its own block.
     chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=5)
@@ -55,7 +69,7 @@ def run_and_layouts():
         fc.fc_write(f"v{i}", page)
     r = fc.fc_read(and_all([Operand(f"v{i}") for i in range(N_AND)]))
     assert (r.bits == expected).all()
-    results["FC scattered"] = (r.n_senses, r.latency_us)
+    results["FC scattered"] = (r.n_senses, r.latency_us, _wear(chip))
 
     # (c) ParaBit: serial reads regardless of placement.
     chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=6)
@@ -64,7 +78,7 @@ def run_and_layouts():
                  for i, p in enumerate(pages)]
     r = ParaBit(chip).bitwise_and(addresses)
     assert (r.bits == expected).all()
-    results["ParaBit"] = (r.n_senses, r.latency_us)
+    results["ParaBit"] = (r.n_senses, r.latency_us, _wear(chip))
     return results
 
 
@@ -82,7 +96,7 @@ def run_or_layouts():
         fc.fc_write(f"v{i}", page)
     r = fc.fc_read(or_all([Operand(f"v{i}") for i in range(N_OR)]))
     assert (r.bits == expected).all()
-    results["OR direct (limit 4)"] = (r.n_senses, r.latency_us)
+    results["OR direct (limit 4)"] = (r.n_senses, r.latency_us, _wear(chip))
 
     # Inverse storage, one string group: a single inverse sense.
     chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=9)
@@ -91,7 +105,7 @@ def run_or_layouts():
         fc.fc_write(f"v{i}", page, group="inv", inverse=True)
     r = fc.fc_read(or_all([Operand(f"v{i}") for i in range(N_OR)]))
     assert (r.bits == expected).all()
-    results["OR inverse-stored"] = (r.n_senses, r.latency_us)
+    results["OR inverse-stored"] = (r.n_senses, r.latency_us, _wear(chip))
     return results
 
 
@@ -104,12 +118,14 @@ def test_ablation_placement(benchmark):
     )
 
     rows = [
-        [name, senses, f"{latency:.1f}"]
-        for name, (senses, latency) in {**and_results, **or_results}.items()
+        [name, senses, f"{latency:.1f}", blocks, worst]
+        for name, (senses, latency, (blocks, worst))
+        in {**and_results, **or_results}.items()
     ]
     print()
     print(format_table(
-        ["layout", "senses", "latency [us]"],
+        ["layout", "senses", "latency [us]", "blocks worn",
+         "max programs/block"],
         rows,
         title=f"Placement ablation ({N_AND}-op AND, {N_OR}-op OR)",
     ))
@@ -123,3 +139,7 @@ def test_ablation_placement(benchmark):
     )
     assert or_results["OR direct (limit 4)"][0] == 2  # ceil(8 / 4)
     assert or_results["OR inverse-stored"][0] == 1
+    # ... and it concentrates program wear where scattering dilutes it:
+    # all 24 programs land in the string group's single block.
+    assert and_results["FC co-located"][2] == (1, N_AND)
+    assert and_results["FC scattered"][2] == (N_AND, 1)

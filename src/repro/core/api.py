@@ -66,6 +66,11 @@ class FlashCosmos:
         # index; per (plane, group), the open sub-block and next WL.
         self._next_subblock: dict[int, int] = {}
         self._group_cursor: dict[tuple[int, str], tuple[BlockAddress, int]] = {}
+        # GC integration: erased sub-blocks returned by the maintenance
+        # plane (reused before the linear cursor advances) and retired
+        # sub-blocks (stuck bad blocks scrubbed out of the pool).
+        self._free_subblocks: list[BlockAddress] = []
+        self._retired_subblocks: set[BlockAddress] = set()
 
     # ------------------------------------------------------------------
     # Placement
@@ -73,16 +78,64 @@ class FlashCosmos:
 
     def _allocate_subblock(self, plane: int) -> BlockAddress:
         g = self.chip.geometry
+        free = [a for a in self._free_subblocks if a.plane == plane]
+        if free:
+            # Wear-leveling: reuse the erased sub-block whose block has
+            # seen the fewest program/erase cycles (address order ties).
+            choice = min(
+                free,
+                key=lambda a: (self.chip.plane_array.block(a).pe_cycles, a),
+            )
+            self._free_subblocks.remove(choice)
+            return choice
         index = self._next_subblock.get(plane, 0)
         total = g.blocks_per_plane * g.subblocks_per_block
-        if index >= total:
-            raise AllocationError(f"plane {plane} has no free sub-blocks")
-        self._next_subblock[plane] = index + 1
-        return BlockAddress(
-            plane=plane,
-            block=index // g.subblocks_per_block,
-            subblock=index % g.subblocks_per_block,
+        while index < total:
+            address = BlockAddress(
+                plane=plane,
+                block=index // g.subblocks_per_block,
+                subblock=index % g.subblocks_per_block,
+            )
+            index += 1
+            if address in self._retired_subblocks:
+                continue
+            self._next_subblock[plane] = index
+            return address
+        self._next_subblock[plane] = index
+        raise AllocationError(f"plane {plane} has no free sub-blocks")
+
+    def release_subblock(self, address: BlockAddress) -> None:
+        """Return an erased sub-block to the allocation pool (GC)."""
+        if address in self._retired_subblocks:
+            return
+        if address not in self._free_subblocks:
+            self._free_subblocks.append(address)
+
+    def retire_subblock(self, address: BlockAddress) -> None:
+        """Exclude a sub-block from allocation permanently (bad block
+        scrub/remap): never handed out again, even after erase."""
+        self._retired_subblocks.add(address)
+        if address in self._free_subblocks:
+            self._free_subblocks.remove(address)
+
+    def free_subblocks(self, plane: int = 0) -> int:
+        """Allocatable sub-blocks left on a plane: the GC free list
+        plus whatever the linear cursor has not yet handed out."""
+        g = self.chip.geometry
+        total = g.blocks_per_plane * g.subblocks_per_block
+        index = self._next_subblock.get(plane, 0)
+        unretired_ahead = sum(
+            1
+            for i in range(index, total)
+            if BlockAddress(
+                plane=plane,
+                block=i // g.subblocks_per_block,
+                subblock=i % g.subblocks_per_block,
+            )
+            not in self._retired_subblocks
         )
+        freed = sum(1 for a in self._free_subblocks if a.plane == plane)
+        return unretired_ahead + freed
 
     def _allocate_wordline(
         self, plane: int, group: str | None
@@ -153,6 +206,7 @@ class FlashCosmos:
         # leak the wordline: the cursor would otherwise sit one past a
         # page that holds no registered operand.
         subblock_cursor = self._next_subblock.get(plane)
+        free_snapshot = list(self._free_subblocks)
         group_key = (plane, group) if group is not None else None
         group_cursor = (
             self._group_cursor.get(group_key) if group_key else None
@@ -171,6 +225,7 @@ class FlashCosmos:
                 self._next_subblock.pop(plane, None)
             else:
                 self._next_subblock[plane] = subblock_cursor
+            self._free_subblocks = free_snapshot
             if group_key is not None:
                 if group_cursor is None:
                     self._group_cursor.pop(group_key, None)

@@ -103,6 +103,25 @@ class OperandDirectory:
         if self._operands.pop(name, None) is not None:
             self.generation += 1
 
+    def relocate(self, name: str, address: WordlineAddress) -> StoredOperand:
+        """Point an operand at a new physical page (GC/migration).
+
+        Inversion polarity and ESP margin travel with the operand --
+        the copyback path preserves both on the new page, so only the
+        address changes.  Bumps the generation so bound plans and
+        result-cache stamps that resolved the old address rebind.
+        """
+        old = self.lookup(name)
+        moved = StoredOperand(
+            name=name,
+            address=address,
+            inverted=old.inverted,
+            esp_extra=old.esp_extra,
+        )
+        self._operands[name] = moved
+        self.generation += 1
+        return moved
+
     def __contains__(self, name: str) -> bool:
         return name in self._operands
 

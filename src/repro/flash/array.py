@@ -90,6 +90,10 @@ class BlockArray:
         #: unmaterialized unless explicitly asked for.
         self.noise_enabled = noise_enabled
         self.pe_cycles = 0
+        #: Lifetime program count (wear-plane bookkeeping; unlike
+        #: ``pe_cycles`` this is never reset and counts every page
+        #: program, including GC copyback destinations).
+        self.programs = 0
         self.reads_since_erase = 0
         self.sigma_multiplier = 1.0
         #: Bumped on every program/erase; consumers that memoize
@@ -219,6 +223,7 @@ class BlockArray:
         meta.mode = mode
         meta.esp_extra = extra
         meta.randomized = randomized
+        self.programs += 1
         self.layout_version += 1
         return result
 
@@ -282,6 +287,7 @@ class BlockArray:
         meta.mode = ProgramMode.MLC
         meta.esp_extra = 0.0
         meta.randomized = randomized
+        self.programs += 1
         self.layout_version += 1
         # Write the V_TH row last: for noise-free blocks the property
         # access materializes the idealized plane first.

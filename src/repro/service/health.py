@@ -124,6 +124,16 @@ class ChipHealthTracker:
             if state == QUARANTINED
         )
 
+    def survivors(self, exclude: int | None = None) -> list[int]:
+        """Chips still accepting traffic (not quarantined), minus
+        ``exclude`` -- the maintenance plane's candidate destinations
+        when draining a freshly quarantined chip's live vectors."""
+        return [
+            chip
+            for chip, state in enumerate(self._states)
+            if state != QUARANTINED and chip != exclude
+        ]
+
     def observe_window(
         self, observations: Mapping[int, tuple[int, int]]
     ) -> list[tuple[int, str, str]]:

@@ -116,6 +116,27 @@ class ServiceStats:
     #: fault cost (retries, degraded senses, or recovery delay) --
     #: the misses attributable to the fault plane rather than load.
     fault_attributed_misses: int = 0
+    #: Background maintenance plane (:mod:`repro.ssd.maintenance`),
+    #: this run's deltas: victim sub-blocks erased and returned to the
+    #: allocation pool, live pages relocated (GC copyback + probation
+    #: drain), stuck bad blocks retired from allocation, quarantined
+    #: chips drained, and the chip time the background jobs occupied
+    #: inside the event simulation.  All 0 without ``maintenance=``.
+    blocks_reclaimed: int = 0
+    pages_migrated: int = 0
+    blocks_retired: int = 0
+    chips_drained: int = 0
+    maintenance_overhead_us: float = 0.0
+    #: P/E-cycle wear spread across every materialized block at the
+    #: end of the run (wear leveling keeps max - min small).
+    wear_min: int = 0
+    wear_max: int = 0
+    wear_mean: float = 0.0
+
+    @property
+    def wear_spread(self) -> int:
+        """Max - min P/E cycles across materialized blocks."""
+        return self.wear_max - self.wear_min
 
     def _class_utilization(self, prefix: str) -> dict[str, float]:
         return {
@@ -217,5 +238,23 @@ class ServiceStats:
                 f"{self.quarantines} quarantines, "
                 f"{self.queries_failed} failed, "
                 f"{self.fault_overhead_us:.1f} us recovery)"
+            )
+        if (
+            self.blocks_reclaimed
+            or self.pages_migrated
+            or self.blocks_retired
+            or self.chips_drained
+        ):
+            text += (
+                f", maintenance: {self.blocks_reclaimed} blocks "
+                f"reclaimed, {self.pages_migrated} pages migrated, "
+                f"{self.blocks_retired} retired, "
+                f"{self.chips_drained} chips drained "
+                f"({self.maintenance_overhead_us:.1f} us background)"
+            )
+        if self.wear_max:
+            text += (
+                f", wear {self.wear_min}-{self.wear_max} P/E "
+                f"(mean {self.wear_mean:.2f})"
             )
         return text

@@ -121,6 +121,7 @@ def schedule_window(
     degraded: Iterable[int] = (),
     offline: Iterable[int] = (),
     degraded_slowdown: float = 3.0,
+    gc_busy: Mapping[int, float] | None = None,
 ) -> list[ChunkTask]:
     """Order one window's chunk tasks into the global emission order.
 
@@ -139,6 +140,15 @@ def schedule_window(
     cost), and a quarantined chip's tasks are parked at the emission
     tail in submission order, where the engine fails them fast
     without ever occupying schedule positions ahead of live work.
+
+    ``gc_busy`` is the maintenance plane's pricing input: per-chip
+    background microseconds (GC copyback/erase, probation drain)
+    still pending inside the event simulation.  A die occupied by
+    background work drains its queue later in real time even though
+    the background jobs yield to every foreground sense, so the
+    cross-chip interleave counts that pending busy time as extra
+    remaining work -- chips burdened by GC emit their buckets earlier
+    and the window's tail stays off the collecting die.
     """
     if policy not in POLICIES:
         raise ValueError(
@@ -163,7 +173,10 @@ def schedule_window(
     if policy == "fifo":
         return list(tasks) + parked
     if policy == "edf":
-        return _edf_schedule(tasks, estimate, info or {}, share) + parked
+        return (
+            _edf_schedule(tasks, estimate, info or {}, share, gc_busy)
+            + parked
+        )
 
     # 1./2. Bucket per chip by plan identity and LPT-order each chip's
     #    unique buckets by their estimated cost.
@@ -174,6 +187,10 @@ def schedule_window(
         weighted.sort(key=lambda item: -item[0])
         chip_queues[chip] = weighted
         chip_work[chip] = sum(cost for cost, _ in weighted)
+    if gc_busy:
+        for chip, extra in gc_busy.items():
+            if chip in chip_work:
+                chip_work[chip] += extra
 
     # 3. Emit buckets from the chip with the most remaining work.
     ordered: list[ChunkTask] = []
@@ -238,6 +255,7 @@ def _edf_schedule(
     estimate: LatencyEstimator,
     info: Mapping[int, QueryInfo],
     share: bool,
+    gc_busy: Mapping[int, float] | None = None,
 ) -> list[ChunkTask]:
     """Earliest-deadline-first within weighted-fair tenant shares.
 
@@ -322,6 +340,10 @@ def _edf_schedule(
         queue = urgent + fair
         chip_queues[chip] = queue
         chip_work[chip] = sum(e.cost for e in queue)
+    if gc_busy:
+        for chip, extra in gc_busy.items():
+            if chip in chip_work:
+                chip_work[chip] += extra
 
     # 3. Interleave chips by most urgent head, then most remaining
     #    work (the shared link serves deadline traffic first).

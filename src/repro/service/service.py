@@ -35,6 +35,7 @@ from repro.service.scheduler import (
 )
 from repro.ssd.controller import QueryResult, SmallSsd
 from repro.ssd.events import ArbitrationConfig, StageJob, simulate_stages
+from repro.ssd.maintenance import MaintenanceConfig, MaintenanceManager
 from repro.ssd.query_engine import ChunkTask
 
 
@@ -215,6 +216,25 @@ class QueryService:
         fail fast with ``ChipUnavailableError``); any quarantine
         transition bumps the chip's directory generation so bound
         plans and cached results rebind before service resumes.
+
+    ``maintenance``
+        The background maintenance plane
+        (:mod:`repro.ssd.maintenance`).  Pass ``True`` for the default
+        :class:`~repro.ssd.maintenance.MaintenanceConfig`, a config,
+        or an existing
+        :class:`~repro.ssd.maintenance.MaintenanceManager`.  Per
+        window the manager paces garbage collection against free-block
+        pressure (low/high watermarks) and its copy/erase work joins
+        the event simulation as preemptible,
+        :data:`~repro.ssd.events.MAINTENANCE_PRIORITY` background jobs
+        -- under ``preemption`` an urgent sense suspends an in-flight
+        GC copy.  Stuck bad blocks are scrubbed out of the allocation
+        pool up front, and when the health tracker quarantines a chip
+        its live vectors drain to healthy chips during probation.
+        ``ServiceStats`` then reports blocks reclaimed, pages
+        migrated, wear spread, and the background overhead.  Off by
+        default: without it no data ever moves and free blocks are
+        never reclaimed.
     """
 
     def __init__(
@@ -239,6 +259,9 @@ class QueryService:
         max_suspends: int = 2,
         recovery: RecoveryPolicy | None = None,
         health: HealthConfig | None = None,
+        maintenance: (
+            MaintenanceManager | MaintenanceConfig | bool | None
+        ) = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -273,6 +296,16 @@ class QueryService:
         self.use_result_cache = result_cache
         if result_cache:
             self.engine.enable_result_cache(result_cache_size)
+        #: Background maintenance plane (GC/wear/migration); ``None``
+        #: disables it and leaves every existing path untouched.
+        if maintenance is None or maintenance is False:
+            self.maintenance: MaintenanceManager | None = None
+        elif isinstance(maintenance, MaintenanceManager):
+            self.maintenance = maintenance
+        elif isinstance(maintenance, MaintenanceConfig):
+            self.maintenance = ssd.maintenance(maintenance)
+        else:
+            self.maintenance = ssd.maintenance()
         self.tenant_weights = dict(tenant_weights or {})
         self.admission = AdmissionQueue(
             window_us=window_us,
@@ -362,7 +395,10 @@ class QueryService:
         windows = self.admission.windows()
         states: dict[int, _QueryState] = {}
         jobs: list[StageJob] = []
-        job_owner: list[int] = []
+        #: Query id per job; ``None`` marks background maintenance
+        #: jobs, which complete in the simulation but belong to no
+        #: query.
+        job_owner: list[int | None] = []
         n_chunk_tasks = 0
         shared_plans = 0
         shared_senses = 0
@@ -382,6 +418,35 @@ class QueryService:
             recovery = RecoveryPolicy()
         faults_before = injector.faults_injected if injector else 0
         quarantines_before = self.health.quarantines
+        manager = self.maintenance
+        if manager is not None:
+            maint_before = (
+                manager.stats.blocks_reclaimed,
+                manager.stats.pages_migrated,
+                manager.stats.blocks_retired,
+                manager.stats.chips_drained,
+                manager.stats.busy_us,
+            )
+            # Stuck bad blocks never re-enter the allocation pool.
+            manager.scrub_bad_blocks()
+
+        #: Background chip microseconds pending inside the event
+        #: simulation, per chip -- the scheduler prices this into its
+        #: cross-chip interleave so foreground tails avoid dies busy
+        #: with GC.
+        pending_gc_busy: dict[int, float] = {}
+
+        def enqueue_background(background: list[StageJob]) -> None:
+            jobs.extend(background)
+            job_owner.extend([None] * len(background))
+            for job in background:
+                resource = job.resources[0]
+                if resource.startswith("chip"):
+                    chip = int(resource[4:])
+                    pending_gc_busy[chip] = (
+                        pending_gc_busy.get(chip, 0.0)
+                        + job.durations[0] * 1e6
+                    )
 
         for window in windows:
             tasks: list[ChunkTask] = []
@@ -403,6 +468,7 @@ class QueryService:
                 info=info,
                 degraded=degraded_chips,
                 offline=offline_chips,
+                gc_busy=pending_gc_busy,
             )
             outcomes = self.engine.execute_tasks(
                 ordered,
@@ -483,6 +549,12 @@ class QueryService:
                     for chip, (ops, errors) in chip_obs.items()
                 }
             )
+            moved_before = (
+                0
+                if manager is None
+                else manager.stats.pages_migrated
+                + manager.stats.blocks_reclaimed
+            )
             for chip, old, new in transitions:
                 if QUARANTINED in (old, new):
                     # Placement event: entering quarantine parks the
@@ -491,6 +563,31 @@ class QueryService:
                     # the old world must rebind (same contract as
                     # register/unregister).
                     self.ssd.controllers[chip].directory.generation += 1
+                if new == QUARANTINED and manager is not None:
+                    # Probation drain: migrate the parked chip's live
+                    # vectors to chips still in service, so the next
+                    # windows answer from healthy silicon instead of
+                    # failing the chip's tasks.
+                    survivors = self.health.survivors(exclude=chip)
+                    enqueue_background(
+                        manager.drain_chip(
+                            chip, healthy=survivors, ready_at_s=ready_s
+                        )
+                    )
+            if manager is not None:
+                # Pace GC against free-block pressure: background
+                # copy/erase jobs become ready at this window's close
+                # and compete with later windows' foreground work.
+                enqueue_background(manager.run_cycle(ready_at_s=ready_s))
+                moved = (
+                    manager.stats.pages_migrated
+                    + manager.stats.blocks_reclaimed
+                ) != moved_before
+                if moved and self.engine.result_cache is not None:
+                    # Relocation went stale on whole swaths of cached
+                    # entries at once; drop them in bulk so the LRU
+                    # capacity keeps working for live results.
+                    self.engine.result_cache.prune_stale()
 
         # Every window executed: only now drain the admission queue,
         # so an exception above (e.g. a query over non-co-located
@@ -499,6 +596,8 @@ class QueryService:
 
         report = simulate_stages(jobs, arbitration=self.arbitration)
         for completion_s, owner in zip(report.completion_times, job_owner):
+            if owner is None:
+                continue  # background maintenance job, no query
             state = states[owner]
             state.completed_us = max(state.completed_us, completion_s * 1e6)
 
@@ -528,8 +627,34 @@ class QueryService:
             degraded_senses=degraded_senses,
             quarantines=self.health.quarantines - quarantines_before,
             fault_overhead_us=fault_overhead_us,
+            **self._maintenance_kwargs(
+                manager, maint_before if manager is not None else None
+            ),
         )
         return ServiceReport(queries=served, stats=stats)
+
+    def _maintenance_kwargs(
+        self, manager: MaintenanceManager | None, before
+    ) -> dict:
+        """This run's maintenance deltas plus the SSD's wear spread."""
+        wear = self.ssd.wear_summary()
+        out = {
+            "wear_min": wear.pe_min,
+            "wear_max": wear.pe_max,
+            "wear_mean": wear.pe_mean,
+        }
+        if manager is None:
+            return out
+        reclaimed, migrated, retired, drained, busy_us = before
+        stats = manager.stats
+        out.update(
+            blocks_reclaimed=stats.blocks_reclaimed - reclaimed,
+            pages_migrated=stats.pages_migrated - migrated,
+            blocks_retired=stats.blocks_retired - retired,
+            chips_drained=stats.chips_drained - drained,
+            maintenance_overhead_us=stats.busy_us - busy_us,
+        )
+        return out
 
     def _served(self, state: _QueryState) -> ServedQuery:
         submission = state.submission
@@ -587,6 +712,14 @@ class QueryService:
         degraded_senses: int = 0,
         quarantines: int = 0,
         fault_overhead_us: float = 0.0,
+        blocks_reclaimed: int = 0,
+        pages_migrated: int = 0,
+        blocks_retired: int = 0,
+        chips_drained: int = 0,
+        maintenance_overhead_us: float = 0.0,
+        wear_min: int = 0,
+        wear_max: int = 0,
+        wear_mean: float = 0.0,
     ) -> ServiceStats:
         latency = LatencySummary.from_latencies(
             [q.latency_us for q in served]
@@ -631,4 +764,12 @@ class QueryService:
             queries_failed=sum(1 for q in served if q.error is not None),
             fault_overhead_us=fault_overhead_us,
             fault_attributed_misses=fault_attributed_misses,
+            blocks_reclaimed=blocks_reclaimed,
+            pages_migrated=pages_migrated,
+            blocks_retired=blocks_retired,
+            chips_drained=chips_drained,
+            maintenance_overhead_us=maintenance_overhead_us,
+            wear_min=wear_min,
+            wear_max=wear_max,
+            wear_mean=wear_mean,
         )

@@ -204,6 +204,56 @@ class SmallSsd:
             self.ftl.unregister(name)
             raise
 
+    def delete_vector(self, name: str) -> None:
+        """Drop a vector: unregister every chunk operand and the FTL
+        record.  The programmed pages become dead space -- NAND cannot
+        overwrite in place -- until the maintenance plane's garbage
+        collector erases their blocks and returns them to the
+        allocation pool."""
+        record = self.ftl.lookup(name)
+        for placement in record.placements:
+            self.controllers[placement.chip].directory.unregister(
+                self._chunk_operand_name(name, placement.chunk)
+            )
+        self.ftl.unregister(name)
+
+    def wear_summary(self):
+        """P/E-cycle spread across every materialized block of every
+        chip (:class:`~repro.ssd.maintenance.WearSummary`)."""
+        from repro.ssd.maintenance import WearSummary
+
+        pe: list[int] = []
+        programs = 0
+        for chip in self.chips:
+            array = chip.plane_array
+            for address in array.materialized():
+                block = array.block(address)
+                pe.append(block.pe_cycles)
+                programs += block.programs
+        if not pe:
+            return WearSummary(
+                blocks=0, pe_min=0, pe_max=0, pe_mean=0.0, programs_total=0
+            )
+        return WearSummary(
+            blocks=len(pe),
+            pe_min=min(pe),
+            pe_max=max(pe),
+            pe_mean=sum(pe) / len(pe),
+            programs_total=programs,
+        )
+
+    def maintenance(self, config=None):
+        """Open (or return) the background maintenance plane over this
+        SSD (:class:`~repro.ssd.maintenance.MaintenanceManager`): GC,
+        wear leveling, probation drain, bad-block scrub."""
+        from repro.ssd.maintenance import MaintenanceManager
+
+        manager = getattr(self, "_maintenance", None)
+        if manager is None or config is not None:
+            manager = MaintenanceManager(self, config)
+            self._maintenance = manager
+        return manager
+
     def _chunk_operand_name(self, name: str, chunk: int) -> str:
         # Chunks striped to the same chip get distinct operand names;
         # equal bit offsets of different vectors share chip + group.

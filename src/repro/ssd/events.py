@@ -153,6 +153,41 @@ class StageJob:
         return (1, 0.0, -self.priority)
 
 
+#: Priority carried by background maintenance work (GC copybacks,
+#: victim erases, migration programs).  Deadline-free with negative
+#: priority, it sorts behind every foreground job in the arbitrated
+#: urgency order -- deadline traffic outranks it outright, and bulk
+#: FIFO work (priority 0.0) wins the priority tie-break -- and it is
+#: always preemptible, so an urgent sense suspends an in-flight GC
+#: copy instead of queueing behind it.
+MAINTENANCE_PRIORITY = -1.0
+
+
+def background_job(
+    resource: str,
+    busy_s: float,
+    *,
+    ready_at: float = 0.0,
+    priority: float = MAINTENANCE_PRIORITY,
+) -> StageJob:
+    """Single-stage preemptible background job on one die resource.
+
+    Background copy/erase work never crosses the channel or the
+    external link (copyback moves pages inside the die), so it
+    occupies only the chip resource.  Under the FCFS sweep it queues
+    in ready order like any other job; under arbitration its
+    :data:`MAINTENANCE_PRIORITY` keeps it behind all foreground work.
+    """
+    return StageJob(
+        ready_at=ready_at,
+        durations=(busy_s,),
+        resources=(resource,),
+        priority=priority,
+        deadline=None,
+        preemptible=True,
+    )
+
+
 @dataclass
 class StageReport:
     """Outcome of a pipeline simulation.

@@ -69,6 +69,13 @@ class FlashTranslationLayer:
         #: engine's bound per-chunk plans) can cheaply detect that the
         #: placement world may have changed and must re-bind.
         self.generation = 0
+        #: Migration overlay on the striping policy: chunk index ->
+        #: chip.  Empty in the common case; populated when the
+        #: maintenance plane drains a quarantined chip, at which point
+        #: every vector's chunk-c operand lives on the override chip
+        #: (co-location across vectors is preserved because the *whole
+        #: column* moves together).
+        self._chunk_overrides: dict[int, int] = {}
 
     def register_vector(
         self,
@@ -108,8 +115,49 @@ class FlashTranslationLayer:
     def chip_of_chunk(self, chunk: int) -> int:
         """Striping policy: chunk i lives on chip i mod n_chips, so
         equal-length vectors co-locate their equal bit offsets -- the
-        co-location requirement of MWS (Section 10, Limitations)."""
+        co-location requirement of MWS (Section 10, Limitations).
+        Drained chunks are redirected by the migration overlay."""
+        override = self._chunk_overrides.get(chunk)
+        if override is not None:
+            return override
         return chunk % self.n_chips
+
+    def remap_chunk(self, chunk: int, chip: int) -> int:
+        """Redirect one chunk column to a new chip (probation drain).
+
+        Rewrites every registered vector's placement for ``chunk`` and
+        bumps the generation so bound plans and result-cache stamps
+        rebind against the new queue shape.  Returns how many vector
+        placements moved.
+        """
+        if not 0 <= chip < self.n_chips:
+            raise ValueError(f"chip {chip} outside 0..{self.n_chips - 1}")
+        self._chunk_overrides[chunk] = chip
+        moved = 0
+        for record in self._vectors.values():
+            for i, placement in enumerate(record.placements):
+                if placement.chunk == chunk and placement.chip != chip:
+                    record.placements[i] = PagePlacement(
+                        vector=placement.vector, chunk=chunk, chip=chip
+                    )
+                    moved += 1
+        self.generation += 1
+        return moved
+
+    def chunk_overrides(self) -> dict[int, int]:
+        """Active migration redirections (copy; empty when pristine)."""
+        return dict(self._chunk_overrides)
+
+    def live_pages(self, chip: int | None = None) -> int:
+        """Registered chunk pages on one chip (or SSD-wide).  The
+        maintenance plane compares this against programmed pages to
+        find dead space worth collecting."""
+        return sum(
+            1
+            for record in self._vectors.values()
+            for p in record.placements
+            if chip is None or p.chip == chip
+        )
 
     def lookup(self, name: str) -> VectorRecord:
         try:

@@ -1,0 +1,532 @@
+"""Background maintenance plane: GC, wear leveling, live migration.
+
+Nothing below the service ever *moved* data until this module: the
+invalidation contract (FTL/directory generations, per-block
+``layout_version``, ``PlaneArray.content_version()``) existed to make
+movement safe, and the :class:`MaintenanceManager` is the component
+that finally exercises it.  Three responsibilities:
+
+* **Garbage collection.**  Deleted vectors and rolled-back writes
+  leave programmed pages with no directory entry -- dead space that
+  NAND can only reclaim by erasing a whole (sub-)block.  The manager
+  scans per-block occupancy, picks victims greedy-by-invalid-ratio
+  (wear-leveling tiebreak: fewest P/E cycles first, so erases spread),
+  relocates the survivors with the chip's *copyback* command (Section
+  2.1, footnote 3 -- an on-die inverse-sense + program that preserves
+  programming mode, ESP margin, inversion polarity, and the source
+  keystream index), erases the victim, and returns it to the
+  controller's free list.
+
+  Relocation is harder here than in an ordinary SSD: MWS computation
+  requires co-located operands to *stay* co-located.  The allocator
+  only ever places one string group per sub-block, so the manager
+  moves a victim's live pages together into one fresh sub-block and
+  repoints the group's allocation cursor -- congruence (same groups,
+  same polarity) is preserved and plan templates stay valid; only the
+  *bound* plans and result-cache stamps go stale, which the directory
+  generation bump forces to rebind.
+
+* **Probation drain.**  When the health plane quarantines a chip, the
+  manager migrates its live chunk columns to healthy chips: each
+  column's operands are read back (de-randomized, polarity restored)
+  and re-written ESP-mode on the destination under the same chunk
+  group, then the FTL's striping overlay redirects the column and
+  bumps its generation.  Queries keep answering bit-identically while
+  the sick chip sits out its probation empty.
+
+* **Bad-block scrub.**  Stuck bad blocks from the fault plane are
+  *retired* -- permanently excluded from the allocation pool -- so
+  sustained writes stop tripping over them.
+
+Timing: every cycle's chip-time delta (copyback programs, erases,
+drain reads/writes) is emitted as preemptible, deadline-free
+:func:`~repro.ssd.events.background_job` stage jobs at
+:data:`~repro.ssd.events.MAINTENANCE_PRIORITY`, so background work
+competes with foreground queries inside the service's one event
+simulation -- under arbitration an urgent sense suspends an in-flight
+GC copy, and the foreground p99 impact is measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.api import AllocationError, FlashCosmos
+from repro.flash.errors import FlashFault
+from repro.flash.geometry import BlockAddress, WordlineAddress
+from repro.ssd.events import MAINTENANCE_PRIORITY, StageJob, background_job
+
+__all__ = [
+    "BlockOccupancy",
+    "MaintenanceConfig",
+    "MaintenanceManager",
+    "MaintenanceStats",
+    "WearSummary",
+]
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    """Pacing and selection knobs of the maintenance plane.
+
+    GC triggers when a plane's allocatable sub-blocks drop below
+    ``gc_low_watermark`` and collects until ``gc_high_watermark`` are
+    free (or no victim qualifies).  ``max_victims_per_cycle`` bounds
+    how much background work one service window may enqueue -- the
+    foreground-impact throttle.  A victim must carry at least
+    ``min_invalid_pages`` dead pages (erasing a block to reclaim
+    nothing just burns wear).  ``priority`` is the urgency background
+    jobs carry in the event simulation.
+    """
+
+    gc_low_watermark: int = 2
+    gc_high_watermark: int = 4
+    max_victims_per_cycle: int = 4
+    min_invalid_pages: int = 1
+    priority: float = MAINTENANCE_PRIORITY
+
+    def __post_init__(self) -> None:
+        if self.gc_low_watermark < 0:
+            raise ValueError("gc_low_watermark must be >= 0")
+        if self.gc_high_watermark < self.gc_low_watermark:
+            raise ValueError("gc_high_watermark must be >= gc_low_watermark")
+        if self.max_victims_per_cycle < 1:
+            raise ValueError("max_victims_per_cycle must be >= 1")
+        if self.min_invalid_pages < 1:
+            raise ValueError("min_invalid_pages must be >= 1")
+
+
+@dataclass(frozen=True)
+class BlockOccupancy:
+    """Valid-page accounting of one materialized sub-block."""
+
+    address: BlockAddress
+    programmed: int
+    live: int
+    pe_cycles: int
+    programs: int
+
+    @property
+    def invalid(self) -> int:
+        return self.programmed - self.live
+
+    @property
+    def invalid_ratio(self) -> float:
+        if self.programmed == 0:
+            return 0.0
+        return self.invalid / self.programmed
+
+
+@dataclass(frozen=True)
+class WearSummary:
+    """P/E-cycle spread across every materialized block."""
+
+    blocks: int
+    pe_min: int
+    pe_max: int
+    pe_mean: float
+    programs_total: int
+
+    @property
+    def spread(self) -> int:
+        return self.pe_max - self.pe_min
+
+
+@dataclass
+class MaintenanceStats:
+    """Lifetime counters of one manager (reported by the service)."""
+
+    blocks_reclaimed: int = 0
+    pages_migrated: int = 0
+    blocks_retired: int = 0
+    chips_drained: int = 0
+    pages_stuck: int = 0
+    gc_cycles: int = 0
+    busy_us: float = 0.0
+
+
+class MaintenanceManager:
+    """GC, wear leveling, and live migration over one ``SmallSsd``."""
+
+    def __init__(self, ssd, config: MaintenanceConfig | None = None) -> None:
+        self.ssd = ssd
+        self.config = config or MaintenanceConfig()
+        self.stats = MaintenanceStats()
+
+    # ------------------------------------------------------------------
+    # Occupancy and wear accounting
+    # ------------------------------------------------------------------
+
+    def occupancy(self, chip_index: int) -> list[BlockOccupancy]:
+        """Per-sub-block occupancy of one chip, materialized blocks
+        only (untouched blocks hold nothing to account for)."""
+        controller: FlashCosmos = self.ssd.controllers[chip_index]
+        live: dict[BlockAddress, int] = {}
+        for name in controller.directory.names():
+            address = controller.directory.lookup(name).address
+            key = address.block_address
+            live[key] = live.get(key, 0) + 1
+        out: list[BlockOccupancy] = []
+        array = controller.chip.plane_array
+        for address in array.materialized():
+            block = array.block(address)
+            programmed = sum(1 for m in block.metadata if m.programmed)
+            out.append(
+                BlockOccupancy(
+                    address=address,
+                    programmed=programmed,
+                    live=live.get(address, 0),
+                    pe_cycles=block.pe_cycles,
+                    programs=block.programs,
+                )
+            )
+        return out
+
+    def free_subblocks(self, chip_index: int, plane: int = 0) -> int:
+        return self.ssd.controllers[chip_index].free_subblocks(plane)
+
+    def wear_summary(self) -> WearSummary:
+        """Wear spread across all chips (see ``SmallSsd.wear_summary``)."""
+        return self.ssd.wear_summary()
+
+    # ------------------------------------------------------------------
+    # Victim selection + collection
+    # ------------------------------------------------------------------
+
+    def select_victims(
+        self, chip_index: int, plane: int = 0
+    ) -> list[BlockOccupancy]:
+        """GC candidates on one plane, best first: greedy by invalid
+        ratio, then fewest P/E cycles (wear-leveling tiebreak), then
+        address order for determinism.  Stuck bad blocks are excluded
+        -- they cannot be erased, only retired by the scrub."""
+        injector = self.ssd.fault_injector
+        # Checked against the config set, not is_bad_block(): the
+        # injector hook counts hits, and a GC scan is not a fault.
+        bad = (
+            frozenset(
+                (int(c), int(p), int(b), int(s))
+                for (c, p, b, s) in injector.config.bad_blocks
+            )
+            if injector is not None
+            else frozenset()
+        )
+        candidates = [
+            occ
+            for occ in self.occupancy(chip_index)
+            if occ.address.plane == plane
+            and occ.invalid >= self.config.min_invalid_pages
+            and (
+                chip_index,
+                occ.address.plane,
+                occ.address.block,
+                occ.address.subblock,
+            )
+            not in bad
+        ]
+        candidates.sort(
+            key=lambda occ: (-occ.invalid_ratio, occ.pe_cycles, occ.address)
+        )
+        return candidates
+
+    def _relocate_block(
+        self, chip_index: int, victim: BlockAddress
+    ) -> int:
+        """Copyback every live page of ``victim`` into one freshly
+        allocated sub-block of the same plane, preserving wordline
+        order (compacted), and repoint directory entries and the
+        open group cursor.  Returns pages moved; raises
+        :class:`~repro.core.api.AllocationError` when no target
+        sub-block is available (the caller stops collecting)."""
+        controller: FlashCosmos = self.ssd.controllers[chip_index]
+        chip = controller.chip
+        live: list[tuple[int, str]] = []
+        for name in controller.directory.names():
+            operand = controller.directory.lookup(name)
+            if operand.address.block_address == victim:
+                live.append((operand.address.wordline, name))
+        if not live:
+            return 0
+        live.sort()
+        target = controller._allocate_subblock(victim.plane)
+        for new_wl, (old_wl, name) in enumerate(live):
+            source = WordlineAddress(
+                victim.plane, victim.block, victim.subblock, old_wl
+            )
+            destination = WordlineAddress(
+                target.plane, target.block, target.subblock, new_wl
+            )
+            chip.copyback(source, destination)
+            controller.directory.relocate(name, destination)
+        # The allocator places one string group per sub-block, so all
+        # of the victim's survivors share (at most) one open cursor;
+        # repoint it at the compacted copy so the group keeps growing
+        # in the new sub-block.
+        for key, (block, _next_wl) in list(controller._group_cursor.items()):
+            if block == victim:
+                controller._group_cursor[key] = (target, len(live))
+        return len(live)
+
+    def collect_plane(
+        self,
+        chip_index: int,
+        plane: int = 0,
+        *,
+        target_free: int | None = None,
+        max_victims: int | None = None,
+        ready_at_s: float = 0.0,
+    ) -> list[StageJob]:
+        """Collect victims on one plane until ``target_free``
+        sub-blocks are allocatable (or victims/budget run out).
+        Functional state mutates immediately; the returned background
+        jobs carry the chip-time cost into the event simulation."""
+        controller: FlashCosmos = self.ssd.controllers[chip_index]
+        chip = controller.chip
+        budget = (
+            max_victims
+            if max_victims is not None
+            else self.config.max_victims_per_cycle
+        )
+        jobs: list[StageJob] = []
+        collected = 0
+        while collected < budget:
+            if (
+                target_free is not None
+                and controller.free_subblocks(plane) >= target_free
+            ):
+                break
+            victims = self.select_victims(chip_index, plane)
+            if not victims:
+                break
+            victim = victims[0]
+            busy_before = chip.counters.busy_us
+            try:
+                moved = self._relocate_block(chip_index, victim.address)
+            except AllocationError:
+                # Nowhere to put the survivors: the plane is truly
+                # wedged (all-live blocks); give up rather than loop.
+                break
+            try:
+                chip.erase_block(victim.address)
+            except FlashFault:
+                # Erase failed under injection: the block keeps its
+                # (now dead) pages and stays a candidate next cycle.
+                self.stats.busy_us += chip.counters.busy_us - busy_before
+                collected += 1
+                continue
+            controller.release_subblock(victim.address)
+            # A fully-dead victim was never repointed by relocation:
+            # drop any group cursor still aimed at it, or the group's
+            # next write would land in a sub-block the allocator is
+            # free to hand to someone else.
+            for key, (block, _wl) in list(
+                controller._group_cursor.items()
+            ):
+                if block == victim.address:
+                    del controller._group_cursor[key]
+            busy = chip.counters.busy_us - busy_before
+            self.stats.blocks_reclaimed += 1
+            self.stats.pages_migrated += moved
+            self.stats.busy_us += busy
+            collected += 1
+            if busy > 0.0:
+                jobs.append(
+                    background_job(
+                        f"chip{chip_index}",
+                        busy * 1e-6,
+                        ready_at=ready_at_s,
+                        priority=self.config.priority,
+                    )
+                )
+        return jobs
+
+    def collect(
+        self, chip_index: int | None = None, *, ready_at_s: float = 0.0
+    ) -> list[StageJob]:
+        """Collect every qualifying victim (no watermark, unbounded
+        budget) on one chip or the whole SSD -- the foreground entry
+        point tests and the drain path use."""
+        chips = (
+            range(len(self.ssd.controllers))
+            if chip_index is None
+            else (chip_index,)
+        )
+        jobs: list[StageJob] = []
+        for index in chips:
+            geometry = self.ssd.controllers[index].chip.geometry
+            for plane in range(geometry.planes_per_die):
+                jobs.extend(
+                    self.collect_plane(
+                        index,
+                        plane,
+                        max_victims=(
+                            geometry.blocks_per_plane
+                            * geometry.subblocks_per_block
+                        ),
+                        ready_at_s=ready_at_s,
+                    )
+                )
+        return jobs
+
+    def run_cycle(self, *, ready_at_s: float = 0.0) -> list[StageJob]:
+        """One pacing decision (the service calls this per window):
+        any plane under the low watermark is collected up to the high
+        watermark within the per-cycle victim budget."""
+        jobs: list[StageJob] = []
+        ran = False
+        for chip_index, controller in enumerate(self.ssd.controllers):
+            geometry = controller.chip.geometry
+            for plane in range(geometry.planes_per_die):
+                if (
+                    controller.free_subblocks(plane)
+                    >= self.config.gc_low_watermark
+                ):
+                    continue
+                ran = True
+                jobs.extend(
+                    self.collect_plane(
+                        chip_index,
+                        plane,
+                        target_free=self.config.gc_high_watermark,
+                        ready_at_s=ready_at_s,
+                    )
+                )
+        if ran:
+            self.stats.gc_cycles += 1
+        return jobs
+
+    # ------------------------------------------------------------------
+    # Health-plane integration
+    # ------------------------------------------------------------------
+
+    def scrub_bad_blocks(self) -> int:
+        """Retire every stuck bad block the fault plane declares, so
+        allocation never hands one out.  Idempotent; returns how many
+        blocks were newly retired."""
+        injector = self.ssd.fault_injector
+        if injector is None:
+            return 0
+        retired = 0
+        for chip, plane, block, subblock in injector.config.bad_blocks:
+            if not 0 <= chip < len(self.ssd.controllers):
+                continue
+            controller = self.ssd.controllers[chip]
+            address = BlockAddress(
+                plane=plane, block=block, subblock=subblock
+            )
+            if address in controller._retired_subblocks:
+                continue
+            controller.retire_subblock(address)
+            retired += 1
+        self.stats.blocks_retired += retired
+        return retired
+
+    def drain_chip(
+        self,
+        sick: int,
+        *,
+        healthy: list[int] | None = None,
+        ready_at_s: float = 0.0,
+    ) -> list[StageJob]:
+        """Migrate a quarantined chip's live chunk columns to healthy
+        chips (probation drain), then reclaim its dead blocks.
+
+        Each chunk column moves whole -- every vector's ``name@chunk``
+        operand lands on the same destination under its original chunk
+        group -- so cross-vector co-location survives and the striping
+        overlay (:meth:`FlashTranslationLayer.remap_chunk`) keeps the
+        engine's queues consistent.  A column holding any page on a
+        stuck bad block cannot move whole (a partial move would break
+        chunk co-location on the destination), so it stays parked on
+        the sick chip -- counted as stuck, never silently dropped or
+        half-migrated.
+        """
+        ssd = self.ssd
+        ftl = ssd.ftl
+        if healthy is None:
+            healthy = [i for i in range(len(ssd.chips)) if i != sick]
+        healthy = [h for h in healthy if h != sick]
+        if not healthy:
+            return []
+        injector = ssd.fault_injector
+        bad = (
+            frozenset(
+                (int(c), int(p), int(b), int(s))
+                for (c, p, b, s) in injector.config.bad_blocks
+            )
+            if injector is not None
+            else frozenset()
+        )
+        busy_before = [c.counters.busy_us for c in ssd.chips]
+        columns: dict[int, list[str]] = {}
+        for name in ftl.vectors():
+            for placement in ftl.lookup(name).placements:
+                if placement.chip == sick:
+                    columns.setdefault(placement.chunk, []).append(name)
+        moved_any = False
+        src_ctrl = ssd.controllers[sick]
+        for chunk in sorted(columns):
+            stuck = 0
+            for name in columns[chunk]:
+                address = src_ctrl.stored(
+                    ssd._chunk_operand_name(name, chunk)
+                ).address
+                key = (sick, address.plane, address.block, address.subblock)
+                if key in bad:
+                    stuck += 1
+            if stuck:
+                self.stats.pages_stuck += stuck
+                continue
+            # Least-loaded healthy destination, index order on ties.
+            dest = min(healthy, key=lambda h: (ftl.live_pages(h), h))
+            dst_ctrl = ssd.controllers[dest]
+            for name in columns[chunk]:
+                record = ftl.lookup(name)
+                chunk_name = ssd._chunk_operand_name(name, chunk)
+                stored = src_ctrl.stored(chunk_name)
+                logical = src_ctrl.chip.read_page(
+                    stored.address, inverse=stored.inverted
+                )
+                chunk_group = (
+                    f"{record.group}#{chunk}" if record.group else None
+                )
+                dst_ctrl.fc_write(
+                    chunk_name,
+                    logical,
+                    group=chunk_group,
+                    inverse=stored.inverted,
+                )
+                src_ctrl.directory.unregister(chunk_name)
+                self.stats.pages_migrated += 1
+                moved_any = True
+            ftl.remap_chunk(chunk, dest)
+        if moved_any or columns:
+            self.stats.chips_drained += 1
+        # Reclaim the drained chip's now-dead blocks so it returns
+        # from probation with free space.
+        jobs = self.collect(sick, ready_at_s=ready_at_s)
+        deltas = [
+            chip.counters.busy_us - before
+            for chip, before in zip(ssd.chips, busy_before)
+        ]
+        # collect() already emitted jobs (and charged stats.busy_us)
+        # for the sick chip's erases; emit migration jobs for the
+        # remaining read/write time on every involved chip.
+        already = sum(
+            job.durations[0] * 1e6
+            for job in jobs
+            if job.resources[0] == f"chip{sick}"
+        )
+        for index, delta in enumerate(deltas):
+            remaining = delta - (already if index == sick else 0.0)
+            if remaining > 1e-12:
+                self.stats.busy_us += remaining
+                jobs.append(
+                    background_job(
+                        f"chip{index}",
+                        remaining * 1e-6,
+                        ready_at=ready_at_s,
+                        priority=self.config.priority,
+                    )
+                )
+        return jobs

@@ -408,6 +408,32 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
+    def prune_stale(self) -> int:
+        """Bulk-drop every entry whose layout stamp no longer matches
+        its chip's *current* stamp; returns how many were dropped.
+
+        :meth:`get` already evicts stale entries lazily, but under
+        sustained relocation churn (the maintenance plane's GC
+        copybacks, probation drains) whole swaths of entries go stale
+        at once and would otherwise pin LRU capacity until each key
+        happens to be looked up again.  The service calls this after
+        any window in which maintenance moved data, so the cache's
+        capacity keeps working for live entries."""
+        stamps = {
+            chip: self._stamp(chip)
+            for chip in range(len(self.ssd.chips))
+        }
+        with self._cache_lock:
+            dead = [
+                key
+                for key, (stamp, _, _) in self._entries.items()
+                if stamp != stamps[key[0]]
+            ]
+            for key in dead:
+                del self._entries[key]
+            self._invalidations += len(dead)
+            return len(dead)
+
     def resize(self, capacity: int) -> None:
         """Change the entry bound, evicting LRU entries when
         shrinking."""

@@ -12,8 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.api import FlashCosmos
-from repro.core.expressions import Operand, and_all, evaluate
-from repro.core.planner import StoredOperand
+from repro.core.expressions import Operand, Or, and_all, evaluate
 from repro.flash.chip import NandFlashChip
 from repro.flash.geometry import BlockAddress, ChipGeometry, WordlineAddress
 
@@ -27,7 +26,7 @@ GEOMETRY = ChipGeometry(
 
 
 class TestGarbageCollection:
-    def _setup(self, seed=51):
+    def _setup(self, seed=51, inverse=False):
         chip = NandFlashChip(GEOMETRY, inject_errors=False, seed=seed)
         fc = FlashCosmos(chip)
         rng = np.random.default_rng(seed + 1)
@@ -35,12 +34,13 @@ class TestGarbageCollection:
         for i in range(4):
             env[f"v{i}"] = rng.integers(0, 2, GEOMETRY.page_size_bits,
                                         dtype=np.uint8)
-            fc.fc_write(f"v{i}", env[f"v{i}"], group="g")
+            fc.fc_write(f"v{i}", env[f"v{i}"], group="g", inverse=inverse)
         return chip, fc, env
 
     def _relocate_group(self, chip, fc, names, target_block):
         """GC: copyback every valid operand page into a fresh block,
-        then update the FTL (the operand directory) and erase the old
+        then update the FTL (the operand directory -- via its public
+        relocate, which bumps the generation) and erase the old
         block."""
         old_blocks = set()
         for wl, name in enumerate(names):
@@ -51,13 +51,7 @@ class TestGarbageCollection:
                 target_block.subblock, wl,
             )
             chip.copyback(stored.address, destination)
-            # FTL remap: replace the directory entry in place.
-            fc.directory._operands[name] = StoredOperand(
-                name=name,
-                address=destination,
-                inverted=stored.inverted,
-                esp_extra=stored.esp_extra,
-            )
+            fc.directory.relocate(name, destination)
         for block in old_blocks:
             chip.erase_block(block)
         return old_blocks
@@ -98,3 +92,51 @@ class TestGarbageCollection:
             chip, fc, [f"v{i}" for i in range(4)], BlockAddress(0, 7, 0)
         )
         assert chip.plane_array.block(source_block).pe_cycles == pe_before + 1
+
+    def test_relocation_bumps_directory_generation(self):
+        """The public relocate is a placement event: bound plans and
+        cached results stamped against the old address must rebind."""
+        chip, fc, env = self._setup(seed=81)
+        before = fc.directory.generation
+        self._relocate_group(
+            chip, fc, [f"v{i}" for i in range(4)], BlockAddress(0, 4, 0)
+        )
+        assert fc.directory.generation > before
+
+    def test_or_of_inverse_stored_group_survives_relocation(self):
+        """Inverse-stored OR groups (Section 6.1) relocate too:
+        copyback's inverse sense + raw program round-trips the stored
+        complement, so the single-sense OR stays exact and the
+        polarity flag keeps pointing at genuinely inverted cells."""
+        chip, fc, env = self._setup(seed=91, inverse=True)
+        expr = Or(*(Operand(f"v{i}") for i in range(4)))
+        np.testing.assert_array_equal(
+            fc.fc_read(expr).bits, evaluate(expr, env)
+        )
+
+        target = BlockAddress(0, 5, 0)
+        self._relocate_group(chip, fc, [f"v{i}" for i in range(4)], target)
+
+        after = fc.fc_read(expr)
+        np.testing.assert_array_equal(after.bits, evaluate(expr, env))
+        assert after.n_senses == 1  # still one intra-block sense
+        for i in range(4):
+            stored = fc.stored(f"v{i}")
+            assert stored.inverted
+            assert stored.address.block_address == target
+            # The raw cells hold the complement of the logical page.
+            np.testing.assert_array_equal(
+                chip.read_page(stored.address, inverse=True), env[f"v{i}"]
+            )
+
+    def test_esp_relocation_preserves_esp_extra_in_directory(self):
+        """The directory's relocate carries ``esp_extra`` over, so
+        latency/energy models keep pricing the relocated page as the
+        ESP page it still physically is."""
+        chip, fc, env = self._setup(seed=101)
+        margins = {f"v{i}": fc.stored(f"v{i}").esp_extra for i in range(4)}
+        self._relocate_group(
+            chip, fc, [f"v{i}" for i in range(4)], BlockAddress(0, 6, 0)
+        )
+        for name, margin in margins.items():
+            assert fc.stored(name).esp_extra == pytest.approx(margin)

@@ -10,8 +10,10 @@ window-execution kernel (``benchmarks/bench_batch_sense.py``), and
 the cross-window result-cache + SLO kernels
 (``benchmarks/bench_result_cache.py``), the concurrent-drain /
 preemptive-arbitration kernels (``benchmarks/bench_multicore.py``),
-and the fault-tolerance retention kernel
-(``benchmarks/bench_fault_tolerance.py``), then writes a condensed
+the fault-tolerance retention kernel
+(``benchmarks/bench_fault_tolerance.py``), and the
+garbage-collection-under-churn kernel (``benchmarks/bench_gc.py``),
+then writes a condensed
 ``BENCH_kernels.json`` snapshot -- the checked-in baseline of the
 perf trajectory.
 
@@ -255,6 +257,36 @@ def _run_faults_bench() -> dict[str, float]:
     }
 
 
+def _run_gc_bench() -> dict[str, float]:
+    """Run the GC-under-churn kernel in-process.
+
+    Round counts and reclaim counts are exact: the no-GC twin must
+    keep exhausting the plane where it exhausted before, and the GC
+    twin must keep completing the whole trace.  Only ``p99_ratio`` is
+    floored/ceilinged with tolerance (it compares two event-simulated
+    p99s, so retuning the workload may legitimately shift it).
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_gc import measure_gc
+
+    m = measure_gc()
+    return {
+        "rounds": m["rounds"],
+        "nogc_rounds_completed": m["nogc_rounds_completed"],
+        "nogc_exhausted": m["nogc_exhausted"],
+        "gc_rounds_completed": m["gc_rounds_completed"],
+        "blocks_reclaimed": m["blocks_reclaimed"],
+        "pages_migrated": m["pages_migrated"],
+        "gc_cycles": m["gc_cycles"],
+        "background_us": m["background_us"],
+        "wear_spread": m["wear_spread"],
+        "clean_p99_us": m["clean_p99_us"],
+        "gc_p99_us": m["gc_p99_us"],
+        "p99_ratio": m["p99_ratio"],
+    }
+
+
 def measure() -> dict:
     import numpy
 
@@ -274,6 +306,7 @@ def measure() -> dict:
         "multicore": _run_multicore_bench(),
         "preemption": _run_preemption_bench(),
         "faults": _run_faults_bench(),
+        "gc": _run_gc_bench(),
     }
 
 
@@ -448,6 +481,35 @@ def check(baseline_path: Path, tolerance: float) -> int:
                 f"baseline {base_ft[key]:.3f} / {tolerance:.1f}"
             )
 
+    base_gc = baseline.get("gc", {})
+    fresh_gc = fresh["gc"]
+    if "gc_rounds_completed" in base_gc:
+        # Round/reclaim counts are exact: GC must keep carrying the
+        # churn trace it carried before, and the no-GC twin must keep
+        # proving the workload needs it.
+        if fresh_gc["gc_rounds_completed"] < base_gc["gc_rounds_completed"]:
+            failures.append(
+                f"gc gc_rounds_completed: "
+                f"{fresh_gc['gc_rounds_completed']} < baseline "
+                f"{base_gc['gc_rounds_completed']}"
+            )
+        if not fresh_gc["nogc_exhausted"]:
+            failures.append(
+                "gc nogc_exhausted: the no-GC twin completed the trace"
+            )
+        if fresh_gc["blocks_reclaimed"] < base_gc["blocks_reclaimed"]:
+            failures.append(
+                f"gc blocks_reclaimed: {fresh_gc['blocks_reclaimed']} "
+                f"< baseline {base_gc['blocks_reclaimed']}"
+            )
+    if "p99_ratio" in base_gc:
+        ceiling = base_gc["p99_ratio"] * tolerance
+        if fresh_gc["p99_ratio"] > ceiling:
+            failures.append(
+                f"gc p99_ratio: {fresh_gc['p99_ratio']:.2f} > "
+                f"baseline {base_gc['p99_ratio']:.2f} x {tolerance:.1f}"
+            )
+
     if failures:
         print("perf regression(s) vs baseline:")
         for failure in failures:
@@ -456,8 +518,8 @@ def check(baseline_path: Path, tolerance: float) -> int:
     print(
         f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels, "
         f"packed-backend, service, batch-sense, result-cache, SLO, "
-        f"multicore, preemption, and fault-tolerance metrics within "
-        f"{tolerance:.1f}x of baseline"
+        f"multicore, preemption, fault-tolerance, and GC metrics "
+        f"within {tolerance:.1f}x of baseline"
     )
     return 0
 
