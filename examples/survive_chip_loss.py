@@ -1,0 +1,106 @@
+"""Surviving a permanent chip loss with parity-protected striping.
+
+A 4-chip Flash-Cosmos SSD stores its vectors in RAID-5-style rotation
+groups: every ``n_chips - 1`` data chunks carry one parity chunk (the
+word-wise XOR of the group, computed on the packed plane at ingest)
+on a chip hosting none of the group's members.  When a chip
+fail-stops mid-trace, the service keeps answering:
+
+1. the racing windows reconstruct the lost chunks by XOR of the
+   surviving peers and parity -- charged as real sense work on the
+   survivor chips;
+2. the maintenance plane's paced rebuild job re-materializes the
+   lost columns onto the survivors in the background;
+3. once rebuilt, later windows answer from healthy silicon with no
+   reconstruction at all.
+
+A no-parity twin on the same trace fails every query touching the
+dead chip -- parity is exactly what buys the difference.
+
+Run:  python examples/survive_chip_loss.py
+"""
+
+import numpy as np
+
+from repro.core.expressions import And, Operand, Xor, evaluate
+from repro.ssd.controller import SmallSsd
+from repro.ssd.writes import parity_write_amplification
+
+N_CHIPS = 4
+N_CHUNKS = 8
+VICTIM = 1
+
+
+def build(parity: bool):
+    ssd = SmallSsd(n_chips=N_CHIPS, seed=11, parity=parity)
+    rng = np.random.default_rng(99)
+    env = {}
+    for name in ("a", "b", "c", "d"):
+        env[name] = rng.integers(
+            0, 2, ssd.page_bits * N_CHUNKS, dtype=np.uint8
+        )
+        ssd.write_vector(name, env[name], group="g")
+    return ssd, env
+
+
+def traffic(start_us: float):
+    a, b, c, d = (Operand(x) for x in "abcd")
+    pool = [And(a, b), Xor(b, d), And(And(a, c), d), Xor(And(a, b), c)]
+    return [
+        (start_us + 50.0 * i, "tenant", pool[i % len(pool)])
+        for i in range(8)
+    ]
+
+
+def run_trace(parity: bool):
+    ssd, env = build(parity)
+    service = ssd.service(window_us=150.0, maintenance=True)
+    reports = []
+    clock = 0.0
+    for round_index in range(6):
+        if round_index == 2:
+            ssd.kill_chip(VICTIM)
+        service.submit_traffic(traffic(clock))
+        reports.append(service.run())
+        clock += 1000.0
+    return ssd, service, env, reports
+
+
+def main() -> None:
+    amp = parity_write_amplification(N_CHIPS)
+    print(
+        f"{N_CHIPS} chips, parity rotation groups of {N_CHIPS - 1} "
+        f"data chunks (write amplification {amp:.2f}x)"
+    )
+
+    ssd, service, env, reports = run_trace(parity=True)
+    completed = failed = 0
+    for report in reports:
+        for query in report.queries:
+            if query.error is not None:
+                failed += 1
+                continue
+            assert np.array_equal(
+                query.result.bits, evaluate(query.expr, env)
+            )
+            completed += 1
+    reconstructed = sum(r.stats.reconstructed_plans for r in reports)
+    rebuilt = sum(r.stats.columns_rebuilt for r in reports)
+    print(f"\nparity twin (chip {VICTIM} killed in round 2):")
+    print(f"  {completed} queries completed, {failed} failed")
+    print(f"  {reconstructed} chunk results reconstructed from parity")
+    print(f"  {rebuilt} lost columns rebuilt onto survivors")
+    print(f"  final round: {reports[-1].stats.describe()}")
+    assert failed == 0 and not service.maintenance.pending_rebuild
+
+    _, _, _, bare_reports = run_trace(parity=False)
+    bare_failed = sum(r.stats.queries_failed for r in bare_reports)
+    bare_total = sum(r.stats.n_queries for r in bare_reports)
+    print(f"\nno-parity twin, same trace:")
+    print(f"  {bare_total - bare_failed} completed, {bare_failed} failed")
+    assert bare_failed > 0
+    print("\nevery surviving result verified against the NumPy oracle")
+
+
+if __name__ == "__main__":
+    main()

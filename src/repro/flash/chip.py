@@ -37,6 +37,7 @@ from repro.flash.array import BlockArray, PlaneArray
 from repro.flash.calibration import DEFAULT_CALIBRATION, FlashCalibration
 from repro.flash.errors import (
     BadBlockFault,
+    ChipUnavailableError,
     EraseFault,
     ErrorModel,
     OperatingCondition,
@@ -149,6 +150,13 @@ class NandFlashChip:
         #: (the default) leaves every hot path untouched.
         self.fault_injector = None
         self.fault_chip_id = 0
+        #: Permanent chip loss: an offline die rejects every operation
+        #: with :class:`~repro.flash.errors.ChipUnavailableError` --
+        #: the primitive the redundancy plane's kill/reconstruct/
+        #: rebuild loop is built on (``SmallSsd.kill_chip``).  Distinct
+        #: from quarantine (a breaker state that can half-open): an
+        #: offline chip never serves again.
+        self.offline = False
         #: MwsCommand -> (stacked operand-row snapshot, group-size
         #: profile, (block, n_wordlines) read-accounting pairs,
         #: per-block layout versions) for the batched path.  Commands
@@ -195,7 +203,15 @@ class NandFlashChip:
     # Regular commands
     # ------------------------------------------------------------------
 
+    def _check_online(self) -> None:
+        if self.offline:
+            raise ChipUnavailableError(
+                f"chip {self.fault_chip_id} is offline",
+                chip=self.fault_chip_id,
+            )
+
     def erase_block(self, address: BlockAddress) -> float:
+        self._check_online()
         inj = self.fault_injector
         duration = self.timing.t_erase_us()
         energy = self.power.energy_nj(
@@ -238,6 +254,7 @@ class NandFlashChip:
         written with ``randomize=False`` and ``mode=ProgramMode.ESP``.
         ``data_bits`` may be an unpacked 0/1 page or a packed ``uint64``
         word row (the SSD ingest path packs vectors once)."""
+        self._check_online()
         address.validate(self.geometry)
         inj = self.fault_injector
         if inj is not None:
@@ -341,6 +358,7 @@ class NandFlashChip:
         their read mechanism equals an SLC read apart from the
         reference voltage (Section 9, footnote 15) -- at ParaBit-level
         reliability, since MLC cannot reach ESP margins."""
+        self._check_online()
         address.validate(self.geometry)
         lsb = np.asarray(lsb_bits, dtype=np.uint8)
         msb = np.asarray(msb_bits, dtype=np.uint8)
@@ -429,6 +447,7 @@ class NandFlashChip:
         verbatim, so (i) any accumulated bit errors propagate (no ECC
         scrub) and (ii) randomized data keeps the *source* page's
         keystream, which the firmware must remember."""
+        self._check_online()
         source.validate(self.geometry)
         destination.validate(self.geometry)
         if source.plane != destination.plane:
@@ -533,6 +552,7 @@ class NandFlashChip:
         evaluates through the V_TH comparison even on the packed plane
         (degraded-mode recovery -- bit-identical on an error-free chip,
         just slower)."""
+        self._check_online()
         plane, blocks = self._resolve_targets(targets)
         bank = self.latches[plane]
         condition = self._effective_condition(blocks)
@@ -573,6 +593,7 @@ class NandFlashChip:
         (``self.packed``); error injection keeps the per-sense V_TH
         path.
         """
+        self._check_online()
         if not self.packed:
             raise RuntimeError(
                 "execute_sense_batch requires the packed error-free "

@@ -430,6 +430,21 @@ class RetryExhaustedError(FlashFault):
         self.attempts = attempts
 
 
+class ReconstructionError(FlashFault):
+    """Parity reconstruction of a lost chunk could not complete.
+
+    Raised by the redundancy plane when a degraded read cannot gather
+    every surviving peer + parity page it needs -- no parity recorded
+    for the chunk's rotation group (parity striping off, or the vector
+    predates it), a survivor chip also unavailable, or a peer page
+    itself faulting.  The query then surfaces the original failure.
+    """
+
+    def __init__(self, message: str, *, chunk: int | None = None) -> None:
+        super().__init__(message)
+        self.chunk = chunk
+
+
 #: ISSUE-facing aliases (the spec names the short forms).
 RetryExhausted = RetryExhaustedError
 ChipUnavailable = ChipUnavailableError

@@ -122,3 +122,19 @@ def ensure_padding(words: np.ndarray, n_bits: int) -> np.ndarray:
     if not mask.any():
         return words
     return words | mask
+
+
+def parity_words(rows: np.ndarray, n_bits: int) -> np.ndarray:
+    """Word-wise XOR of packed page rows (RAID-5 parity), ones-padded.
+
+    One bulk XOR over the packed plane -- the exact primitive
+    Flash-Cosmos computes in-flash -- so parity generation at ingest
+    and reconstruction of a lost row (XOR of the survivors + parity)
+    both ride the uint64 word pipeline.  XOR of the rows' one-padding
+    flips with row count, so the result's padding is re-forced to the
+    stored-page convention; data bits below ``n_bits`` are exact.
+    """
+    rows = np.asarray(rows, dtype=np.uint64)
+    if rows.ndim != 2 or rows.shape[0] < 1:
+        raise ValueError("parity_words expects a non-empty 2-D row array")
+    return ensure_padding(np.bitwise_xor.reduce(rows, axis=0), n_bits)

@@ -91,6 +91,10 @@ class ChipHealthTracker:
         self._states = [HEALTHY] * n_chips
         self._ewma = [0.0] * n_chips
         self._quarantine_left = [0] * n_chips
+        #: Chips whose quarantine is permanent (fail-stopped hardware,
+        #: e.g. :meth:`SmallSsd.kill_chip`): the breaker never
+        #: half-opens for them -- there is no hardware left to probate.
+        self._permanent: set[int] = set()
         #: Times any chip's breaker tripped open over this tracker's
         #: lifetime.
         self.quarantines = 0
@@ -134,6 +138,31 @@ class ChipHealthTracker:
             if state != QUARANTINED and chip != exclude
         ]
 
+    def is_permanent(self, chip: int) -> bool:
+        """Whether a chip's quarantine is permanent (dead hardware)."""
+        return chip in self._permanent
+
+    def force_quarantine(self, chip: int, *, permanent: bool = False) -> bool:
+        """Trip one chip's breaker open immediately, bypassing the
+        EWMA -- the service calls this when it detects a fail-stopped
+        chip (``chip.offline``), where waiting for error statistics
+        would burn windows of failed traffic.  With ``permanent`` the
+        breaker never half-opens: the chip stays quarantined until the
+        tracker is rebuilt (dead hardware does not heal).  Returns
+        whether a transition happened (the caller's placement-event
+        bump applies exactly then)."""
+        if not 0 <= chip < len(self._states):
+            raise ValueError(f"chip {chip} outside 0..{len(self._states) - 1}")
+        if permanent:
+            self._permanent.add(chip)
+        if self._states[chip] == QUARANTINED:
+            return False
+        self._states[chip] = QUARANTINED
+        self._ewma[chip] = 1.0
+        self._quarantine_left[chip] = self.config.probation_windows
+        self.quarantines += 1
+        return True
+
     def observe_window(
         self, observations: Mapping[int, tuple[int, int]]
     ) -> list[tuple[int, str, str]]:
@@ -161,9 +190,10 @@ class ChipHealthTracker:
                 self._ewma[chip] *= 1.0 - cfg.ewma_alpha
             new = old
             if old == QUARANTINED:
-                self._quarantine_left[chip] -= 1
-                if self._quarantine_left[chip] <= 0:
-                    new = DEGRADED  # half-open: V_TH path first
+                if chip not in self._permanent:
+                    self._quarantine_left[chip] -= 1
+                    if self._quarantine_left[chip] <= 0:
+                        new = DEGRADED  # half-open: V_TH path first
             elif self._ewma[chip] >= cfg.quarantine_threshold:
                 new = QUARANTINED
                 self._quarantine_left[chip] = cfg.probation_windows

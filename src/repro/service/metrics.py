@@ -116,6 +116,20 @@ class ServiceStats:
     #: fault cost (retries, degraded senses, or recovery delay) --
     #: the misses attributable to the fault plane rather than load.
     fault_attributed_misses: int = 0
+    #: Redundancy plane (parity striping): chunk results rebuilt from
+    #: parity after a chip failure, the survivor senses that cost, and
+    #: the survivor chip time charged into the event simulation --
+    #: kept distinct from the retry plane's ``fault_retries``/
+    #: ``fault_overhead_us`` so "recovered via parity" and "recovered
+    #: via retry" are separable in :meth:`describe`.
+    reconstructed_plans: int = 0
+    reconstruction_senses: int = 0
+    reconstruction_overhead_us: float = 0.0
+    #: Chips that fail-stopped (went permanently offline) during this
+    #: run, and lost columns/parity pages the maintenance plane
+    #: re-materialized from parity onto survivors.
+    chips_lost: int = 0
+    columns_rebuilt: int = 0
     #: Background maintenance plane (:mod:`repro.ssd.maintenance`),
     #: this run's deltas: victim sub-blocks erased and returned to the
     #: allocation pool, live pages relocated (GC copyback + probation
@@ -238,6 +252,14 @@ class ServiceStats:
                 f"{self.quarantines} quarantines, "
                 f"{self.queries_failed} failed, "
                 f"{self.fault_overhead_us:.1f} us recovery)"
+            )
+        if self.reconstructed_plans or self.chips_lost:
+            text += (
+                f", parity: {self.reconstructed_plans} chunks "
+                f"reconstructed ({self.reconstruction_senses} survivor "
+                f"senses, {self.reconstruction_overhead_us:.1f} us), "
+                f"{self.chips_lost} chips lost, "
+                f"{self.columns_rebuilt} columns rebuilt"
             )
         if (
             self.blocks_reclaimed

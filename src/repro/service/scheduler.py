@@ -122,6 +122,7 @@ def schedule_window(
     offline: Iterable[int] = (),
     degraded_slowdown: float = 3.0,
     gc_busy: Mapping[int, float] | None = None,
+    reconstruct: bool = False,
 ) -> list[ChunkTask]:
     """Order one window's chunk tasks into the global emission order.
 
@@ -140,6 +141,12 @@ def schedule_window(
     cost), and a quarantined chip's tasks are parked at the emission
     tail in submission order, where the engine fails them fast
     without ever occupying schedule positions ahead of live work.
+    With ``reconstruct`` on (parity-striped SSD) an offline chip's
+    tasks are *not* parked -- the engine will serve them via parity
+    reconstruction, which costs real survivor senses, so they are
+    priced like degraded work (scaled by ``degraded_slowdown``) and
+    scheduled inline with the live traffic instead of being written
+    off at the tail.
 
     ``gc_busy`` is the maintenance plane's pricing input: per-chip
     background microseconds (GC copyback/erase, probation drain)
@@ -156,6 +163,12 @@ def schedule_window(
         )
     degraded_chips = frozenset(degraded)
     offline_chips = frozenset(offline)
+    if reconstruct and offline_chips:
+        # Reconstruction serves an offline chip's tasks at real
+        # survivor-sense cost: price them as degraded work and keep
+        # them in the live schedule instead of parking.
+        degraded_chips |= offline_chips
+        offline_chips = frozenset()
     if degraded_chips:
         base = estimate
 

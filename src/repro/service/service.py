@@ -72,8 +72,16 @@ class ServedQuery:
     #: Chunk executions served on the degraded V_TH path.
     degraded_chunks: int = 0
     #: Virtual recovery time (backoff + stalls) charged to this
-    #: query's pipeline jobs.
+    #: query's pipeline jobs.  Retry-plane only: parity reconstruction
+    #: time is reported separately in ``reconstruction_us`` so
+    #: "recovered via retry" and "recovered via parity" stay
+    #: distinguishable.
     fault_overhead_us: float = 0.0
+    #: Chunk results of this query rebuilt from parity after a chip
+    #: failure, and the survivor chip time those rebuilds charged to
+    #: this query's pipeline jobs.
+    reconstructed_chunks: int = 0
+    reconstruction_us: float = 0.0
 
     @property
     def failed(self) -> bool:
@@ -87,6 +95,8 @@ class ServedQuery:
             or self.retries > 0
             or self.degraded_chunks > 0
             or self.fault_overhead_us > 0.0
+            or self.reconstructed_chunks > 0
+            or self.reconstruction_us > 0.0
         )
 
     @property
@@ -133,7 +143,7 @@ class _QueryState:
         "submission", "prepared", "pieces", "n_senses", "energy_nj",
         "chip_busy", "shared_chunks", "cached_chunks", "admitted_us",
         "completed_us", "error", "retries", "degraded_chunks",
-        "fault_us",
+        "fault_us", "reconstructed_chunks", "reconstruction_us",
     )
 
     def __init__(self, submission, prepared) -> None:
@@ -151,6 +161,8 @@ class _QueryState:
         self.retries = 0
         self.degraded_chunks = 0
         self.fault_us = 0.0
+        self.reconstructed_chunks = 0
+        self.reconstruction_us = 0.0
 
 
 class QueryService:
@@ -408,6 +420,20 @@ class QueryService:
         fault_retries = 0
         degraded_senses = 0
         fault_overhead_us = 0.0
+        reconstructed_plans = 0
+        reconstruction_senses = 0
+        reconstruction_overhead_us = 0.0
+        chips_lost = 0
+        #: Whether any chip error (or chip loss) has been observed this
+        #: run -- only then do health weights feed the FTL's stripe
+        #: allocation, keeping fault-free runs byte-identical to an SSD
+        #: that never heard of health.
+        errors_seen = False
+        #: With parity striping on the SSD, the engine's phase-two
+        #: reconstruction replaces chip-loss failures with parity-
+        #: rebuilt results, and the scheduler prices offline chips'
+        #: tasks as degraded work instead of parking them.
+        reconstruct = bool(getattr(self.ssd, "parity", False))
         injector = getattr(self.ssd, "fault_injector", None)
         recovery = self.recovery
         if (
@@ -425,6 +451,7 @@ class QueryService:
                 manager.stats.pages_migrated,
                 manager.stats.blocks_retired,
                 manager.stats.chips_drained,
+                manager.stats.columns_rebuilt,
                 manager.stats.busy_us,
             )
             # Stuck bad blocks never re-enter the allocation pool.
@@ -449,6 +476,30 @@ class QueryService:
                     )
 
         for window in windows:
+            ready_s = window.close_us * 1e-6
+            # Fail-stop detection: a chip that went offline since the
+            # last window (``SmallSsd.kill_chip``) is quarantined
+            # permanently *before* scheduling -- waiting for error
+            # statistics would burn windows of failed traffic.  The
+            # placement-event generation bump and the probation drain
+            # happen here, mirroring the EWMA quarantine path below.
+            for chip_id, chip in enumerate(self.ssd.chips):
+                if not getattr(chip, "offline", False):
+                    continue
+                if self.health.is_permanent(chip_id):
+                    continue
+                chips_lost += 1
+                errors_seen = True
+                if self.health.force_quarantine(chip_id, permanent=True):
+                    self.ssd.controllers[chip_id].directory.generation += 1
+                if manager is not None:
+                    enqueue_background(
+                        manager.drain_chip(
+                            chip_id,
+                            healthy=self.health.survivors(exclude=chip_id),
+                            ready_at_s=ready_s,
+                        )
+                    )
             tasks: list[ChunkTask] = []
             info: dict[int, QueryInfo] = {}
             for submission in window.submissions:
@@ -469,6 +520,7 @@ class QueryService:
                 degraded=degraded_chips,
                 offline=offline_chips,
                 gc_busy=pending_gc_busy,
+                reconstruct=reconstruct,
             )
             outcomes = self.engine.execute_tasks(
                 ordered,
@@ -478,9 +530,9 @@ class QueryService:
                 recovery=recovery,
                 degraded=degraded_chips,
                 offline=offline_chips,
+                reconstruct=reconstruct,
             )
             n_chunk_tasks += len(ordered)
-            ready_s = window.close_us * 1e-6
             # The scheduler's intent, threaded into the event replay:
             # deadline queries arbitrate EDF-style and may suspend
             # preemptible bulk (harmless no-ops under the FCFS sweep).
@@ -506,6 +558,23 @@ class QueryService:
                 state.fault_us += outcome.recovery_us
                 fault_retries += outcome.retries
                 fault_overhead_us += outcome.recovery_us
+                if outcome.reconstructed:
+                    # Recovered via parity: counted apart from the
+                    # retry plane so the report separates "recovered
+                    # via retry" from "recovered via parity".  The
+                    # survivor reads ride ``recovery_work`` (leader
+                    # only; shared followers paid nothing) and are
+                    # charged to the right dies below.
+                    state.reconstructed_chunks += 1
+                    reconstructed_plans += 1
+                    if not outcome.shared:
+                        reconstruction_senses += outcome.n_senses
+                    for rchip, busy_us in outcome.recovery_work:
+                        state.chip_busy[rchip] = (
+                            state.chip_busy.get(rchip, 0.0) + busy_us
+                        )
+                        state.reconstruction_us += busy_us
+                        reconstruction_overhead_us += busy_us
                 if outcome.degraded:
                     state.degraded_chunks += 1
                 if outcome.cached:
@@ -527,8 +596,15 @@ class QueryService:
                         # its health signal.
                         obs = chip_obs.setdefault(task.chip, [0, 0])
                         obs[0] += outcome.retries + 1
+                        # A reconstructed chunk means the chip failed
+                        # its attempt even though the query recovered
+                        # -- the health signal must still see the
+                        # failure.
                         obs[1] += outcome.retries + (
-                            1 if outcome.error is not None else 0
+                            1
+                            if outcome.error is not None
+                            or outcome.reconstructed
+                            else 0
                         )
                 priority, deadline_s, preemptible = directives[task.query]
                 jobs.append(
@@ -543,17 +619,57 @@ class QueryService:
                     )
                 )
                 job_owner.append(task.query)
+                for rchip, busy_us in outcome.recovery_work:
+                    # Survivor reads of a parity reconstruction occupy
+                    # real dies: they join the event simulation as
+                    # query-owned jobs, so the query's completion time
+                    # and the survivors' utilization both see them.
+                    jobs.append(
+                        self.engine.stage_job(
+                            rchip,
+                            busy_us,
+                            ready_at_s=ready_s,
+                            priority=priority,
+                            deadline_s=deadline_s,
+                            preemptible=preemptible,
+                        )
+                    )
+                    job_owner.append(task.query)
             transitions = self.health.observe_window(
                 {
                     chip: (ops, errors)
                     for chip, (ops, errors) in chip_obs.items()
                 }
             )
+            if any(obs[1] for obs in chip_obs.values()):
+                errors_seen = True
+            if errors_seen:
+                # Wear/error-history-driven placement: feed the
+                # breaker's EWMA into the FTL's stripe allocation so
+                # *new* chunk columns skew away from sick chips (dead
+                # chips get weight 0 and receive nothing).  Until the
+                # first error this never runs, and the FTL clears
+                # uniform weights to ``None`` -- the fault-free stripe
+                # stays the pure ``c % n`` layout, byte-identical.
+                self.ssd.ftl.set_chip_health(
+                    {
+                        chip: (
+                            0.0
+                            if self.health.state(chip) == QUARANTINED
+                            else max(
+                                0.05,
+                                1.0 - self.health.error_rate(chip),
+                            )
+                        )
+                        for chip in range(self.health.n_chips)
+                    }
+                )
             moved_before = (
                 0
                 if manager is None
                 else manager.stats.pages_migrated
                 + manager.stats.blocks_reclaimed
+                + manager.stats.columns_rebuilt
             )
             for chip, old, new in transitions:
                 if QUARANTINED in (old, new):
@@ -579,9 +695,21 @@ class QueryService:
                 # copy/erase jobs become ready at this window's close
                 # and compete with later windows' foreground work.
                 enqueue_background(manager.run_cycle(ready_at_s=ready_s))
+                if manager.pending_rebuild:
+                    # Rebuild-on-repair: re-materialize columns and
+                    # parity pages lost with a dead chip from the
+                    # surviving group members, paced per window by the
+                    # maintenance budget.
+                    enqueue_background(
+                        manager.rebuild_cycle(
+                            healthy=self.health.survivors(),
+                            ready_at_s=ready_s,
+                        )
+                    )
                 moved = (
                     manager.stats.pages_migrated
                     + manager.stats.blocks_reclaimed
+                    + manager.stats.columns_rebuilt
                 ) != moved_before
                 if moved and self.engine.result_cache is not None:
                     # Relocation went stale on whole swaths of cached
@@ -627,6 +755,10 @@ class QueryService:
             degraded_senses=degraded_senses,
             quarantines=self.health.quarantines - quarantines_before,
             fault_overhead_us=fault_overhead_us,
+            reconstructed_plans=reconstructed_plans,
+            reconstruction_senses=reconstruction_senses,
+            reconstruction_overhead_us=reconstruction_overhead_us,
+            chips_lost=chips_lost,
             **self._maintenance_kwargs(
                 manager, maint_before if manager is not None else None
             ),
@@ -645,13 +777,14 @@ class QueryService:
         }
         if manager is None:
             return out
-        reclaimed, migrated, retired, drained, busy_us = before
+        reclaimed, migrated, retired, drained, rebuilt, busy_us = before
         stats = manager.stats
         out.update(
             blocks_reclaimed=stats.blocks_reclaimed - reclaimed,
             pages_migrated=stats.pages_migrated - migrated,
             blocks_retired=stats.blocks_retired - retired,
             chips_drained=stats.chips_drained - drained,
+            columns_rebuilt=stats.columns_rebuilt - rebuilt,
             maintenance_overhead_us=stats.busy_us - busy_us,
         )
         return out
@@ -689,6 +822,8 @@ class QueryService:
             retries=state.retries,
             degraded_chunks=state.degraded_chunks,
             fault_overhead_us=state.fault_us,
+            reconstructed_chunks=state.reconstructed_chunks,
+            reconstruction_us=state.reconstruction_us,
         )
 
     @staticmethod
@@ -712,6 +847,11 @@ class QueryService:
         degraded_senses: int = 0,
         quarantines: int = 0,
         fault_overhead_us: float = 0.0,
+        reconstructed_plans: int = 0,
+        reconstruction_senses: int = 0,
+        reconstruction_overhead_us: float = 0.0,
+        chips_lost: int = 0,
+        columns_rebuilt: int = 0,
         blocks_reclaimed: int = 0,
         pages_migrated: int = 0,
         blocks_retired: int = 0,
@@ -764,6 +904,11 @@ class QueryService:
             queries_failed=sum(1 for q in served if q.error is not None),
             fault_overhead_us=fault_overhead_us,
             fault_attributed_misses=fault_attributed_misses,
+            reconstructed_plans=reconstructed_plans,
+            reconstruction_senses=reconstruction_senses,
+            reconstruction_overhead_us=reconstruction_overhead_us,
+            chips_lost=chips_lost,
+            columns_rebuilt=columns_rebuilt,
             blocks_reclaimed=blocks_reclaimed,
             pages_migrated=pages_migrated,
             blocks_retired=blocks_retired,

@@ -26,9 +26,13 @@ import numpy as np
 from repro.core.api import FlashCosmos
 from repro.core.expressions import Expression
 from repro.flash.chip import NandFlashChip
-from repro.flash.errors import OperatingCondition
+from repro.flash.errors import (
+    FlashFault,
+    OperatingCondition,
+    ReconstructionError,
+)
 from repro.flash.geometry import ChipGeometry
-from repro.flash.packing import pack_rows
+from repro.flash.packing import pack_rows, parity_words
 from repro.ssd.ftl import FlashTranslationLayer
 
 
@@ -65,6 +69,7 @@ class SmallSsd:
         seed: int = 0,
         packed: bool = True,
         fault_injector=None,
+        parity: bool = False,
     ) -> None:
         self.geometry = geometry or ChipGeometry(
             planes_per_die=1,
@@ -96,9 +101,24 @@ class SmallSsd:
         self.controllers = [
             FlashCosmos(chip, esp_extra=esp_extra) for chip in self.chips
         ]
+        #: RAID-5-style parity striping: every rotation group of
+        #: ``n_chips - 1`` data chunks carries one parity page (the
+        #: word-wise XOR of the group, computed on the packed plane at
+        #: ingest) on a chip hosting none of the group's data.  Losing
+        #: any single chip then costs each group at most one page, and
+        #: lost chunks are reconstructed by XOR of the survivors.
+        if parity and not self.packed:
+            raise ValueError(
+                "parity striping requires the packed word plane "
+                "(parity is a bulk XOR over packed pages)"
+            )
+        if parity and n_chips < 2:
+            raise ValueError("parity striping requires >= 2 chips")
+        self.parity = parity
         self.ftl = FlashTranslationLayer(
             n_chips=n_chips, page_bits=self.geometry.page_size_bits
         )
+        self.ftl.parity = parity
         # Deferred import: the engine module type-checks against this
         # one.
         from repro.ssd.query_engine import QueryEngine
@@ -198,23 +218,65 @@ class SmallSsd:
                     inverse=inverse,
                 )
                 written.append((placement.chip, chunk_name))
+            if self.parity and chunk_words is not None:
+                self._write_parity(name, record, chunk_words, group, written)
         except Exception:
             for chip, chunk_name in written:
                 self.controllers[chip].directory.unregister(chunk_name)
             self.ftl.unregister(name)
             raise
 
+    def _write_parity(
+        self,
+        name: str,
+        record,
+        chunk_words: np.ndarray,
+        group: str | None,
+        written: list[tuple[int, str]],
+    ) -> None:
+        """Write one parity page per rotation group of a freshly
+        ingested vector: the word-wise XOR of the group's packed data
+        chunks, placed on a chip hosting none of them (recorded in the
+        FTL so queries and maintenance find it after the data chips
+        are gone).  Appends to ``written`` so a failed stripe rolls
+        parity back with the data."""
+        ftl = self.ftl
+        for g in range(ftl.parity_group_count(record.n_chunks)):
+            members = [
+                c for c in ftl.group_data_chunks(g) if c < record.n_chunks
+            ]
+            pwords = parity_words(chunk_words[members], self.page_bits)
+            chip = ftl.parity_chip(g)
+            if chip is None:
+                chip = ftl.choose_parity_chip(g)
+                ftl.set_parity_chip(g, chip)
+            parity_name = self._parity_operand_name(name, g)
+            self.controllers[chip].fc_write(
+                parity_name,
+                pwords,
+                group=self._parity_group_name(group, g),
+                inverse=False,
+            )
+            written.append((chip, parity_name))
+
     def delete_vector(self, name: str) -> None:
-        """Drop a vector: unregister every chunk operand and the FTL
-        record.  The programmed pages become dead space -- NAND cannot
-        overwrite in place -- until the maintenance plane's garbage
-        collector erases their blocks and returns them to the
-        allocation pool."""
+        """Drop a vector: unregister every chunk operand (and parity
+        pages, when striped with parity) and the FTL record.  The
+        programmed pages become dead space -- NAND cannot overwrite in
+        place -- until the maintenance plane's garbage collector
+        erases their blocks and returns them to the allocation pool."""
         record = self.ftl.lookup(name)
         for placement in record.placements:
             self.controllers[placement.chip].directory.unregister(
                 self._chunk_operand_name(name, placement.chunk)
             )
+        if self.parity:
+            for g in range(self.ftl.parity_group_count(record.n_chunks)):
+                chip = self.ftl.parity_chip(g)
+                if chip is not None:
+                    self.controllers[chip].directory.unregister(
+                        self._parity_operand_name(name, g)
+                    )
         self.ftl.unregister(name)
 
     def wear_summary(self):
@@ -258,6 +320,96 @@ class SmallSsd:
         # Chunks striped to the same chip get distinct operand names;
         # equal bit offsets of different vectors share chip + group.
         return f"{name}@{chunk}"
+
+    def _parity_operand_name(self, name: str, group: int) -> str:
+        # Parity pages are per-vector, per-rotation-group operands;
+        # ``!`` cannot appear in a chunk operand name, so parity never
+        # collides with data in a chip directory.
+        return f"{name}!p{group}"
+
+    def _parity_group_name(self, group: str | None, g: int) -> str | None:
+        # Parity pages of one string group co-locate like data chunks
+        # do, but in their own per-rotation-group string group so they
+        # never consume a data group's 48 wordlines.
+        return f"{group}!p{g}" if group else None
+
+    # ------------------------------------------------------------------
+    # Redundancy: chip loss and parity reconstruction
+    # ------------------------------------------------------------------
+
+    def kill_chip(self, chip: int) -> None:
+        """Take one chip permanently offline (fail-stop): every
+        subsequent sense/program/erase on it raises
+        :class:`~repro.flash.errors.ChipUnavailableError`.  With
+        parity striping the engine reconstructs the lost chunks from
+        survivors and the maintenance plane rebuilds them; without it,
+        queries touching the chip fail with a typed error."""
+        if not 0 <= chip < len(self.chips):
+            raise ValueError(
+                f"chip {chip} outside 0..{len(self.chips) - 1}"
+            )
+        self.chips[chip].offline = True
+
+    def reconstruct_chunk_bits(self, name: str, chunk: int) -> np.ndarray:
+        """Rebuild one lost chunk's logical bits from parity: XOR of
+        the rotation group's surviving data chunks and its parity page
+        (RAID-5 reconstruction).  Shared by the query engine's
+        degraded read path and the maintenance plane's rebuild job.
+
+        Every read below is a plain page read on a *survivor* chip, so
+        callers charging reconstruction as real sense work can observe
+        the survivor counters move.  Raises
+        :class:`~repro.flash.errors.ReconstructionError` when parity
+        is off, the parity page is unlocatable, or a survivor read
+        fails (double fault)."""
+        record = self.ftl.lookup(name)
+        if not self.parity:
+            raise ReconstructionError(
+                f"cannot reconstruct {name!r}@{chunk}: parity striping "
+                "is disabled on this SSD",
+                chunk=chunk,
+            )
+        if not 0 <= chunk < record.n_chunks:
+            raise ReconstructionError(
+                f"chunk {chunk} outside vector {name!r}"
+                f" (n_chunks={record.n_chunks})",
+                chunk=chunk,
+            )
+        g = self.ftl.group_of_chunk(chunk)
+        parity_chip = self.ftl.parity_chip(g)
+        if parity_chip is None:
+            raise ReconstructionError(
+                f"no recorded parity placement for group {g} of "
+                f"{name!r}",
+                chunk=chunk,
+            )
+        try:
+            ctrl = self.controllers[parity_chip]
+            stored = ctrl.stored(self._parity_operand_name(name, g))
+            acc = ctrl.chip.read_page(
+                stored.address, inverse=stored.inverted
+            )
+            for sibling in self.ftl.group_data_chunks(g):
+                if sibling == chunk or sibling >= record.n_chunks:
+                    continue
+                sib_ctrl = self.controllers[self.ftl.chip_of_chunk(sibling)]
+                sib_stored = sib_ctrl.stored(
+                    self._chunk_operand_name(name, sibling)
+                )
+                acc = np.bitwise_xor(
+                    acc,
+                    sib_ctrl.chip.read_page(
+                        sib_stored.address, inverse=sib_stored.inverted
+                    ),
+                )
+        except (FlashFault, KeyError) as exc:
+            raise ReconstructionError(
+                f"reconstruction of {name!r}@{chunk} failed: a "
+                f"survivor or parity read raised {exc!r} (double "
+                "fault or missing page)",
+                chunk=chunk,
+            ) from exc
+        return acc
 
     def service(self, **kwargs) -> "QueryService":
         """Open a query service front-end over this SSD.

@@ -13,6 +13,7 @@ chunk-to-chip striping used by :class:`repro.ssd.controller.SmallSsd`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,24 @@ class FlashTranslationLayer:
         #: (co-location across vectors is preserved because the *whole
         #: column* moves together).
         self._chunk_overrides: dict[int, int] = {}
+        #: Parity striping (RAID-5 rotation groups) enabled by the
+        #: controller; governs the distinct-sibling constraint of
+        #: health-weighted assignment below.
+        self.parity = False
+        #: Recorded parity placements: rotation group -> chip, set at
+        #: the first parity write of a group and updated by the
+        #: maintenance plane's drain/rebuild (generation bumps apply).
+        self._parity_chips: dict[int, int] = {}
+        #: Wear/error-history placement (health plane feed): per-chip
+        #: weight in (0, 1]; ``None`` keeps the pure ``c % n`` stripe.
+        self._chip_health: dict[int, float] | None = None
+        #: Sticky health-weighted assignments for columns first seen
+        #: while health info was active (a column's chip must stay a
+        #: pure function of its index, or co-location breaks).
+        self._chunk_assignments: dict[int, int] = {}
+        #: Every chunk column any registration has touched; only a
+        #: *new* column may receive a weighted assignment.
+        self._known_columns: set[int] = set()
 
     def register_vector(
         self,
@@ -103,6 +122,7 @@ class FlashTranslationLayer:
             page_bits=self.page_bits,
         )
         for chunk in range(n_chunks):
+            self._assign_column(chunk)
             record.placements.append(
                 PagePlacement(
                     vector=name, chunk=chunk, chip=self.chip_of_chunk(chunk)
@@ -116,11 +136,156 @@ class FlashTranslationLayer:
         """Striping policy: chunk i lives on chip i mod n_chips, so
         equal-length vectors co-locate their equal bit offsets -- the
         co-location requirement of MWS (Section 10, Limitations).
-        Drained chunks are redirected by the migration overlay."""
+        Drained chunks are redirected by the migration overlay;
+        health-weighted columns by their sticky assignment."""
         override = self._chunk_overrides.get(chunk)
         if override is not None:
             return override
+        assigned = self._chunk_assignments.get(chunk)
+        if assigned is not None:
+            return assigned
         return chunk % self.n_chips
+
+    # ------------------------------------------------------------------
+    # Wear/error-history-driven placement
+    # ------------------------------------------------------------------
+
+    def set_chip_health(
+        self, weights: Mapping[int, float] | None
+    ) -> None:
+        """Feed per-chip health weights into the stripe-allocation
+        order (the service pushes ``1 - error-rate EWMA`` per window).
+
+        Only *new* chunk columns are affected -- a column's chip must
+        remain a pure function of its index (co-location), so existing
+        columns never move here (that is the maintenance plane's job).
+        Uniform weights (or ``None``) restore the pure ``c % n``
+        stripe, keeping the healthy path byte-identical to an SSD that
+        never heard of health."""
+        if not weights:
+            self._chip_health = None
+            return
+        clamped = {
+            chip: max(0.0, float(weights.get(chip, 1.0)))
+            for chip in range(self.n_chips)
+        }
+        values = list(clamped.values())
+        if max(values) <= 0.0 or max(values) - min(values) < 1e-9:
+            self._chip_health = None
+            return
+        self._chip_health = clamped
+
+    def _assign_column(self, chunk: int) -> None:
+        """Pick a chip for a chunk column on first sight.  Without
+        health info this is a no-op (``c % n`` stays exact); with it,
+        a new column goes to the weighted-least-loaded chip, so sick
+        chips receive fewer new chunks.  With parity striping the
+        candidates exclude chips already hosting a sibling of the
+        column's rotation group -- one chip loss must cost the group
+        at most one member."""
+        if chunk in self._known_columns:
+            return
+        self._known_columns.add(chunk)
+        weights = self._chip_health
+        if (
+            weights is None
+            or chunk in self._chunk_overrides
+            or chunk in self._chunk_assignments
+        ):
+            return
+        candidates = [
+            chip for chip in range(self.n_chips) if weights[chip] > 0.0
+        ]
+        if not candidates:
+            return
+        if self.parity and self.n_chips > 1:
+            taken = {
+                self.chip_of_chunk(sibling)
+                for sibling in self.group_data_chunks(
+                    self.group_of_chunk(chunk)
+                )
+                if sibling != chunk and sibling in self._known_columns
+            }
+            open_chips = [c for c in candidates if c not in taken]
+            if open_chips:
+                candidates = open_chips
+        load: dict[int, int] = {chip: 0 for chip in range(self.n_chips)}
+        for column in self._known_columns:
+            if column != chunk:
+                load[self.chip_of_chunk(column)] += 1
+        pick = min(
+            candidates,
+            key=lambda chip: ((load[chip] + 1) / weights[chip], chip),
+        )
+        if pick != chunk % self.n_chips:
+            self._chunk_assignments[chunk] = pick
+
+    # ------------------------------------------------------------------
+    # Parity rotation groups (RAID-5 striping)
+    # ------------------------------------------------------------------
+
+    @property
+    def parity_group_size(self) -> int:
+        """Data chunks per parity rotation group: ``n_chips - 1``
+        consecutive chunks land on ``n_chips - 1`` distinct chips
+        under the stripe, leaving exactly one chip per group free to
+        hold the parity page (RAID-5 rotation)."""
+        return max(1, self.n_chips - 1)
+
+    def group_of_chunk(self, chunk: int) -> int:
+        return chunk // self.parity_group_size
+
+    def group_data_chunks(self, group: int) -> tuple[int, ...]:
+        """The data chunk indices of one rotation group (callers clamp
+        against a vector's actual ``n_chunks``)."""
+        size = self.parity_group_size
+        return tuple(range(group * size, (group + 1) * size))
+
+    def parity_group_count(self, n_chunks: int) -> int:
+        return -(-n_chunks // self.parity_group_size)
+
+    def choose_parity_chip(self, group: int) -> int:
+        """Placement for a group's parity page: a chip hosting none of
+        the group's data chunks (losing one chip must never take both
+        a member and its parity).  The rotation default
+        ``(group * (n-1) + n - 1) % n`` is used when it qualifies, so
+        the parity load spreads across chips like RAID-5."""
+        members = {
+            self.chip_of_chunk(chunk)
+            for chunk in self.group_data_chunks(group)
+        }
+        default = (
+            group * self.parity_group_size + self.n_chips - 1
+        ) % self.n_chips
+        if default not in members:
+            return default
+        for chip in range(self.n_chips):
+            if chip not in members:
+                return chip
+        raise ValueError(
+            f"no chip free of group {group}'s data chunks for parity "
+            f"({self.n_chips} chips)"
+        )
+
+    def parity_chip(self, group: int) -> int | None:
+        """Recorded parity placement of one rotation group (``None``
+        before the group's first parity write)."""
+        return self._parity_chips.get(group)
+
+    def set_parity_chip(self, group: int, chip: int) -> None:
+        """Record (or move) a group's parity placement.  A move is a
+        placement event: the generation bumps so bound plans and
+        result-cache stamps rebind, same contract as
+        :meth:`remap_chunk`."""
+        if not 0 <= chip < self.n_chips:
+            raise ValueError(f"chip {chip} outside 0..{self.n_chips - 1}")
+        if self._parity_chips.get(group) != chip:
+            self._parity_chips[group] = chip
+            self.generation += 1
+
+    def parity_placements(self) -> dict[int, int]:
+        """Recorded parity placements (copy): group -> chip."""
+        return dict(self._parity_chips)
 
     def remap_chunk(self, chunk: int, chip: int) -> int:
         """Redirect one chunk column to a new chip (probation drain).

@@ -49,10 +49,12 @@ GC copy, and the foreground p99 impact is measured, not assumed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.api import AllocationError, FlashCosmos
-from repro.flash.errors import FlashFault
+from repro.flash.errors import FlashFault, ReconstructionError
 from repro.flash.geometry import BlockAddress, WordlineAddress
 from repro.ssd.events import MAINTENANCE_PRIORITY, StageJob, background_job
 
@@ -84,6 +86,11 @@ class MaintenanceConfig:
     max_victims_per_cycle: int = 4
     min_invalid_pages: int = 1
     priority: float = MAINTENANCE_PRIORITY
+    #: Rebuild pacing: columns (or parity pages) re-materialized from
+    #: parity per :meth:`MaintenanceManager.rebuild_cycle` call -- the
+    #: foreground-impact throttle of the rebuild-on-repair plane,
+    #: playing the same role ``max_victims_per_cycle`` plays for GC.
+    rebuild_columns_per_cycle: int = 2
 
     def __post_init__(self) -> None:
         if self.gc_low_watermark < 0:
@@ -94,6 +101,8 @@ class MaintenanceConfig:
             raise ValueError("max_victims_per_cycle must be >= 1")
         if self.min_invalid_pages < 1:
             raise ValueError("min_invalid_pages must be >= 1")
+        if self.rebuild_columns_per_cycle < 1:
+            raise ValueError("rebuild_columns_per_cycle must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -143,6 +152,9 @@ class MaintenanceStats:
     pages_stuck: int = 0
     gc_cycles: int = 0
     busy_us: float = 0.0
+    #: Chunk columns and parity pages re-materialized from parity by
+    #: :meth:`MaintenanceManager.rebuild_cycle` after a chip loss.
+    columns_rebuilt: int = 0
 
 
 class MaintenanceManager:
@@ -152,6 +164,14 @@ class MaintenanceManager:
         self.ssd = ssd
         self.config = config or MaintenanceConfig()
         self.stats = MaintenanceStats()
+        #: Rebuild queue: ``("column", chunk)`` for a lost data column,
+        #: ``("parity", group)`` for a lost parity page.  Filled by
+        #: :meth:`drain_chip` when a quarantined chip's pages cannot be
+        #: read (fail-stopped hardware), drained FIFO by
+        #: :meth:`rebuild_cycle` at ``rebuild_columns_per_cycle`` per
+        #: call.
+        self.pending_rebuild: list[tuple[str, int]] = []
+        self._rebuild_queued: set[tuple[str, int]] = set()
 
     # ------------------------------------------------------------------
     # Occupancy and wear accounting
@@ -435,11 +455,17 @@ class MaintenanceManager:
         operand lands on the same destination under its original chunk
         group -- so cross-vector co-location survives and the striping
         overlay (:meth:`FlashTranslationLayer.remap_chunk`) keeps the
-        engine's queues consistent.  A column holding any page on a
-        stuck bad block cannot move whole (a partial move would break
-        chunk co-location on the destination), so it stays parked on
-        the sick chip -- counted as stuck, never silently dropped or
-        half-migrated.
+        engine's queues consistent.  The whole column is *read before
+        anything is written*, so a mid-column read failure can never
+        leave it half-migrated.  A column that cannot be read -- any
+        page on a stuck bad block, or the chip fail-stopped entirely
+        -- is queued for parity rebuild when the SSD stripes parity
+        (:meth:`rebuild_cycle` re-materializes it from survivors);
+        without parity it stays parked as stuck, never silently
+        dropped.  Parity pages recorded on the sick chip drain the
+        same way, onto a chip hosting none of their group's data.
+        GC reclamation of the drained chip is skipped when the chip is
+        fail-stopped (there is no die left to erase).
         """
         ssd = self.ssd
         ftl = ssd.ftl
@@ -463,48 +489,94 @@ class MaintenanceManager:
             for placement in ftl.lookup(name).placements:
                 if placement.chip == sick:
                     columns.setdefault(placement.chunk, []).append(name)
+        parity = getattr(ssd, "parity", False)
         moved_any = False
         src_ctrl = ssd.controllers[sick]
         for chunk in sorted(columns):
+            names = columns[chunk]
             stuck = 0
-            for name in columns[chunk]:
-                address = src_ctrl.stored(
-                    ssd._chunk_operand_name(name, chunk)
-                ).address
-                key = (sick, address.plane, address.block, address.subblock)
-                if key in bad:
-                    stuck += 1
+            payloads: list[tuple[str, str, str | None, bool, object]] = []
+            try:
+                for name in names:
+                    record = ftl.lookup(name)
+                    chunk_name = ssd._chunk_operand_name(name, chunk)
+                    stored = src_ctrl.stored(chunk_name)
+                    address = stored.address
+                    key = (
+                        sick,
+                        address.plane,
+                        address.block,
+                        address.subblock,
+                    )
+                    if key in bad:
+                        stuck += 1
+                        continue
+                    logical = src_ctrl.chip.read_page(
+                        address, inverse=stored.inverted
+                    )
+                    chunk_group = (
+                        f"{record.group}#{chunk}" if record.group else None
+                    )
+                    payloads.append(
+                        (
+                            name,
+                            chunk_name,
+                            chunk_group,
+                            stored.inverted,
+                            logical,
+                        )
+                    )
+            except FlashFault:
+                stuck += 1
             if stuck:
-                self.stats.pages_stuck += stuck
+                # The column cannot move whole: queue it for parity
+                # rebuild, or park it as stuck without parity.
+                if parity:
+                    self._queue_rebuild("column", chunk)
+                else:
+                    self.stats.pages_stuck += stuck
                 continue
-            # Least-loaded healthy destination, index order on ties.
-            dest = min(healthy, key=lambda h: (ftl.live_pages(h), h))
+            # Least-loaded healthy destination, index order on ties;
+            # with parity, prefer chips free of the column's rotation
+            # group (one chip loss must cost the group one page).
+            candidates = healthy
+            if parity:
+                group = ftl.group_of_chunk(chunk)
+                taken = {
+                    ftl.chip_of_chunk(sibling)
+                    for sibling in ftl.group_data_chunks(group)
+                    if sibling != chunk
+                }
+                pchip = ftl.parity_chip(group)
+                if pchip is not None:
+                    taken.add(pchip)
+                open_chips = [h for h in healthy if h not in taken]
+                if open_chips:
+                    candidates = open_chips
+            dest = min(candidates, key=lambda h: (ftl.live_pages(h), h))
             dst_ctrl = ssd.controllers[dest]
-            for name in columns[chunk]:
-                record = ftl.lookup(name)
-                chunk_name = ssd._chunk_operand_name(name, chunk)
-                stored = src_ctrl.stored(chunk_name)
-                logical = src_ctrl.chip.read_page(
-                    stored.address, inverse=stored.inverted
-                )
-                chunk_group = (
-                    f"{record.group}#{chunk}" if record.group else None
-                )
+            for name, chunk_name, chunk_group, inverted, logical in payloads:
                 dst_ctrl.fc_write(
                     chunk_name,
                     logical,
                     group=chunk_group,
-                    inverse=stored.inverted,
+                    inverse=inverted,
                 )
                 src_ctrl.directory.unregister(chunk_name)
                 self.stats.pages_migrated += 1
                 moved_any = True
             ftl.remap_chunk(chunk, dest)
+        if parity:
+            moved_any |= self._drain_parity_pages(sick, healthy)
         if moved_any or columns:
             self.stats.chips_drained += 1
         # Reclaim the drained chip's now-dead blocks so it returns
-        # from probation with free space.
-        jobs = self.collect(sick, ready_at_s=ready_at_s)
+        # from probation with free space -- unless the chip is
+        # fail-stopped, where copyback/erase would only raise.
+        if getattr(ssd.chips[sick], "offline", False):
+            jobs: list[StageJob] = []
+        else:
+            jobs = self.collect(sick, ready_at_s=ready_at_s)
         deltas = [
             chip.counters.busy_us - before
             for chip, before in zip(ssd.chips, busy_before)
@@ -530,3 +602,252 @@ class MaintenanceManager:
                     )
                 )
         return jobs
+
+    # ------------------------------------------------------------------
+    # Parity rebuild (rebuild-on-repair)
+    # ------------------------------------------------------------------
+
+    def _queue_rebuild(self, kind: str, key: int) -> None:
+        """Enqueue one lost column/parity page for rebuild, once."""
+        entry = (kind, key)
+        if entry not in self._rebuild_queued:
+            self._rebuild_queued.add(entry)
+            self.pending_rebuild.append(entry)
+
+    def _drain_parity_pages(self, sick: int, healthy: list[int]) -> bool:
+        """Move (or queue for rebuild) every parity page recorded on
+        the sick chip.  Destination: a healthy chip hosting none of
+        the group's data chunks, least-loaded first -- the same
+        distinctness invariant ingest placement keeps."""
+        ssd = self.ssd
+        ftl = ssd.ftl
+        src_ctrl = ssd.controllers[sick]
+        moved_any = False
+        size = ftl.parity_group_size
+        for group, pchip in sorted(ftl.parity_placements().items()):
+            if pchip != sick:
+                continue
+            names = [
+                name
+                for name in ftl.vectors()
+                if ftl.lookup(name).n_chunks > group * size
+            ]
+            if not names:
+                continue
+            payloads: list[tuple[str, str, object]] = []
+            try:
+                for name in names:
+                    pname = ssd._parity_operand_name(name, group)
+                    stored = src_ctrl.stored(pname)
+                    payloads.append(
+                        (
+                            name,
+                            pname,
+                            src_ctrl.chip.read_page(
+                                stored.address, inverse=stored.inverted
+                            ),
+                        )
+                    )
+            except (FlashFault, KeyError):
+                self._queue_rebuild("parity", group)
+                continue
+            members = {
+                ftl.chip_of_chunk(c) for c in ftl.group_data_chunks(group)
+            }
+            candidates = [h for h in healthy if h not in members] or healthy
+            dest = min(candidates, key=lambda h: (ftl.live_pages(h), h))
+            dst_ctrl = ssd.controllers[dest]
+            for name, pname, logical in payloads:
+                record = ftl.lookup(name)
+                dst_ctrl.fc_write(
+                    pname,
+                    logical,
+                    group=ssd._parity_group_name(record.group, group),
+                    inverse=False,
+                )
+                src_ctrl.directory.unregister(pname)
+                self.stats.pages_migrated += 1
+                moved_any = True
+            ftl.set_parity_chip(group, dest)
+        return moved_any
+
+    def rebuild_cycle(
+        self,
+        *,
+        healthy: list[int] | None = None,
+        ready_at_s: float = 0.0,
+    ) -> list[StageJob]:
+        """One rebuild pacing decision (the service calls this per
+        window, like :meth:`run_cycle` for GC): re-materialize up to
+        ``rebuild_columns_per_cycle`` queued columns/parity pages from
+        parity onto healthy chips.  Reconstruction reads and the
+        re-writes are charged as background jobs on the chips that
+        performed them, so rebuild traffic competes with foreground
+        queries in the event simulation exactly like GC copyback.  An
+        entry whose reconstruction fails (double fault) is dropped and
+        counted stuck rather than looping forever."""
+        ssd = self.ssd
+        if not self.pending_rebuild:
+            return []
+        if healthy is None:
+            healthy = list(range(len(ssd.chips)))
+        healthy = [
+            h
+            for h in healthy
+            if not getattr(ssd.chips[h], "offline", False)
+        ]
+        if not healthy:
+            return []
+        busy_before = [c.counters.busy_us for c in ssd.chips]
+        done = 0
+        while self.pending_rebuild and done < self.config.rebuild_columns_per_cycle:
+            kind, key = self.pending_rebuild.pop(0)
+            self._rebuild_queued.discard((kind, key))
+            done += 1
+            try:
+                if kind == "column":
+                    rebuilt = self._rebuild_column(key, healthy)
+                else:
+                    rebuilt = self._rebuild_parity(key, healthy)
+            except (
+                ReconstructionError,
+                FlashFault,
+                AllocationError,
+                KeyError,
+            ):
+                self.stats.pages_stuck += 1
+                continue
+            if rebuilt:
+                self.stats.columns_rebuilt += 1
+        jobs: list[StageJob] = []
+        for index, before in enumerate(busy_before):
+            delta = ssd.chips[index].counters.busy_us - before
+            if delta > 1e-12:
+                self.stats.busy_us += delta
+                jobs.append(
+                    background_job(
+                        f"chip{index}",
+                        delta * 1e-6,
+                        ready_at=ready_at_s,
+                        priority=self.config.priority,
+                    )
+                )
+        return jobs
+
+    def _rebuild_column(self, chunk: int, healthy: list[int]) -> bool:
+        """Re-materialize one lost data column from parity: every
+        vector's ``name@chunk`` is reconstructed by XOR of surviving
+        peers + parity and written whole onto one healthy chip, then
+        the striping overlay redirects the column (generation bump --
+        the same invalidation contract as a probation drain)."""
+        ssd = self.ssd
+        ftl = ssd.ftl
+        names = [
+            name
+            for name in ftl.vectors()
+            if chunk < ftl.lookup(name).n_chunks
+        ]
+        if not names:
+            return False
+        current = ftl.chip_of_chunk(chunk)
+        if not getattr(ssd.chips[current], "offline", False):
+            # Already drained or re-mapped since it was queued.
+            return False
+        # Reconstruct the whole column before writing anything: a
+        # double fault surfaces here and leaves no half-column behind.
+        payloads = [
+            (name, ssd.reconstruct_chunk_bits(name, chunk))
+            for name in names
+        ]
+        group = ftl.group_of_chunk(chunk)
+        taken = {
+            ftl.chip_of_chunk(sibling)
+            for sibling in ftl.group_data_chunks(group)
+            if sibling != chunk
+        }
+        pchip = ftl.parity_chip(group)
+        if pchip is not None:
+            taken.add(pchip)
+        candidates = [h for h in healthy if h not in taken] or list(healthy)
+        dest = min(candidates, key=lambda h: (ftl.live_pages(h), h))
+        src_ctrl = ssd.controllers[current]
+        dst_ctrl = ssd.controllers[dest]
+        for name, bits in payloads:
+            record = ftl.lookup(name)
+            chunk_name = ssd._chunk_operand_name(name, chunk)
+            chunk_group = (
+                f"{record.group}#{chunk}" if record.group else None
+            )
+            # Logical bits re-inverted physically on the destination,
+            # preserving the template congruence of inverted operands.
+            dst_ctrl.fc_write(
+                chunk_name,
+                bits,
+                group=chunk_group,
+                inverse=record.inverted,
+            )
+            src_ctrl.directory.unregister(chunk_name)
+        ftl.remap_chunk(chunk, dest)
+        return True
+
+    def _rebuild_parity(self, group: int, healthy: list[int]) -> bool:
+        """Re-materialize one lost parity page per vector of a
+        rotation group: recompute the XOR of the group's (surviving)
+        data chunks and write it to a healthy chip hosting none of
+        them."""
+        ssd = self.ssd
+        ftl = ssd.ftl
+        size = ftl.parity_group_size
+        names = [
+            name
+            for name in ftl.vectors()
+            if ftl.lookup(name).n_chunks > group * size
+        ]
+        if not names:
+            return False
+        current = ftl.parity_chip(group)
+        if current is None or not getattr(
+            ssd.chips[current], "offline", False
+        ):
+            return False
+        payloads: list[tuple[str, str | None, np.ndarray]] = []
+        for name in names:
+            record = ftl.lookup(name)
+            member_bits = []
+            for c in ftl.group_data_chunks(group):
+                if c >= record.n_chunks:
+                    continue
+                ctrl = ssd.controllers[ftl.chip_of_chunk(c)]
+                stored = ctrl.stored(ssd._chunk_operand_name(name, c))
+                member_bits.append(
+                    ctrl.chip.read_page(
+                        stored.address, inverse=stored.inverted
+                    )
+                )
+            payloads.append(
+                (
+                    name,
+                    record.group,
+                    np.bitwise_xor.reduce(np.vstack(member_bits), axis=0),
+                )
+            )
+        members = {
+            ftl.chip_of_chunk(c) for c in ftl.group_data_chunks(group)
+        }
+        candidates = [h for h in healthy if h not in members] or list(
+            healthy
+        )
+        dest = min(candidates, key=lambda h: (ftl.live_pages(h), h))
+        src_ctrl = ssd.controllers[current]
+        dst_ctrl = ssd.controllers[dest]
+        for name, vgroup, bits in payloads:
+            pname = ssd._parity_operand_name(name, group)
+            dst_ctrl.fc_write(
+                pname,
+                bits,
+                group=ssd._parity_group_name(vgroup, group),
+                inverse=False,
+            )
+            src_ctrl.directory.unregister(pname)
+        ftl.set_parity_chip(group, dest)
+        return True

@@ -112,7 +112,7 @@ from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 import numpy as np
 
-from repro.core.expressions import Expression, operand_names
+from repro.core.expressions import Expression, evaluate, operand_names
 from repro.core.planner import (
     Plan,
     Planner,
@@ -123,10 +123,11 @@ from repro.core.planner import (
 from repro.flash.errors import (
     ChipUnavailableError,
     FlashFault,
+    ReconstructionError,
     RetryExhaustedError,
 )
 from repro.flash.faults import RecoveryPolicy
-from repro.flash.packing import unpack_rows
+from repro.flash.packing import pack_bits, unpack_rows
 from repro.ssd.config import SsdConfig, table1_config
 from repro.ssd.events import StageJob, simulate_stages
 
@@ -179,6 +180,11 @@ class EngineStats:
     #: per-sense loop -- the quantity window batching collapses from
     #: O(senses) to O(chips).
     executor_dispatches: int = 0
+    #: Chunk results rebuilt from parity after a chip failure (first
+    #: occurrences and sharing followers alike), and the survivor
+    #: sense operations the first occurrences cost.
+    reconstructed_plans: int = 0
+    reconstruction_senses: int = 0
 
 
 @dataclass(frozen=True)
@@ -207,6 +213,13 @@ class ChunkTask(NamedTuple):
     chunk: int
     chip: int
     plan: Plan
+    #: The source expression, carried for the parity reconstruction
+    #: path: when the chip is gone the bound plan is useless (its
+    #: addresses point at dead cells), but the expression can be
+    #: re-evaluated host-side over parity-reconstructed operand
+    #: chunks.  Deliberately *not* part of ``share_key`` -- sharing is
+    #: a property of the sensing operation, not of who asked.
+    expr: Expression | None = None
 
     @property
     def share_key(self) -> tuple[int, Plan]:
@@ -252,6 +265,17 @@ class ChunkOutcome(NamedTuple):
     recovery_us: float = 0.0
     degraded: bool = False
     error: Exception | None = None
+    #: Parity reconstruction plane (``execute_tasks(...,
+    #: reconstruct=True)`` on a parity-striped SSD): ``reconstructed``
+    #: marks a result rebuilt host-side by XOR of surviving peer
+    #: chunks and parity after the chip failed; ``recovery_work`` is
+    #: the real sense time that reconstruction charged to *survivor*
+    #: chips as ``(chip, busy_us)`` pairs (``latency_us`` stays zero
+    #: -- the task's own chip did no work), which the service replays
+    #: into the event simulation so degraded reads slow the timeline
+    #: exactly where the reads happened.
+    reconstructed: bool = False
+    recovery_work: tuple[tuple[int, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -488,7 +512,13 @@ class PreparedQuery:
     def tasks(self, query: int) -> list[ChunkTask]:
         """Flatten the per-chip queues into attributed chunk tasks."""
         return [
-            ChunkTask(query=query, chunk=chunk, chip=chip, plan=plan)
+            ChunkTask(
+                query=query,
+                chunk=chunk,
+                chip=chip,
+                plan=plan,
+                expr=self.expr,
+            )
             for chip, queue in sorted(self.queues.items())
             for chunk, plan in queue
         ]
@@ -543,6 +573,8 @@ class QueryEngine:
         self._shared_plans = 0
         self._shared_senses = 0
         self._executor_dispatches = 0
+        self._reconstructed_plans = 0
+        self._reconstruction_senses = 0
         #: Cross-window result cache; opt-in via
         #: :meth:`enable_result_cache` and consulted only by
         #: ``execute_tasks(..., use_cache=True)`` -- the synchronous
@@ -647,6 +679,8 @@ class QueryEngine:
                 shared_plans=self._shared_plans,
                 shared_senses=self._shared_senses,
                 executor_dispatches=self._executor_dispatches,
+                reconstructed_plans=self._reconstructed_plans,
+                reconstruction_senses=self._reconstruction_senses,
             )
 
     # ------------------------------------------------------------------
@@ -917,6 +951,7 @@ class QueryEngine:
         recovery: RecoveryPolicy | None = None,
         degraded: Iterable[int] = (),
         offline: Iterable[int] = (),
+        reconstruct: bool = False,
     ) -> list[ChunkOutcome]:
         """Drain a multi-query chunk-task list with cross-query sense
         sharing and window-at-a-time batched execution.
@@ -974,6 +1009,19 @@ class QueryEngine:
         touching the die.  An inactive (or absent) injector ignores
         ``recovery`` entirely, so the fault-free window is the same
         batched drain as ever, float for float.
+
+        With ``reconstruct`` on and parity striping enabled on the
+        SSD, a second pass runs after every drain has joined: tasks
+        that failed with :class:`ChipUnavailableError` or
+        :class:`RetryExhaustedError` get their operand chunks rebuilt
+        by XOR of surviving peers and parity, the expression is
+        re-evaluated host-side, and the outcome comes back
+        ``reconstructed`` with the survivor chips' real sense time in
+        ``recovery_work``.  The pass is strictly sequential in task
+        order regardless of ``workers``, so reconstruction keeps the
+        engine's any-worker-count determinism.  Without failures (or
+        with parity off) it is a no-op -- the fault-free window stays
+        float-identical.
         """
         packed = self.ssd.packed
         cache = self.result_cache if use_cache and packed else None
@@ -1004,9 +1052,14 @@ class QueryEngine:
             # drains write disjoint `outcomes` slots, so the list
             # needs no lock.  Engine stat counters accumulate locally
             # and merge once at the end under the engine lock.
-            if chip in offline_chips:
-                # Quarantined: fail fast without touching the die (the
-                # scheduler already parked these at the window tail).
+            if chip in offline_chips or getattr(
+                self.ssd.chips[chip], "offline", False
+            ):
+                # Quarantined or fail-stopped: fail fast without
+                # touching the die (the scheduler already parked
+                # quarantined chips at the window tail; a chip that
+                # died *mid-window* is caught here before its queue
+                # raises out of the drain).
                 for position in positions:
                     task = order[position]
                     outcomes[position] = outcome(
@@ -1181,7 +1234,133 @@ class QueryEngine:
         else:
             for chip, positions in per_chip.items():
                 drain(chip, positions)
+        if reconstruct and getattr(self.ssd, "parity", False):
+            self._reconstruct_failures(order, outcomes, cache)
         return outcomes
+
+    def _reconstruct_task(
+        self, task: ChunkTask
+    ) -> tuple[np.ndarray, int, float, tuple[tuple[int, float], ...]]:
+        """Rebuild one failed chunk task's result from parity.
+
+        Every operand chunk of the task is reconstructed by XOR of its
+        surviving rotation-group peers and parity page
+        (:meth:`SmallSsd.reconstruct_chunk_bits`), then the expression
+        is evaluated host-side over the rebuilt operand bits -- the
+        same envelope the degraded V_TH fallback uses, so the result
+        is bit-identical to what the lost chip would have computed.
+        Returns ``(data, n_senses, energy_nj, recovery_work)`` where
+        the cost fields are counter deltas measured across *all*
+        chips: reconstruction's survivor reads are real senses and are
+        charged to the chips that performed them.
+        """
+        ssd = self.ssd
+        before = [
+            (
+                chip.counters.senses,
+                chip.counters.busy_us,
+                chip.counters.energy_nj,
+            )
+            for chip in ssd.chips
+        ]
+        env = {
+            name: ssd.reconstruct_chunk_bits(name, task.chunk)
+            for name in sorted(operand_names(task.expr))
+        }
+        bits = evaluate(task.expr, env)
+        data = pack_bits(bits) if ssd.packed else bits
+        n_senses = 0
+        energy_nj = 0.0
+        work: list[tuple[int, float]] = []
+        for chip_id, (s0, b0, e0) in enumerate(before):
+            counters = ssd.chips[chip_id].counters
+            n_senses += counters.senses - s0
+            energy_nj += counters.energy_nj - e0
+            busy = counters.busy_us - b0
+            if busy > 0.0:
+                work.append((chip_id, busy))
+        return data, n_senses, energy_nj, tuple(work)
+
+    def _reconstruct_failures(
+        self,
+        order: list[ChunkTask],
+        outcomes: list[ChunkOutcome | None],
+        cache: ResultCache | None,
+    ) -> None:
+        """Phase two of ``execute_tasks(..., reconstruct=True)``: walk
+        the outcomes in task order and replace chip-loss/retry-
+        exhaustion failures with parity-reconstructed results.  First
+        occurrence per ``share_key`` pays the survivor reads; repeats
+        fan out as shared outcomes, mirroring the sense-sharing
+        contract of phase one.  A task whose reconstruction itself
+        fails (parity off for the vector, double fault on a survivor)
+        keeps its original typed error outcome.
+        """
+        memo: dict[tuple[int, Plan], ChunkOutcome | None] = {}
+        reconstructed = 0
+        senses = 0
+        for position, prior in enumerate(outcomes):
+            if prior is None or prior.error is None:
+                continue
+            task = prior.task
+            if task.expr is None or not isinstance(
+                prior.error, (ChipUnavailableError, RetryExhaustedError)
+            ):
+                continue
+            key = task.share_key
+            if key in memo:
+                first = memo[key]
+                if first is None:
+                    continue
+                outcomes[position] = ChunkOutcome(
+                    task=task,
+                    data=first.data,
+                    n_senses=0,
+                    latency_us=0.0,
+                    energy_nj=0.0,
+                    shared=True,
+                    retries=prior.retries,
+                    recovery_us=prior.recovery_us,
+                    reconstructed=True,
+                )
+                reconstructed += 1
+                continue
+            try:
+                data, n_senses, energy_nj, work = self._reconstruct_task(
+                    task
+                )
+            except (ReconstructionError, KeyError):
+                memo[key] = None
+                continue
+            fresh = ChunkOutcome(
+                task=task,
+                data=data,
+                n_senses=n_senses,
+                # The task's own chip spent nothing (it is gone);
+                # survivor time rides recovery_work so the service
+                # charges the right dies in the event simulation.
+                latency_us=0.0,
+                energy_nj=energy_nj,
+                shared=False,
+                retries=prior.retries,
+                recovery_us=prior.recovery_us,
+                reconstructed=True,
+                recovery_work=work,
+            )
+            outcomes[position] = fresh
+            memo[key] = fresh
+            reconstructed += 1
+            senses += n_senses
+            if cache is not None:
+                # Valid under the invalidation contract: survivor
+                # reads are senses, not programs, so no layout stamp
+                # moved; when the service later quarantines the dead
+                # chip its directory generation bump drops the entry.
+                cache.put(task.chip, task.plan, data, n_senses)
+        if reconstructed:
+            with self._lock:
+                self._reconstructed_plans += reconstructed
+                self._reconstruction_senses += senses
 
     def assemble_bits(
         self, prepared: PreparedQuery, pieces: list[np.ndarray | None]

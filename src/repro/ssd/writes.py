@@ -58,3 +58,18 @@ def sequential_write_bandwidth(
     """Sustained sequential write bandwidth (bytes/s) for a mode."""
     ceiling = HOST_WRITE_EFFICIENCY * config.external_bw_bytes_per_s
     return min(ceiling, program_capacity_bytes_per_s(config, mode, esp_extra))
+
+
+def parity_write_amplification(n_chips: int) -> float:
+    """Physical-to-logical write ratio of parity-protected striping.
+
+    With rotation groups of ``n_chips - 1`` data chunks plus one
+    parity chunk (RAID-5 layout), every group of ``n - 1`` logical
+    chunk programs costs ``n`` physical programs -- amplification
+    ``n / (n - 1)``.  Shrinks toward 1 as the stripe widens: the
+    parity tax is the reciprocal of the group size, not a fixed
+    mirror-style 2x.
+    """
+    if n_chips < 2:
+        raise ValueError("parity striping needs n_chips >= 2")
+    return n_chips / (n_chips - 1)

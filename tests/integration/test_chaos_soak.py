@@ -1,0 +1,168 @@
+"""Chaos soak: three planes colliding on one parity-striped SSD.
+
+The property under test crosses the fault plane (transient sense
+faults + stalls from an active injector), the maintenance plane
+(overwrite churn driving watermark-paced GC), and the redundancy
+plane (a chip killed permanently mid-soak): every query of every
+round completes with no error and bit-identical to the NumPy oracle,
+at workers 1 and 4 -- while the same soak without parity demonstrably
+fails once the chip dies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.expressions import And, Operand, Xor, evaluate, or_all
+from repro.flash.faults import FaultConfig, FaultInjector
+from repro.flash.geometry import ChipGeometry
+from repro.ssd.controller import SmallSsd
+from repro.ssd.maintenance import MaintenanceConfig
+
+GEOMETRY = ChipGeometry(
+    planes_per_die=1,
+    blocks_per_plane=16,
+    subblocks_per_block=2,
+    wordlines_per_string=8,
+    page_size_bits=128,
+)
+
+VICTIM = 2
+N_CHUNKS = 6
+
+#: Watermarks pinned just under the plane's 32-sub-block pool, so the
+#: overwrite churn's invalidated blocks trip GC every round.
+CHURNY = MaintenanceConfig(gc_low_watermark=31, gc_high_watermark=32)
+
+
+def _build(parity, seed=17):
+    injector = FaultInjector(
+        FaultConfig(seed=seed, sense_fault_rate=0.02, stall_rate=0.02)
+    )
+    ssd = SmallSsd(
+        n_chips=4,
+        geometry=GEOMETRY,
+        seed=seed,
+        parity=parity,
+        fault_injector=injector,
+    )
+    rng = np.random.default_rng(seed + 1)
+    env = {}
+    for name in ("a", "b", "c", "d"):
+        env[name] = rng.integers(
+            0, 2, ssd.page_bits * N_CHUNKS, dtype=np.uint8
+        )
+        ssd.write_vector(name, env[name], group="g")
+    return ssd, env
+
+
+def _traffic(start_us, n=8):
+    a, b, c, d = (Operand(x) for x in "abcd")
+    pool = [And(a, b), or_all([And(a, b), c]), Xor(b, d), And(And(a, c), d)]
+    return [
+        (start_us + 40.0 * i, "tenant", pool[i % len(pool)])
+        for i in range(n)
+    ]
+
+
+def _soak(parity, *, workers=1):
+    """Churn rounds, a mid-soak permanent chip kill, rebuild drain,
+    then churn again on the rebuilt layout.  Returns every round's
+    report (in order) plus the service and oracle env."""
+    ssd, env = _build(parity)
+    service = ssd.service(
+        window_us=100.0, workers=workers, maintenance=CHURNY
+    )
+    reports = []
+    clock = 0.0
+    # Healthy churn: overwrites invalidate whole block swaths, so GC
+    # runs under live fault-injected traffic.
+    for _ in range(2):
+        ssd.delete_vector("a")
+        ssd.write_vector("a", env["a"], group="g")
+        service.submit_traffic(_traffic(clock))
+        reports.append(service.run())
+        clock += 1000.0
+    ssd.kill_chip(VICTIM)
+    # Post-kill rounds: reconstruction answers while the paced rebuild
+    # queue drains (bounded -- the queue holds at most every column +
+    # parity group once).
+    for _ in range(12):
+        service.submit_traffic(_traffic(clock))
+        reports.append(service.run())
+        clock += 1000.0
+        if service.maintenance is not None and not (
+            service.maintenance.pending_rebuild
+        ):
+            break
+    # Post-rebuild churn: overwrite again on the healed layout.  Only
+    # with parity -- without it nothing re-materializes the dead
+    # chip's columns, so a rewrite would (correctly) fail at ingest.
+    if parity:
+        ssd.delete_vector("b")
+        ssd.write_vector("b", env["b"], group="g")
+    service.submit_traffic(_traffic(clock))
+    reports.append(service.run())
+    return ssd, service, env, reports
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+def test_chaos_soak_completes_everything_bit_identical(workers):
+    ssd, service, env, reports = _soak(True, workers=workers)
+    for report in reports:
+        assert report.stats.queries_failed == 0
+        for query in report.queries:
+            assert query.error is None
+            np.testing.assert_array_equal(
+                query.result.bits, evaluate(query.expr, env)
+            )
+    # All three planes actually fired.
+    totals = {
+        "faults": sum(r.stats.faults_injected for r in reports),
+        "gc": sum(
+            r.stats.blocks_reclaimed + r.stats.pages_migrated
+            for r in reports
+        ),
+        "reconstructed": sum(r.stats.reconstructed_plans for r in reports),
+        "rebuilt": sum(r.stats.columns_rebuilt for r in reports),
+    }
+    assert totals["faults"] > 0
+    assert totals["gc"] > 0
+    assert totals["reconstructed"] > 0
+    assert totals["rebuilt"] > 0
+    assert not service.maintenance.pending_rebuild
+    # The dead chip ends the soak holding no live columns.
+    for name in ("a", "b", "c", "d"):
+        record = ssd.ftl.lookup(name)
+        for chunk in range(record.n_chunks):
+            assert ssd.ftl.chip_of_chunk(chunk) != VICTIM
+
+
+def test_chaos_soak_without_parity_fails_typed():
+    ssd, service, env, reports = _soak(False)
+    failed = [q for r in reports for q in r.queries if q.failed]
+    assert failed
+    assert {type(q.error).__name__ for q in failed} <= {
+        "ChipUnavailableError",
+        "RetryExhaustedError",
+    }
+    assert "ChipUnavailableError" in {
+        type(q.error).__name__ for q in failed
+    }
+
+
+def test_chaos_soak_worker_counts_agree():
+    baseline = None
+    for workers in (1, 4):
+        _, _, _, reports = _soak(True, workers=workers)
+        bits = [
+            q.result.bits
+            for r in reports
+            for q in sorted(r.queries, key=lambda q: q.query_id)
+        ]
+        senses = [r.stats.n_senses for r in reports]
+        if baseline is None:
+            baseline = (bits, senses)
+        else:
+            assert senses == baseline[1]
+            for got, want in zip(bits, baseline[0]):
+                np.testing.assert_array_equal(got, want)

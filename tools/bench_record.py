@@ -287,6 +287,37 @@ def _run_gc_bench() -> dict[str, float]:
     }
 
 
+def _run_redundancy_bench() -> dict[str, float]:
+    """Run the chip-loss redundancy kernel in-process.
+
+    Completion rates are exact: the no-parity twin must keep failing
+    once the chip dies, and the parity twin must keep completing
+    everything bit-identically with an empty rebuild queue.  Only
+    ``p99_ratio`` is ceilinged with tolerance (degraded vs healthy
+    event-simulated p99s shift when the workload is retuned).
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_redundancy import measure_redundancy
+
+    m = measure_redundancy()
+    return {
+        "queries": m["queries"],
+        "noparity_completion_rate": m["noparity_completion_rate"],
+        "noparity_failed": m["noparity_failed"],
+        "parity_completion_rate": m["parity_completion_rate"],
+        "parity_mismatched": m["parity_mismatched"],
+        "reconstructed_chunks": m["reconstructed_chunks"],
+        "reconstruction_us": m["reconstruction_us"],
+        "columns_rebuilt": m["columns_rebuilt"],
+        "pending_rebuild": m["pending_rebuild"],
+        "write_amplification": m["write_amplification"],
+        "healthy_p99_us": m["healthy_p99_us"],
+        "degraded_p99_us": m["degraded_p99_us"],
+        "p99_ratio": m["p99_ratio"],
+    }
+
+
 def measure() -> dict:
     import numpy
 
@@ -307,6 +338,7 @@ def measure() -> dict:
         "preemption": _run_preemption_bench(),
         "faults": _run_faults_bench(),
         "gc": _run_gc_bench(),
+        "redundancy": _run_redundancy_bench(),
     }
 
 
@@ -510,6 +542,43 @@ def check(baseline_path: Path, tolerance: float) -> int:
                 f"baseline {base_gc['p99_ratio']:.2f} x {tolerance:.1f}"
             )
 
+    base_red = baseline.get("redundancy", {})
+    if "parity_completion_rate" in base_red:
+        fresh_red = fresh["redundancy"]
+        if fresh_red["noparity_failed"] == 0:
+            failures.append(
+                "redundancy noparity_failed: the no-parity twin "
+                "survived the chip loss"
+            )
+        if (
+            fresh_red["parity_completion_rate"]
+            < base_red["parity_completion_rate"]
+        ):
+            failures.append(
+                f"redundancy parity_completion_rate: "
+                f"{fresh_red['parity_completion_rate']:.2f} < baseline "
+                f"{base_red['parity_completion_rate']:.2f}"
+            )
+        if fresh_red["parity_mismatched"] > 0:
+            failures.append(
+                f"redundancy parity_mismatched: "
+                f"{fresh_red['parity_mismatched']} reconstructed "
+                "results diverged from the oracle"
+            )
+        if fresh_red["pending_rebuild"] > 0:
+            failures.append(
+                f"redundancy pending_rebuild: "
+                f"{fresh_red['pending_rebuild']} columns never rebuilt"
+            )
+        if "p99_ratio" in base_red:
+            ceiling = base_red["p99_ratio"] * tolerance
+            if fresh_red["p99_ratio"] > ceiling:
+                failures.append(
+                    f"redundancy p99_ratio: "
+                    f"{fresh_red['p99_ratio']:.2f} > baseline "
+                    f"{base_red['p99_ratio']:.2f} x {tolerance:.1f}"
+                )
+
     if failures:
         print("perf regression(s) vs baseline:")
         for failure in failures:
@@ -518,8 +587,8 @@ def check(baseline_path: Path, tolerance: float) -> int:
     print(
         f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels, "
         f"packed-backend, service, batch-sense, result-cache, SLO, "
-        f"multicore, preemption, fault-tolerance, and GC metrics "
-        f"within {tolerance:.1f}x of baseline"
+        f"multicore, preemption, fault-tolerance, GC, and redundancy "
+        f"metrics within {tolerance:.1f}x of baseline"
     )
     return 0
 
