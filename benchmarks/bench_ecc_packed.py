@@ -1,0 +1,134 @@
+"""Packed (word-wide) BCH page ECC vs the byte-bit loop.
+
+PR 2 bit-packed the functional data plane, but the ECC layer kept
+working one codeword bit at a time: ``PageCodec`` looped the
+interleave per codeword, each ``BchCode.encode`` walking a Python
+division register bit by bit and each decode recomputing syndromes
+position by position.  The packed ECC plane turns the interleave's
+codewords into ``uint64`` lanes: parity is a masked XOR reduce against
+a precomputed contribution table, syndromes are bit-sliced planes (one
+masked XOR reduce per (syndrome, GF-bit) pair), and only
+syndrome-dirty lanes fall back to the scalar decoder -- the same
+keep-every-stage-word-wide shape as the in-DRAM bulk bitwise engines.
+
+This bench encodes and decodes one full interleaved page (BCH(255,
+239, t=2) x 64 codewords, ~16 Kb stored) with a handful of injected
+errors, packed vs byte-bit, and measures:
+
+* wall-clock speedup of the packed encode+decode (gated, >= 5x
+  locally);
+* bit-exactness against the ``packed=False`` oracle -- encoded page,
+  decoded payload, corrected-bit count, and failed-codeword count --
+  asserted before any timing;
+* the error-free fast path (clean pages never touch the scalar
+  decoder).
+
+The ``measure_ecc_packed`` helper returns a plain dict so
+``tools/bench_record.py`` snapshots ``ecc_packed_speedup`` into the
+``BENCH_kernels.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.ecc.bch import BchCode
+from repro.ecc.page_codec import PageCodec
+
+#: Required wall-clock speedup of the packed page roundtrip.  Local/
+#: dev runs use the full 5x gate; noisy shared CI runners may relax it
+#: via the environment (bit-exactness is asserted unconditionally).
+SPEEDUP_GATE = float(os.environ.get("ECC_PACKED_SPEEDUP_GATE", "5.0"))
+
+ROUNDS = 5
+
+#: Full-page configuration: BCH(255, 239, t=2) x 64 interleaved
+#: codewords = 16320 stored bits (a 2 KiB sector's worth of lanes).
+M, T, N_CODEWORDS = 8, 2, 64
+
+#: Errors injected into the timed page: spread across lanes, each
+#: lane staying within t so both paths fully correct the page.
+N_ERRORS = 6
+
+
+def _time(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_ecc_packed() -> dict:
+    """Roundtrip the identical page packed and byte-bit; verify exact
+    equivalence against the byte-bit oracle, then time both."""
+    code = BchCode(M, T)
+    packed = PageCodec(code, N_CODEWORDS)
+    oracle = PageCodec(code, N_CODEWORDS, packed=False)
+    rng = np.random.default_rng(42)
+    page = rng.integers(0, 2, size=packed.logical_bits).astype(np.uint8)
+
+    # --- equivalence before any timing ------------------------------
+    stored = packed.encode_page(page)
+    assert np.array_equal(stored, oracle.encode_page(page))
+    noisy = stored.copy()
+    # One error per chosen lane (distinct lanes, t=2 budget intact).
+    lanes = rng.choice(N_CODEWORDS, size=N_ERRORS, replace=False)
+    rows = rng.choice(code.n, size=N_ERRORS, replace=False)
+    for row, lane in zip(rows, lanes):
+        noisy[row * N_CODEWORDS + lane] ^= 1
+    result_p = packed.decode_page(noisy)
+    result_o = oracle.decode_page(noisy)
+    assert np.array_equal(result_p.data_bits, result_o.data_bits)
+    assert np.array_equal(result_p.data_bits, page)
+    assert result_p.corrected_bits == result_o.corrected_bits == N_ERRORS
+    assert result_p.failed_codewords == result_o.failed_codewords == 0
+    # Clean-page decode never falls back to the scalar decoder.
+    clean = packed.decode_page(stored)
+    assert clean.ok and clean.corrected_bits == 0
+    assert np.array_equal(clean.data_bits, page)
+
+    # --- wall-clock (mask tables warm) ------------------------------
+    run_packed = lambda: (  # noqa: E731
+        packed.encode_page(page),
+        packed.decode_page(noisy),
+    )
+    run_scalar = lambda: (  # noqa: E731
+        oracle.encode_page(page),
+        oracle.decode_page(noisy),
+    )
+    run_packed()
+    run_scalar()
+    packed_s = _time(run_packed, ROUNDS)
+    scalar_s = _time(run_scalar, ROUNDS)
+
+    return {
+        "code": f"BCH({code.n},{code.k},t={code.t})",
+        "n_codewords": N_CODEWORDS,
+        "page_bits": packed.physical_bits,
+        "n_errors": N_ERRORS,
+        "corrected_bits": result_p.corrected_bits,
+        "packed_s": packed_s,
+        "byte_bit_s": scalar_s,
+        "ecc_packed_speedup": scalar_s / packed_s,
+    }
+
+
+def test_packed_page_ecc_beats_byte_bit_loop():
+    m = measure_ecc_packed()
+    print(
+        f"\n{m['code']} x {m['n_codewords']} lanes "
+        f"({m['page_bits']} stored bits, {m['n_errors']} errors): "
+        f"byte-bit {m['byte_bit_s'] * 1e3:.2f} ms, "
+        f"packed {m['packed_s'] * 1e3:.2f} ms, "
+        f"speedup {m['ecc_packed_speedup']:.1f}x"
+    )
+    assert m["corrected_bits"] == m["n_errors"]
+    assert m["ecc_packed_speedup"] >= SPEEDUP_GATE, (
+        f"expected >= {SPEEDUP_GATE}x packed-ECC speedup, "
+        f"got {m['ecc_packed_speedup']:.2f}x"
+    )

@@ -9,6 +9,20 @@ is the classic pipeline: syndromes -> Berlekamp-Massey -> Chien
 search.  ``tests/ecc`` exercises roundtrips, correction up to t,
 detection beyond t, and the paper's non-commutativity claim (AND/OR of
 codewords is not the codeword of AND/OR of data).
+
+The scalar methods above stay the reference implementation; the
+``*_batch`` methods run the same algebra word-wide.  Interleaved
+codewords become *lanes*: bit ``l`` of a ``uint64`` lane word is
+codeword ``l % 64`` of word ``l // 64``, so the whole interleave of a
+page encodes/checks in a handful of XOR reduces.  Parity is a GF(2)
+matrix product against a precomputed contribution table (the
+remainder of ``x^(n-1-i) mod g`` per data row); syndromes are
+bit-sliced -- one packed plane per (syndrome, GF bit) pair, each the
+XOR of the codeword rows whose precomputed coefficient
+``alpha^(i*(n-1-r))`` has that bit set.  Lanes whose syndromes are all
+zero finish right there; dirty lanes fall back to the scalar
+:meth:`BchCode.decode`, so correction behaviour and
+:class:`BchDecodeFailure` typing are identical by construction.
 """
 
 from __future__ import annotations
@@ -18,6 +32,43 @@ from functools import reduce
 import numpy as np
 
 from repro.ecc.gf import GaloisField
+
+#: Lanes per packed word (mirrors ``repro.flash.packing.WORD_BITS``).
+LANE_WORD_BITS = 64
+
+_FULL_LANE_WORD = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+
+def pack_lanes(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, lanes)`` 0/1 matrix into ``(rows, words)``
+    ``uint64`` lane words (lane ``l`` -> bit ``l % 64`` of word
+    ``l // 64``).
+
+    Padding lanes are **zero**, unlike the ones-padding of
+    ``repro.flash.packing.pack_rows``: a padding lane must behave as an
+    absent codeword, and only all-zero lanes contribute nothing to the
+    parity XOR and produce all-zero syndromes.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2:
+        raise ValueError("pack_lanes expects a 2-D (rows, lanes) array")
+    n_rows, n_lanes = matrix.shape
+    n_bytes = -(-n_lanes // LANE_WORD_BITS) * (LANE_WORD_BITS // 8)
+    packed = np.packbits(matrix, axis=1, bitorder="little")
+    if packed.shape[1] != n_bytes:
+        padded = np.zeros((n_rows, n_bytes), dtype=np.uint8)
+        padded[:, : packed.shape[1]] = packed
+        packed = padded
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_lanes(words: np.ndarray, n_lanes: int) -> np.ndarray:
+    """Inverse of :func:`pack_lanes`, truncating padding lanes."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError("unpack_lanes expects a 2-D (rows, words) array")
+    flat = np.unpackbits(words.view(np.uint8), axis=1, bitorder="little")
+    return flat[:, :n_lanes]
 
 
 class BchDecodeFailure(Exception):
@@ -49,6 +100,10 @@ class BchCode:
             raise ValueError(
                 f"BCH(m={m}, t={t}) leaves no data bits (parity={self.n_parity})"
             )
+        # Lazy word-wide tables (see module docstring): built on the
+        # first *_batch call, immutable afterwards.
+        self._parity_masks: np.ndarray | None = None
+        self._syndrome_masks: np.ndarray | None = None
 
     def _build_generator(self) -> list[int]:
         """g(x) = lcm of minimal polynomials of alpha^1..alpha^2t."""
@@ -88,6 +143,59 @@ class BchCode:
         # remainder[i] holds the x^i parity coefficient; reverse it so
         # the codeword keeps the index -> x^(n-1-index) convention.
         return np.concatenate([data, remainder[::-1]]).astype(np.uint8)
+
+    def _parity_mask_table(self) -> np.ndarray:
+        """``(k, n_parity, 1)`` ``uint64`` broadcast masks: lane word
+        of data row ``i`` feeds parity row ``j`` (codeword index
+        ``k + j``, coefficient ``x^(n_parity-1-j)``) iff bit
+        ``n_parity-1-j`` of ``x^(n-1-i) mod g`` is set."""
+        if self._parity_masks is None:
+            n_parity = self.n_parity
+            g_low = 0  # g(x) minus its monic top term, LSB = x^0
+            for degree in range(n_parity):
+                if self.generator[degree]:
+                    g_low |= 1 << degree
+            contrib = np.zeros((self.k, n_parity), dtype=bool)
+            # Data index k-1 sits at degree n_parity; each lower index
+            # is one more multiplication by x (mod g).
+            current = g_low
+            for i in range(self.k - 1, -1, -1):
+                for r in range(n_parity):
+                    if (current >> r) & 1:
+                        contrib[i, n_parity - 1 - r] = True
+                if i:
+                    current <<= 1
+                    if (current >> n_parity) & 1:
+                        current ^= (1 << n_parity) | g_low
+            masks = np.where(
+                contrib[:, :, None], _FULL_LANE_WORD, np.uint64(0)
+            )
+            masks.setflags(write=False)
+            self._parity_masks = masks
+        return self._parity_masks
+
+    def encode_batch(self, data: np.ndarray) -> np.ndarray:
+        """Encode every column of a ``(k, lanes)`` 0/1 matrix at once.
+
+        Column ``j`` of the returned ``(n, lanes)`` matrix is
+        bit-identical to ``encode(data[:, j])``.  The parity block is
+        one masked XOR reduce over the packed lane words instead of a
+        per-bit division loop per codeword.
+        """
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[0] != self.k:
+            raise ValueError(
+                f"data must have shape ({self.k}, lanes), got {data.shape}"
+            )
+        if not np.isin(data, (0, 1)).all():
+            raise ValueError("data must be 0/1 bits")
+        lanes = pack_lanes(data)  # (k, W)
+        masks = self._parity_mask_table()  # (k, n_parity, 1)
+        parity = np.bitwise_xor.reduce(lanes[:, None, :] & masks, axis=0)
+        out = np.empty((self.n, data.shape[1]), dtype=np.uint8)
+        out[: self.k] = data
+        out[self.k :] = unpack_lanes(parity, data.shape[1])
+        return out
 
     # ------------------------------------------------------------------
     # Decoding
@@ -138,6 +246,93 @@ class BchCode:
         if any(self.syndromes(word)):
             raise BchDecodeFailure("residual syndrome after correction")
         return word[: self.k].copy(), n_errors
+
+    def _syndrome_mask_table(self) -> np.ndarray:
+        """``(2t, m, n, 1)`` ``uint64`` broadcast masks: codeword row
+        ``r`` feeds the bit plane ``(i, b)`` iff bit ``b`` of
+        ``alpha^((i+1) * (n-1-r))`` is set."""
+        if self._syndrome_masks is None:
+            powers = np.outer(
+                np.arange(1, 2 * self.t + 1, dtype=np.int64),
+                np.int64(self.n - 1) - np.arange(self.n, dtype=np.int64),
+            )
+            coefficients = self.field.exp_many(powers)  # (2t, n)
+            bits = (
+                coefficients[:, None, :]
+                >> np.arange(self.field.m, dtype=np.uint32)[None, :, None]
+            ) & 1
+            masks = np.where(
+                bits[:, :, :, None].astype(bool),
+                _FULL_LANE_WORD,
+                np.uint64(0),
+            )
+            masks.setflags(write=False)
+            self._syndrome_masks = masks
+        return self._syndrome_masks
+
+    def syndromes_batch(self, received: np.ndarray) -> np.ndarray:
+        """Syndromes of every column of a ``(n, lanes)`` 0/1 matrix.
+
+        Returns a ``(2t, lanes)`` integer matrix whose column ``j``
+        equals ``syndromes(received[:, j])``.  Computed bit-sliced:
+        every (syndrome, GF-bit) plane is one masked XOR reduce over
+        the packed lane words.
+        """
+        words = np.ascontiguousarray(received, dtype=np.uint8)
+        if words.ndim != 2 or words.shape[0] != self.n:
+            raise ValueError(
+                f"received must have shape ({self.n}, lanes), "
+                f"got {words.shape}"
+            )
+        if not np.isin(words, (0, 1)).all():
+            raise ValueError("received must be 0/1 bits")
+        lanes = pack_lanes(words)  # (n, W)
+        masks = self._syndrome_mask_table()  # (2t, m, n, 1)
+        planes = np.bitwise_xor.reduce(
+            lanes[None, None, :, :] & masks, axis=2
+        )  # (2t, m, W)
+        bits = np.unpackbits(
+            planes.view(np.uint8).reshape(planes.shape[0], planes.shape[1], -1),
+            axis=2,
+            bitorder="little",
+        )[:, :, : words.shape[1]]
+        weights = (
+            np.int64(1) << np.arange(self.field.m, dtype=np.int64)
+        )[None, :, None]
+        return (bits.astype(np.int64) * weights).sum(axis=1)
+
+    def decode_batch(
+        self, received: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode every column of a ``(n, lanes)`` 0/1 matrix.
+
+        Returns ``(data, corrected, failed)`` where ``data`` is the
+        ``(k, lanes)`` decoded payload, ``corrected`` the per-lane
+        corrected-bit count and ``failed`` a per-lane bool mask of
+        detected-uncorrectable words (their systematic bits pass
+        through, matching the page codec's best-effort convention).
+
+        Lanes whose batch syndromes are all zero never touch the
+        scalar machinery; dirty lanes run the exact scalar
+        :meth:`decode`, so per-lane corrections and
+        :class:`BchDecodeFailure` classification are identical to the
+        byte-bit path by construction.
+        """
+        words = np.ascontiguousarray(received, dtype=np.uint8)
+        syndromes = self.syndromes_batch(words)  # validates shape/bits
+        data = words[: self.k].copy()
+        n_lanes = words.shape[1]
+        corrected = np.zeros(n_lanes, dtype=np.int64)
+        failed = np.zeros(n_lanes, dtype=bool)
+        for lane in np.nonzero(syndromes.any(axis=0))[0]:
+            try:
+                decoded, n_errors = self.decode(words[:, lane])
+            except BchDecodeFailure:
+                failed[lane] = True
+                continue
+            data[:, lane] = decoded
+            corrected[lane] = n_errors
+        return data, corrected, failed
 
     def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
         """Error-locator polynomial sigma(x) from the syndromes."""

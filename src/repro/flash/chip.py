@@ -168,6 +168,17 @@ class NandFlashChip:
         #: target block's ``layout_version`` moves (program/erase,
         #: which are the only writers of the packed plane).
         self._resolved_targets: dict[object, tuple] = {}
+        #: id(commands) -> (pinned command list, vref_offset,
+        #: force_vth, prepared V_TH schedule, (block, layout_version)
+        #: revalidation pairs) for the batched error plane.  The
+        #: executor's layout memo hands back the same command-list
+        #: object for a repeated window, so identity is the window
+        #: key; pinning the list keeps the id unique among live
+        #: objects.  Entries revalidate per-block ``layout_version``
+        #: and are dropped wholesale when the ambient condition or
+        #: fault injector changes (both invalidate resolved
+        #: conditions/bad-block checks).
+        self._vth_schedules: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Environment control (test-mode features)
@@ -178,6 +189,8 @@ class NandFlashChip:
         P/E floor, block quality) applied to subsequent senses."""
         self.condition = condition
         self._condition_variants.clear()
+        with self._memo_lock:
+            self._vth_schedules.clear()
 
     def attach_fault_injector(self, injector, chip_id: int = 0) -> None:
         """Attach a :class:`~repro.flash.faults.FaultInjector` (or
@@ -189,6 +202,7 @@ class NandFlashChip:
         self.fault_chip_id = chip_id
         with self._memo_lock:
             self._resolved_targets.clear()
+            self._vth_schedules.clear()
 
     def cycle_block(self, address: BlockAddress, pe_cycles: int) -> None:
         """Wear a block to ``pe_cycles`` program/erase cycles (the
@@ -631,6 +645,81 @@ class NandFlashChip:
             stacks.append(stack)
             profiles.append(profile)
         return self.sensing.sense_batch_stacks(stacks, profiles)
+
+    def execute_sense_batch_vth(
+        self,
+        commands: list["MwsCommand"],
+        *,
+        vref_offset: float = 0.0,
+        force_vth: bool = False,
+    ) -> np.ndarray | None:
+        """Evaluate many MWS commands through the V_TH error plane in
+        one batched pass.
+
+        The counterpart of :meth:`execute_sense_batch` for chips that
+        inject errors (or for ``force_vth`` degraded recovery on the
+        packed plane): targets are validated and conditions resolved
+        exactly as :meth:`execute_sense`, then the whole window's
+        perturb + compare runs through
+        :meth:`~repro.flash.sensing.SensingEngine.sense_batch_vth`,
+        which keeps the stochastic draw schedule identical to the
+        scalar per-sense loop.  Returns an ``(n_commands, page_bits)``
+        bit matrix, or ``None`` when any target is MLC-programmed
+        (callers fall back to per-sense execution before any draw or
+        read-disturb side effect).  Latch protocol and cost counters
+        are replayed by the executor, as with the packed batch.
+
+        The prepared schedule -- resolution, stress scalars, stacked
+        perturbed-base tensors -- is cached per command-window object
+        (the executor's layout memo reuses one list per repeated
+        window) and revalidated against each target block's
+        ``layout_version``, so steady-state reliability windows only
+        pay the draw + compare.  Condition changes and fault-injector
+        (re)attachment drop the cache wholesale; a bad-block set is
+        immutable per injector and resolution fails before caching,
+        so a cached window can never cover a bad block."""
+        self._check_online()
+        key = id(commands)
+        entry = self._vth_schedules.get(key)
+        if (
+            entry is not None
+            and entry[0] is commands
+            and entry[1] == vref_offset
+            and entry[2] == force_vth
+        ):
+            for block, version in entry[4]:
+                if block.layout_version != version:
+                    break
+            else:
+                return self.sensing.run_batch_vth(entry[3])
+        senses = []
+        conditions = []
+        for command in commands:
+            _, blocks = self._resolve_targets(command.targets)
+            senses.append(blocks)
+            conditions.append(self._effective_condition(blocks))
+        schedule = self.sensing.prepare_batch_vth(
+            senses,
+            conditions,
+            vref_offset=vref_offset,
+            force_vth=force_vth,
+        )
+        if schedule is None:
+            return None
+        with self._memo_lock:
+            if len(self._vth_schedules) >= 4096:
+                self._vth_schedules.clear()
+            self._vth_schedules[key] = (
+                commands,
+                vref_offset,
+                force_vth,
+                schedule,
+                tuple(
+                    (block, block.layout_version)
+                    for block, _ in schedule.read_counts
+                ),
+            )
+        return self.sensing.run_batch_vth(schedule)
 
     def charge_sense(self, n_wordlines: int, n_blocks: int) -> None:
         """Account one MWS sense: operation counters plus the modeled

@@ -57,6 +57,13 @@ class LatchBank:
             raise ValueError("page_bits must be >= 1")
         self.page_bits = page_bits
         self.packed = packed
+        #: Monotonic mutation counter: every operation that changes the
+        #: bank's persistent S/C state bumps it.  The batched executor's
+        #: window-replay memo compares recorded marks against it to
+        #: prove "nothing touched this plane since" without content
+        #: comparison (the persistent buffers keep their identity across
+        #: operations, so object identity cannot tell).
+        self.ops = 0
         self._sense: np.ndarray | None = None
         self._cache: np.ndarray | None = None
         if packed:
@@ -77,12 +84,14 @@ class LatchBank:
     def init_sense(self) -> None:
         """Initialize the S-latch (activating M1: all ones, so that a
         subsequent AND-accumulating sense is an identity)."""
+        self.ops += 1
         self._sense_buf.fill(FULL_WORD if self.packed else 1)
         self._sense = self._sense_buf
 
     def init_cache(self) -> None:
         """Initialize the C-latch (activating M4: all zeros, so that a
         subsequent OR-merge transfer is an identity)."""
+        self.ops += 1
         self._cache_buf.fill(0)
         self._cache = self._cache_buf
 
@@ -100,6 +109,7 @@ class LatchBank:
         that state is not electrically meaningful and raises.
         """
         data = self._coerce(sensed)
+        self.ops += 1
         if inverse:
             if self._sense is None or not self._sense_is_fresh():
                 raise LatchStateError(
@@ -122,12 +132,14 @@ class LatchBank:
             raise LatchStateError("transfer with empty S-latch")
         if self._cache is None:
             raise LatchStateError("transfer with uninitialized C-latch")
+        self.ops += 1
         self._cache |= self._sense
 
     def xor_into_cache(self) -> None:
         """C-latch := S-latch XOR C-latch (the on-chip XOR feature)."""
         if self._sense is None or self._cache is None:
             raise LatchStateError("XOR requires both latches to hold data")
+        self.ops += 1
         self._cache ^= self._sense
 
     def capture_batch(
@@ -158,21 +170,28 @@ class LatchBank:
         through the scalar path most recently (the batched executor
         lands the queue's last plan per plane).
 
+        On an unpacked bank the same replay runs over ``(n_lanes,
+        page_bits)`` 0/1 byte matrices (the batched V_TH error plane's
+        representation); semantics are step-for-step identical.
+
         Protocol violations raise :class:`LatchStateError` with the
         scalar path's messages.  One deliberate tightening: inverse
         capture demands a *freshly initialized* S-latch in every lane;
         the scalar path accepts an S-latch whose data merely happens
         to be all ones, a coincidence no planner-generated sequence
-        relies on.  Batching requires the packed plane (the unpacked
-        byte plane stays the per-sense oracle).
+        relies on.
         """
-        if not self.packed:
-            raise LatchStateError(
-                "capture_batch requires the packed latch plane"
-            )
+        packed = self.packed
         matrices = list(sensed)
         n_lanes = matrices[0].shape[0] if matrices else 0
-        shape = (n_lanes, self._n_words)
+        if packed:
+            shape = (n_lanes, self._n_words)
+            dtype = np.uint64
+            fill = FULL_WORD
+        else:
+            shape = (n_lanes, self.page_bits)
+            dtype = np.uint8
+            fill = 1
         sense: np.ndarray | None = None
         cache: np.ndarray | None = None
         sense_fresh = False
@@ -194,13 +213,13 @@ class LatchBank:
                 )
             if step.init_cache:
                 if cache is None:
-                    cache = np.zeros(shape, dtype=np.uint64)
+                    cache = np.zeros(shape, dtype=dtype)
                 else:
                     cache.fill(0)
             if step.init_sense:
                 if sense is None:
-                    sense = np.empty(shape, dtype=np.uint64)
-                sense.fill(FULL_WORD)
+                    sense = np.empty(shape, dtype=dtype)
+                sense.fill(fill)
                 sense_fresh = True
             if step.inverse:
                 if sense is None or not sense_fresh:
@@ -208,8 +227,11 @@ class LatchBank:
                         "inverse sensing requires a freshly initialized "
                         "S-latch"
                     )
-                np.bitwise_not(data, out=sense)
-                sense |= self._pad
+                if packed:
+                    np.bitwise_not(data, out=sense)
+                    sense |= self._pad
+                else:
+                    np.subtract(1, data, out=sense)
             else:
                 if sense is None:
                     raise LatchStateError(
@@ -226,12 +248,13 @@ class LatchBank:
         if cache is None:
             raise LatchStateError("C-latch holds no data")
         if land_lane is not None:
+            self.ops += 1
             np.copyto(self._cache_buf, cache[land_lane])
             self._cache = self._cache_buf
             if sense is not None:
                 np.copyto(self._sense_buf, sense[land_lane])
                 self._sense = self._sense_buf
-        return cache | self._pad
+        return cache | self._pad if packed else cache
 
     def _sense_is_fresh(self) -> bool:
         """Whether the S-latch still holds the all-ones init pattern
@@ -284,6 +307,7 @@ class LatchBank:
         """Directly load the C-latch (used when the controller writes
         data into the chip for a subsequent XOR).  Accepts packed
         words or an unpacked 0/1 page."""
+        self.ops += 1
         np.copyto(self._cache_buf, self._coerce(data))
         self._cache = self._cache_buf
 

@@ -185,6 +185,14 @@ class EngineStats:
     #: sense operations the first occurrences cost.
     reconstructed_plans: int = 0
     reconstruction_senses: int = 0
+    #: Unique plans whose packed sense rows were replayed from the
+    #: cross-window :class:`StackCache` (latch replay and charging
+    #: still ran; only the sensing re-derivation was skipped).
+    stack_reuse_hits: int = 0
+    #: Per-profile operand tensors the sensing engine concatenated
+    #: fresh during batched windows -- the quantity stack reuse
+    #: collapses on repeat windows.
+    restacked_tensors: int = 0
 
 
 @dataclass(frozen=True)
@@ -489,6 +497,128 @@ class ResultCache:
             )
 
 
+class StackCache:
+    """Cross-window reuse of per-plan packed sense rows (the "stack
+    cache" of the word-wide speed story).
+
+    The batched packed path stacks every window's operand rows into
+    per-profile tensors and reduces them
+    (:meth:`~repro.flash.sensing.SensingEngine.sense_batch_stacks`)
+    -- even when the window repeats plans a previous window already
+    sensed.  The :class:`ResultCache` only helps on exact plan
+    repeats *and* changes the outcome envelope (cached hits report
+    zero flash cost); this cache instead memoizes each plan's raw
+    packed **sense rows** and lets
+    :meth:`~repro.core.mws.MwsExecutor.execute_batch_reuse` skip just
+    the sensing for reused plans while the latch replay, cost
+    charges, and read-disturb accounting still run every window --
+    so a window sharing any prefix (or subset) of a previous window's
+    plans skips restacking those tensors and stays bit-, float-, and
+    counter-identical to a fresh batched drain.
+
+    **Invalidation contract** (``docs/architecture.md``): entries are
+    stamped per chip with
+
+    ``(FlashTranslationLayer.generation,``
+    ``  OperandDirectory.generation,``
+    ``  PlaneArray.content_version(), fault injector identity)``
+
+    and the whole chip's memo drops the moment the stamp moves -- any
+    vector register/unregister, per-chip operand churn, program/erase
+    (GC relocation, wear leveling, migration included), or
+    fault-injector (re)attachment.  Conservative by design: reusing
+    one stale sense row is strictly worse than restacking a window.
+
+    The cache engages only on the packed error-free plane through the
+    batched drain; the V_TH error plane draws fresh noise per sense
+    and memoizes only its draw-independent schedule
+    (:class:`~repro.flash.sensing.VthBatchSchedule`, same contract).
+    Per-chip entry maps are bounded with clear-on-full semantics like
+    the sensing row cache (``capacity`` plans, default 4096).
+
+    Thread safety: the per-chip entry map is only touched by the
+    drain that owns the chip (under ``MwsExecutor.lock``); the outer
+    chip map and counters take an internal lock.
+    """
+
+    def __init__(self, ssd: "SmallSsd", *, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.ssd = ssd
+        self.capacity = capacity
+        #: chip -> (layout/content stamp, plan -> (rows, reads)).
+        self._chips: dict[int, tuple[tuple, dict]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._lock = threading.Lock()
+
+    def _stamp(self, chip: int) -> tuple:
+        ssd = self.ssd
+        return (
+            ssd.ftl.generation,
+            ssd.controllers[chip].directory.generation,
+            ssd.chips[chip].plane_array.content_version(),
+            ssd.chips[chip].fault_injector,
+        )
+
+    def execute(
+        self, executor, chip: int, plans: list[Plan]
+    ) -> tuple[list, int] | None:
+        """Run one chip window through
+        :meth:`~repro.core.mws.MwsExecutor.execute_batch_reuse`
+        against this cache's (stamp-validated) entries.  Returns
+        ``(results, reused_plan_count)`` or ``None`` when the window
+        has no batched equivalent."""
+        stamp = self._stamp(chip)
+        with self._lock:
+            entry = self._chips.get(chip)
+            if entry is not None and entry[0] == stamp:
+                plan_rows = entry[1]
+            else:
+                if entry is not None:
+                    self._invalidations += 1
+                plan_rows = {}
+                self._chips[chip] = (stamp, plan_rows)
+
+        def store(plan, rows, reads):
+            if len(plan_rows) >= self.capacity:
+                plan_rows.clear()
+            plan_rows[plan] = (rows, reads)
+
+        outcome = executor.execute_batch_reuse(plans, plan_rows, store)
+        if outcome is None:
+            return None
+        results, reused = outcome
+        with self._lock:
+            self._hits += reused
+            self._misses += len(plans) - reused
+        return results, reused
+
+    def entries(self, chip: int) -> int:
+        """Live entry count for one chip (test/introspection hook)."""
+        with self._lock:
+            entry = self._chips.get(chip)
+            return 0 if entry is None else len(entry[1])
+
+    def clear(self) -> None:
+        with self._lock:
+            self._chips.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalidations=self._invalidations,
+                senses_avoided=0,
+                entries=sum(
+                    len(entry[1]) for entry in self._chips.values()
+                ),
+            )
+
+
 @dataclass(frozen=True)
 class PreparedQuery:
     """A query planned and bound, ready for (shared) execution.
@@ -581,6 +711,16 @@ class QueryEngine:
         #: ``query``/``query_batch`` paths never use it, so they stay
         #: the always-fresh oracle the property suites compare against.
         self.result_cache: ResultCache | None = None
+        #: Cross-window stack cache (always attached; ``stack_reuse``
+        #: gates whether the batched drain consults it).  Reuse is
+        #: exact -- it skips only the re-derivation of deterministic
+        #: packed sense rows -- so it defaults on; ``stack_reuse =
+        #: False`` forces fresh stacking (the bench baseline and the
+        #: property-suite oracle).
+        self.stack_cache = StackCache(ssd)
+        self.stack_reuse = True
+        self._stack_reuse_hits = 0
+        self._restacked_tensors = 0
         #: chip -> (DMA s, link s, resource names): see _stage_constants.
         self._stage_cache: dict[int, tuple[float, float, tuple]] = {}
 
@@ -681,6 +821,8 @@ class QueryEngine:
                 executor_dispatches=self._executor_dispatches,
                 reconstructed_plans=self._reconstructed_plans,
                 reconstruction_senses=self._reconstruction_senses,
+                stack_reuse_hits=self._stack_reuse_hits,
+                restacked_tensors=self._restacked_tensors,
             )
 
     # ------------------------------------------------------------------
@@ -976,9 +1118,12 @@ class QueryEngine:
 
         With ``batch`` on (the default) each chip's queue runs through
         :meth:`~repro.core.mws.MwsExecutor.execute_batch` -- one
-        vectorized dispatch per chip instead of one per sense --
-        falling back to the scalar loop automatically off the packed
-        error-free plane.  ``batch=False`` forces the per-sense loop
+        vectorized dispatch per chip instead of one per sense.  Off
+        the packed error-free plane the queue batches through the
+        V_TH error plane with the scalar loop's exact stochastic draw
+        schedule, falling back to per-sense execution only for queues
+        with no batched equivalent (MLC targets, cross-plane XOR).
+        ``batch=False`` forces the per-sense loop
         (the wall-clock baseline the batch benchmarks compare
         against); ``share=False`` is the unshared oracle.  Results and
         modeled cost counters are identical across all combinations;
@@ -1002,7 +1147,11 @@ class QueryEngine:
         active injector attached to the SSD, each unique plan executes
         through the retry/backoff/degraded policy on the scalar path
         (per-plan fault draws need per-plan execution); chips listed in
-        ``degraded`` serve directly on the V_TH margin-read path, and
+        ``degraded`` serve directly on the V_TH margin-read path
+        (batched through
+        :meth:`~repro.core.mws.MwsExecutor.execute_degraded_batch`
+        when ``batch`` is on and the queue has a batched equivalent --
+        the margin path draws nothing, so batching it is exact), and
         chips listed in ``offline`` (quarantined) fail fast -- their
         tasks come back as error outcomes carrying
         :class:`~repro.flash.errors.ChipUnavailableError` without
@@ -1027,6 +1176,13 @@ class QueryEngine:
         cache = self.result_cache if use_cache and packed else None
         if cache is not None:
             cache.begin_epoch()
+        # Stack reuse engages only where its oracle applies: packed
+        # plane, batched drain, no fault recovery (the recover branch
+        # runs scalar / degraded paths that never restack anyway).
+        stacks = (
+            self.stack_cache if packed and batch and self.stack_reuse
+            else None
+        )
         injector = getattr(self.ssd, "fault_injector", None)
         if recovery is not None and (
             injector is None or not injector.active
@@ -1079,10 +1235,12 @@ class QueryEngine:
                     )
                 return
             executor = self.ssd.controllers[chip].executor
+            sensing = self.ssd.chips[chip].sensing
             chip_degraded = chip in degraded_chips
             recover = recovery is not None or chip_degraded
             shared_plans = 0
             shared_senses = 0
+            reuse_hits = 0
             with executor.lock:
                 pending = positions
                 # Cross-window cache first: a hit never reaches dedup
@@ -1118,14 +1276,53 @@ class QueryEngine:
                 else:
                     unique = pending
                 dispatched_before = executor.dispatches
+                restacked_before = sensing.restacked_tensors
                 if recover:
                     # Fault recovery needs per-plan draws and retries,
-                    # so the queue runs scalar through the policy.
+                    # so the queue runs scalar through the policy --
+                    # except the health-degraded margin-read path,
+                    # which draws nothing and batches through the
+                    # V_TH plane when possible (None falls back to
+                    # the scalar loop: bad blocks, MLC, cross-plane
+                    # XOR, unpacked chips).
                     policy = (
                         recovery
                         if recovery is not None
                         else RecoveryPolicy()
                     )
+                    batched = None
+                    if chip_degraded and batch:
+                        batched = executor.execute_degraded_batch(
+                            [order[p].plan for p in unique],
+                            extra_senses=policy.degraded_extra_senses,
+                        )
+                    if batched is not None:
+                        for position, result in zip(unique, batched):
+                            task = order[position]
+                            data = (
+                                result.words if packed else result.bits
+                            )
+                            outcomes[position] = outcome(
+                                task,
+                                data,
+                                result.n_senses,
+                                result.latency_us,
+                                result.energy_nj,
+                                False,
+                                False,
+                                0,
+                                0.0,
+                                True,
+                                None,
+                            )
+                            if cache is not None:
+                                cache.put(
+                                    chip,
+                                    task.plan,
+                                    data,
+                                    result.n_senses,
+                                )
+                        unique = []
                     for position in unique:
                         task = order[position]
                         (
@@ -1168,12 +1365,25 @@ class QueryEngine:
                     queue = [
                         order[position].plan for position in unique
                     ]
-                    if batch:
-                        results = executor.execute_batch(queue)
-                    else:
-                        results = [
-                            executor.execute(plan) for plan in queue
-                        ]
+                    results = None
+                    if batch and stacks is not None and queue:
+                        # Cross-window stack reuse: plans already
+                        # sensed under the current stamp replay their
+                        # packed rows; only the miss plans reach the
+                        # flash.  Latch replay and charging still run
+                        # for the whole queue, so outcomes and
+                        # counters stay identical to a fresh batch.
+                        reused = stacks.execute(executor, chip, queue)
+                        if reused is not None:
+                            results, reuse_hits = reused
+                    if results is None:
+                        if batch:
+                            results = executor.execute_batch(queue)
+                        else:
+                            results = [
+                                executor.execute(plan)
+                                for plan in queue
+                            ]
                     for position, result in zip(unique, results):
                         data = result.words if packed else result.bits
                         outcomes[position] = outcome(
@@ -1195,6 +1405,9 @@ class QueryEngine:
                 # stat stays truthful when execute_batch falls back to
                 # the per-sense loop (unpacked plane, error injection).
                 dispatches = executor.dispatches - dispatched_before
+                restacked = (
+                    sensing.restacked_tensors - restacked_before
+                )
                 shared_plans = len(followers)
                 for position, first in followers:
                     prior = outcomes[first]
@@ -1216,6 +1429,8 @@ class QueryEngine:
                 self._executor_dispatches += dispatches
                 self._shared_plans += shared_plans
                 self._shared_senses += shared_senses
+                self._stack_reuse_hits += reuse_hits
+                self._restacked_tensors += restacked
 
         n_workers = self.workers if workers is None else max(1, workers)
         if n_workers > 1 and len(per_chip) > 1:

@@ -20,8 +20,9 @@ random chip counts, chunk counts, share on/off, and both data planes:
 
 The 80-bit page geometry keeps padding words in play (pages that are
 not a multiple of 64 bits are the packed representation's trickiest
-configuration); ``packed=False`` runs prove the batch entry point
-falls back to the per-sense V_TH-plane loop untouched.
+configuration); ``packed=False`` runs exercise the batched V_TH plane
+(``MwsExecutor._execute_batch_vth``), which must stay bit- and
+float-identical to the per-sense loop too.
 """
 
 import numpy as np
@@ -309,12 +310,47 @@ def test_sense_batch_rows_match_per_sense_outcomes(seed):
         )
 
 
-def test_capture_batch_refuses_unpacked_bank():
+def test_capture_batch_unpacked_matches_scalar_protocol():
+    """The unpacked bank replays the batched latch protocol over 0/1
+    byte matrices with the scalar bank's exact semantics (the batched
+    V_TH error plane's representation)."""
+    from repro.flash.chip import IscmFlags
     from repro.flash.latches import LatchBank
 
-    bank = LatchBank(80, packed=False)
-    with pytest.raises(LatchStateError, match="packed latch plane"):
-        bank.capture_batch([], [])
+    rng = np.random.default_rng(11)
+    steps = [
+        IscmFlags(init_cache=True, init_sense=True, transfer=False),
+        IscmFlags(init_sense=False, transfer=True),  # AND-accumulate
+        IscmFlags(init_sense=True, inverse=True, transfer=False),
+        None,  # latch XOR command
+    ]
+    matrices = [
+        rng.integers(0, 2, (3, 80), dtype=np.uint8) for _ in range(3)
+    ]
+    batch_bank = LatchBank(80, packed=False)
+    out = batch_bank.capture_batch(steps, matrices, land_lane=2)
+    for lane in range(3):
+        bank = LatchBank(80, packed=False)
+        sensed = iter(m[lane] for m in matrices)
+        for step in steps:
+            if step is None:
+                bank.xor_into_cache()
+                continue
+            if step.init_cache:
+                bank.init_cache()
+            if step.init_sense:
+                bank.init_sense()
+            bank.capture(next(sensed), inverse=step.inverse)
+            if step.transfer:
+                bank.transfer_to_cache()
+        np.testing.assert_array_equal(out[lane], bank.cache_data)
+        if lane == 2:
+            np.testing.assert_array_equal(
+                batch_bank.cache_data, bank.cache_data
+            )
+            np.testing.assert_array_equal(
+                batch_bank.sense_data, bank.sense_data
+            )
 
 
 def test_capture_batch_protocol_errors_match_scalar():

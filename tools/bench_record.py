@@ -6,7 +6,11 @@
 packed-backend measurements
 (``benchmarks/bench_packed_backend.py``), the query-service
 throughput kernel (``benchmarks/bench_service.py``), the batched
-window-execution kernel (``benchmarks/bench_batch_sense.py``), and
+window-execution kernel (``benchmarks/bench_batch_sense.py``), the
+packed page-ECC kernel (``benchmarks/bench_ecc_packed.py``), the
+batched V_TH error-plane kernel
+(``benchmarks/bench_error_batch.py``), the cross-window stack-reuse
+kernel (``benchmarks/bench_stack_reuse.py``), and
 the cross-window result-cache + SLO kernels
 (``benchmarks/bench_result_cache.py``), the concurrent-drain /
 preemptive-arbitration kernels (``benchmarks/bench_multicore.py``),
@@ -186,6 +190,76 @@ def _run_slo_bench() -> dict[str, float]:
     }
 
 
+def _run_ecc_bench() -> dict[str, float]:
+    """Run the packed page-ECC kernel in-process.
+
+    Bit-identity against the byte-bit oracle is asserted inside the
+    bench before any timing; ``ecc_packed_speedup`` is wall-clock.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_ecc_packed import measure_ecc_packed
+
+    m = measure_ecc_packed()
+    return {
+        "n_codewords": m["n_codewords"],
+        "page_bits": m["page_bits"],
+        "n_errors": m["n_errors"],
+        "corrected_bits": m["corrected_bits"],
+        "packed_s": m["packed_s"],
+        "byte_bit_s": m["byte_bit_s"],
+        "ecc_packed_speedup": m["ecc_packed_speedup"],
+    }
+
+
+def _run_error_batch_bench() -> dict[str, float]:
+    """Run the batched V_TH error-plane kernel in-process.
+
+    Bit-identity and draw-schedule equality (RNG state) against the
+    per-sense loop are asserted inside the bench;
+    ``dispatches_per_window`` is an exact count,
+    ``error_batch_speedup`` is wall-clock.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_error_batch import measure_error_batch
+
+    m = measure_error_batch()
+    return {
+        "n_queries": m["n_queries"],
+        "n_unique_plans": m["n_unique_plans"],
+        "error_batch_s": m["error_batch_s"],
+        "error_per_sense_s": m["error_per_sense_s"],
+        "error_batch_speedup": m["error_batch_speedup"],
+        "dispatches_per_window": m["dispatches_per_window"],
+        "dispatches_per_window_loop": m["dispatches_per_window_loop"],
+    }
+
+
+def _run_stack_reuse_bench() -> dict[str, float]:
+    """Run the cross-window stack-reuse kernel in-process.
+
+    Bit-/float-/counter-identity against the fresh-stacking twin and
+    the partial-overlap restack accounting are asserted inside the
+    bench; the restacked-tensor counts and reuse hits are exact,
+    ``stack_reuse_speedup`` is wall-clock.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_stack_reuse import measure_stack_reuse
+
+    m = measure_stack_reuse()
+    return {
+        "n_queries": m["n_queries"],
+        "restacked_overlap_reuse": m["restacked_overlap_reuse"],
+        "restacked_overlap_fresh": m["restacked_overlap_fresh"],
+        "stack_reuse_hits": m["stack_reuse_hits"],
+        "stack_reuse_s": m["stack_reuse_s"],
+        "stack_fresh_s": m["stack_fresh_s"],
+        "stack_reuse_speedup": m["stack_reuse_speedup"],
+    }
+
+
 def _run_multicore_bench() -> dict[str, float]:
     """Run the concurrent-drain scaling kernel in-process.
 
@@ -332,6 +406,9 @@ def measure() -> dict:
         "packed_backend": _run_packed_backend(),
         "service": _run_service_bench(),
         "batch_sense": _run_batch_bench(),
+        "ecc_packed": _run_ecc_bench(),
+        "error_batch": _run_error_batch_bench(),
+        "stack_reuse": _run_stack_reuse_bench(),
         "result_cache": _run_result_cache_bench(),
         "slo": _run_slo_bench(),
         "multicore": _run_multicore_bench(),
@@ -413,6 +490,71 @@ def check(baseline_path: Path, tolerance: float) -> int:
                 f"batch_sense dispatches_per_window: "
                 f"{fresh_batch['dispatches_per_window']} > "
                 f"baseline {base_batch['dispatches_per_window']}"
+            )
+
+    base_ecc = baseline.get("ecc_packed", {})
+    if "ecc_packed_speedup" in base_ecc:
+        fresh_ecc = fresh["ecc_packed"]
+        floor = base_ecc["ecc_packed_speedup"] / tolerance
+        if fresh_ecc["ecc_packed_speedup"] < floor:
+            failures.append(
+                f"ecc_packed ecc_packed_speedup: "
+                f"{fresh_ecc['ecc_packed_speedup']:.2f} < "
+                f"baseline {base_ecc['ecc_packed_speedup']:.2f} / "
+                f"{tolerance:.1f}"
+            )
+        # A correction count, not a timing: the packed decoder must
+        # keep fixing every injected error the baseline fixed.
+        if fresh_ecc["corrected_bits"] < base_ecc["corrected_bits"]:
+            failures.append(
+                f"ecc_packed corrected_bits: "
+                f"{fresh_ecc['corrected_bits']} < baseline "
+                f"{base_ecc['corrected_bits']}"
+            )
+
+    base_eb = baseline.get("error_batch", {})
+    if "error_batch_speedup" in base_eb:
+        fresh_eb = fresh["error_batch"]
+        floor = base_eb["error_batch_speedup"] / tolerance
+        if fresh_eb["error_batch_speedup"] < floor:
+            failures.append(
+                f"error_batch error_batch_speedup: "
+                f"{fresh_eb['error_batch_speedup']:.2f} < "
+                f"baseline {base_eb['error_batch_speedup']:.2f} / "
+                f"{tolerance:.1f}"
+            )
+        # A dispatch count, not a timing: exact, no tolerance.
+        if (
+            fresh_eb["dispatches_per_window"]
+            > base_eb["dispatches_per_window"]
+        ):
+            failures.append(
+                f"error_batch dispatches_per_window: "
+                f"{fresh_eb['dispatches_per_window']} > "
+                f"baseline {base_eb['dispatches_per_window']}"
+            )
+
+    base_sr = baseline.get("stack_reuse", {})
+    if "stack_reuse_speedup" in base_sr:
+        fresh_sr = fresh["stack_reuse"]
+        floor = base_sr["stack_reuse_speedup"] / tolerance
+        if fresh_sr["stack_reuse_speedup"] < floor:
+            failures.append(
+                f"stack_reuse stack_reuse_speedup: "
+                f"{fresh_sr['stack_reuse_speedup']:.2f} < "
+                f"baseline {base_sr['stack_reuse_speedup']:.2f} / "
+                f"{tolerance:.1f}"
+            )
+        # Restack counts are exact: the reused partial-overlap window
+        # must keep restacking no more tensors than the baseline did.
+        if (
+            fresh_sr["restacked_overlap_reuse"]
+            > base_sr["restacked_overlap_reuse"]
+        ):
+            failures.append(
+                f"stack_reuse restacked_overlap_reuse: "
+                f"{fresh_sr['restacked_overlap_reuse']} > "
+                f"baseline {base_sr['restacked_overlap_reuse']}"
             )
 
     base_rc = baseline.get("result_cache", {})
@@ -586,7 +728,8 @@ def check(baseline_path: Path, tolerance: float) -> int:
         return 1
     print(
         f"perf trajectory ok: {len(baseline.get('kernels', {}))} kernels, "
-        f"packed-backend, service, batch-sense, result-cache, SLO, "
+        f"packed-backend, service, batch-sense, packed-ECC, "
+        f"error-batch, stack-reuse, result-cache, SLO, "
         f"multicore, preemption, fault-tolerance, GC, and redundancy "
         f"metrics within {tolerance:.1f}x of baseline"
     )
